@@ -1,0 +1,69 @@
+"""Shared plumbing for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's figures on the scaled
+simulated testbed, prints the figure's series/rows (bypassing pytest's
+capture so the output lands in the console and in ``bench_output.txt``),
+appends the same text to ``results/``, and asserts the figure's *shape* —
+who wins, where stalls appear, where crossovers fall. Absolute numbers
+differ from the paper's testbed by the scale factor by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.harness import format_table, sparkline
+
+#: Scale factor for all benchmarks: preserves the paper's tree shapes
+#: (3-level leveling, ~8-level tiering) and its 2-hour timeline, with
+#: throughputs divided by SCALE.
+SCALE = 256.0
+
+#: The paper's phase durations (virtual seconds) and warm-up exclusion.
+TESTING_DURATION = 7200.0
+RUNNING_DURATION = 7200.0
+WARMUP = 1200.0
+
+
+def banner(figure: str, caption: str) -> str:
+    """Figure header for benchmark output."""
+    rule = "=" * 74
+    return f"\n{rule}\n{figure}: {caption}\n(scaled testbed, x{SCALE:.0f})\n{rule}"
+
+
+def series_block(label: str, values, width: int = 68) -> str:
+    """One labelled sparkline with summary stats."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return f"{label}: (empty)"
+    return (
+        f"{label}\n  {sparkline(arr, width)}\n"
+        f"  mean={arr.mean():.1f}  min={arr.min():.1f}  max={arr.max():.1f}"
+    )
+
+
+def show(
+    capsys, text: str, results_file: str | None = None
+) -> None:
+    """Print around pytest's capture and append to results/."""
+    with capsys.disabled():
+        print(text)
+    if results_file is not None:
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "results" / results_file
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as sink:
+            sink.write(text + "\n")
+
+
+def run_once(benchmark, fn: Callable):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def table_block(rows, columns=None) -> str:
+    """Aligned table with a leading newline for readability."""
+    return format_table(rows, columns=columns)

@@ -1,0 +1,84 @@
+"""Ablation: the component-constraint sizing factor (Section 5.1.1).
+
+The paper proposes tolerating "twice the expected number of disk
+components" as a conservative global constraint. This ablation sweeps the
+multiplier: too tight (1x) guarantees stalls — the structural component
+count during deep merges already reaches the budget — while the paper's
+2x absorbs the merge-time variance, and further slack buys little. The
+trade-off motivating restraint: every extra tolerated component costs
+query performance and space.
+"""
+
+from repro.harness import ExperimentSpec, running_phase
+from repro.harness import testing_phase as measure_max
+
+from _common import SCALE, banner, run_once, show, table_block
+
+FACTORS = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+def test_ablation_constraint_factor(benchmark, capsys):
+    def experiment():
+        rows = []
+        for policy, make in (
+            ("leveling", lambda: ExperimentSpec.leveling(
+                scheduler="greedy", scale=SCALE)),
+            ("tiering", lambda: ExperimentSpec.tiering(
+                scheduler="greedy", scale=SCALE)),
+        ):
+            max_throughput, _ = measure_max(make())
+            for factor in FACTORS:
+                result = running_phase(
+                    make().with_(constraint_factor=factor),
+                    max_throughput=max_throughput,
+                )
+                try:
+                    p99 = result.write_latency_profile((99.0,))[99.0]
+                except Exception:
+                    # a 1x budget can deadlock the tree from the start:
+                    # the bootstrapped component count already fills it
+                    p99 = float("inf")
+                rows.append(
+                    {
+                        "policy": policy,
+                        "factor": factor,
+                        "stalls": float(result.stall_count()),
+                        "stall_seconds": result.stall_time,
+                        "max_components": result.components.maximum(),
+                        "p99": p99,
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    text = "\n".join(
+        [
+            banner("Ablation", "global component-constraint factor "
+                               "(the '2x expected' rule)"),
+            table_block(rows),
+        ]
+    )
+    show(capsys, text, "ablation_constraint_factor.txt")
+
+    def pick(policy, factor):
+        for row in rows:
+            if row["policy"] == policy and row["factor"] == factor:
+                return row
+        raise KeyError
+
+    for policy in ("leveling", "tiering"):
+        # half the expected count is too tight: stalls or a full deadlock
+        tight = pick(policy, 0.5)
+        assert tight["stall_seconds"] > 0 or tight["p99"] == float("inf")
+        # stall time decreases monotonically-ish with slack
+        assert (
+            pick(policy, 2.0)["stall_seconds"]
+            <= pick(policy, 0.5)["stall_seconds"]
+        )
+        # beyond the paper's 2x, extra slack buys (almost) nothing
+        assert pick(policy, 4.0)["p99"] <= pick(policy, 2.0)["p99"] + 1.0
+        # but it does cost query-relevant component count headroom
+        assert (
+            pick(policy, 4.0)["max_components"]
+            >= pick(policy, 2.0)["max_components"]
+        )

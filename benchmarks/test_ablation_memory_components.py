@@ -1,0 +1,62 @@
+"""Ablation: the number of memory components (Section 3.1's setup).
+
+The paper gives every LSM-tree *two* memory components "to minimize
+stalls during flushes": with a single memtable, every flush blocks
+writers for its full duration; with a spare, writes continue into the
+fresh memtable while the sealed one drains. This ablation quantifies
+that choice: one memory component costs stall time and tail latency even
+under the greedy scheduler, a second removes nearly all flush stalls,
+and further spares buy almost nothing (merges, not flushes, are the
+binding constraint — Section 2.1's observation that flush stalls are
+avoidable with I/O priority plus one spare).
+"""
+
+from repro.harness import ExperimentSpec, running_phase
+from repro.harness import testing_phase as measure_max
+
+from _common import SCALE, banner, run_once, show, table_block
+
+MEMTABLE_COUNTS = (1, 2, 4)
+
+
+def test_ablation_memory_components(benchmark, capsys):
+    base = ExperimentSpec.tiering(scheduler="greedy", scale=SCALE)
+
+    def experiment():
+        max_throughput, _ = measure_max(base)
+        rows = []
+        for count in MEMTABLE_COUNTS:
+            spec = base.with_(
+                config=base.config.with_(num_memory_components=count)
+            )
+            result = running_phase(spec, max_throughput=max_throughput)
+            profile = result.write_latency_profile((50.0, 99.0, 99.9))
+            rows.append(
+                {
+                    "memory_components": count,
+                    "stalls": float(result.stall_count()),
+                    "stall_seconds": result.stall_time,
+                    "p50": profile[50.0],
+                    "p99": profile[99.0],
+                    "p999": profile[99.9],
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    text = "\n".join(
+        [
+            banner("Ablation", "memory components: flush stalls vs spares "
+                               "(Section 3.1's '2 memory components')"),
+            table_block(rows),
+        ]
+    )
+    show(capsys, text, "ablation_memory_components.txt")
+
+    by_count = {row["memory_components"]: row for row in rows}
+    # one memtable: every flush stalls writers
+    assert by_count[1]["stall_seconds"] > by_count[2]["stall_seconds"]
+    assert by_count[1]["p999"] >= by_count[2]["p999"]
+    # the paper's two memtables already suffice; spares beyond that are
+    # nearly free of effect
+    assert by_count[4]["stall_seconds"] <= by_count[2]["stall_seconds"] + 1.0

@@ -1,0 +1,74 @@
+"""Ablation: the full write-interaction design space (Section 5.1.2).
+
+Figure 13 compares "No Limit" against a fixed rate limit; this ablation
+completes the space with LevelDB-style graceful slowdown. Theorem 1's
+prediction: for identical arrivals, the work-conserving stop control has
+the lowest write latencies; every form of pre-violation throttling —
+fixed limit or graceful ramp — trades latency for smoothness.
+"""
+
+from repro.core.schedulers import RateLimitControl, SlowdownControl, StopControl
+from repro.harness import ExperimentSpec, running_phase
+from repro.harness import testing_phase as measure_max
+from repro.workloads import BurstPhase, BurstyArrivals
+
+from _common import SCALE, banner, run_once, show, table_block
+
+
+def test_ablation_write_controls(benchmark, capsys):
+    spec = ExperimentSpec.leveling(scheduler="greedy", scale=SCALE)
+
+    def experiment():
+        max_throughput, _ = measure_max(spec)
+        arrivals = BurstyArrivals(
+            [
+                BurstPhase(1500.0, 0.31 * max_throughput),
+                BurstPhase(300.0, 1.24 * max_throughput),
+            ]
+        )
+        variants = {
+            "stop (write ASAP)": StopControl,
+            "rate limit": lambda: RateLimitControl(0.62 * max_throughput),
+            "graceful slowdown": lambda: SlowdownControl(
+                base_rate=spec.config.memory_write_rate, start_fraction=0.5
+            ),
+        }
+        rows = []
+        for label, factory in variants.items():
+            result = running_phase(
+                spec.with_(control_factory=factory), arrivals=arrivals
+            )
+            profile = result.write_latency_profile((50.0, 99.0, 99.9))
+            rows.append(
+                {
+                    "control": label,
+                    "stalls": float(result.stall_count()),
+                    "stall_seconds": result.stall_time,
+                    "p50": profile[50.0],
+                    "p99": profile[99.0],
+                    "p999": profile[99.9],
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    text = "\n".join(
+        [
+            banner("Ablation", "write-interaction modes under bursty "
+                               "arrivals (Theorem 1)"),
+            table_block(rows),
+        ]
+    )
+    show(capsys, text, "ablation_write_controls.txt")
+
+    by_name = {row["control"]: row for row in rows}
+    stop = by_name["stop (write ASAP)"]
+    # the work-conserving control minimizes latency at every percentile
+    for other in ("rate limit", "graceful slowdown"):
+        assert stop["p99"] <= by_name[other]["p99"] + 1e-9
+        assert stop["p999"] <= by_name[other]["p999"] + 1e-9
+    # graceful slowdown trades fewer hard stalls for extra queuing
+    assert (
+        by_name["graceful slowdown"]["stall_seconds"]
+        <= stop["stall_seconds"] + 1e-9
+    )

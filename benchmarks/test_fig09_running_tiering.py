@@ -1,0 +1,78 @@
+"""Figure 9: running phase of the tiering merge policy at 95% load.
+
+Panels: (a) instantaneous write throughput, (b) number of disk
+components over time, (c) percentile write latencies — for the
+single-threaded, fair, and greedy schedulers against identical arrivals.
+Fair and greedy sustain the load with small latencies; greedy
+additionally minimizes the number of disk components; single-threaded
+stalls catastrophically.
+"""
+
+from repro.harness import (
+    ExperimentSpec,
+    ascii_chart,
+    scheduler_running_results,
+)
+
+from _common import SCALE, banner, run_once, show, table_block
+
+
+def test_fig09_running_phase_tiering(benchmark, capsys):
+    def experiment():
+        arrival_rate, results = scheduler_running_results(
+            lambda scheduler: ExperimentSpec.tiering(
+                scheduler=scheduler, scale=SCALE
+            )
+        )
+        rows = []
+        for scheduler, result in results.items():
+            profile = result.write_latency_profile((50.0, 99.0, 99.9))
+            rows.append(
+                {
+                    "scheduler": scheduler,
+                    "arrival_rate": arrival_rate,
+                    "stalls": float(result.stall_count()),
+                    "stall_seconds": result.stall_time,
+                    "max_components": result.components.maximum(),
+                    "p50": profile[50.0],
+                    "p99": profile[99.0],
+                    "p999": profile[99.9],
+                }
+            )
+        charts = {
+            "(a) write throughput (entries/s)": {
+                name: result.throughput_series()
+                for name, result in results.items()
+            },
+            "(b) disk components": {
+                name: result.components.resample(0.0, result.duration, 30.0)
+                for name, result in results.items()
+            },
+        }
+        return rows, charts
+
+    rows, charts = run_once(benchmark, experiment)
+    chart_text = "\n".join(
+        f"{title}\n" + ascii_chart(series, width=64, height=10)
+        for title, series in charts.items()
+    )
+    text = "\n".join(
+        [
+            banner("Figure 9", "running phase, tiering (T=3), 95% load"),
+            chart_text,
+            "(c) percentile write latencies:",
+            table_block(rows),
+        ]
+    )
+    show(capsys, text, "fig09_running_tiering.txt")
+
+    by_name = {row["scheduler"]: row for row in rows}
+    # fair and greedy: stable, small latencies
+    for scheduler in ("fair", "greedy"):
+        assert by_name[scheduler]["stalls"] == 0.0
+        assert by_name[scheduler]["p99"] < 1.0
+    # greedy minimizes components
+    assert by_name["greedy"]["max_components"] <= by_name["fair"]["max_components"]
+    # single-threaded: large stalls, enormous percentile latencies
+    assert by_name["single"]["stall_seconds"] > 100.0
+    assert by_name["single"]["p99"] > 100 * max(by_name["greedy"]["p99"], 0.01)

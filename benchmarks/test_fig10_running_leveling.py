@@ -1,0 +1,74 @@
+"""Figure 10: running phase of the leveling merge policy at 95% load.
+
+Leveling's merge times inherently vary (the target component grows from
+empty to full), so the fair scheduler alone cannot deliver a stable
+throughput — its latencies are visibly worse than greedy's, while the
+single-threaded scheduler again collapses.
+"""
+
+from repro.harness import (
+    ExperimentSpec,
+    ascii_chart,
+    scheduler_running_results,
+)
+
+from _common import SCALE, banner, run_once, show, table_block
+
+
+def test_fig10_running_phase_leveling(benchmark, capsys):
+    def experiment():
+        arrival_rate, results = scheduler_running_results(
+            lambda scheduler: ExperimentSpec.leveling(
+                scheduler=scheduler, scale=SCALE
+            )
+        )
+        rows = []
+        for scheduler, result in results.items():
+            profile = result.write_latency_profile((50.0, 99.0, 99.9))
+            rows.append(
+                {
+                    "scheduler": scheduler,
+                    "arrival_rate": arrival_rate,
+                    "stalls": float(result.stall_count()),
+                    "stall_seconds": result.stall_time,
+                    "max_components": result.components.maximum(),
+                    "p50": profile[50.0],
+                    "p99": profile[99.0],
+                    "p999": profile[99.9],
+                }
+            )
+        charts = {
+            "(a) write throughput (entries/s)": {
+                name: result.throughput_series()
+                for name, result in results.items()
+            },
+            "(b) disk components": {
+                name: result.components.resample(0.0, result.duration, 30.0)
+                for name, result in results.items()
+            },
+        }
+        return rows, charts
+
+    rows, charts = run_once(benchmark, experiment)
+    chart_text = "\n".join(
+        f"{title}\n" + ascii_chart(series, width=64, height=10)
+        for title, series in charts.items()
+    )
+    text = "\n".join(
+        [
+            banner("Figure 10", "running phase, leveling (T=10), 95% load"),
+            chart_text,
+            "(c) percentile write latencies:",
+            table_block(rows),
+        ]
+    )
+    show(capsys, text, "fig10_running_leveling.txt")
+
+    by_name = {row["scheduler"]: row for row in rows}
+    # the paper's ordering: single >> fair > greedy on stalls and latency
+    assert by_name["single"]["p99"] > by_name["fair"]["p99"]
+    assert by_name["fair"]["p99"] >= by_name["greedy"]["p99"]
+    assert by_name["single"]["stall_seconds"] > by_name["fair"]["stall_seconds"]
+    assert by_name["fair"]["stall_seconds"] >= by_name["greedy"]["stall_seconds"]
+    # greedy keeps the tree responsive
+    assert by_name["greedy"]["p999"] < 30.0

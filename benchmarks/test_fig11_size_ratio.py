@@ -1,0 +1,48 @@
+"""Figure 11: impact of the size ratio on throughput and write stalls.
+
+(a) A larger size ratio raises tiering's maximum write throughput and
+lowers leveling's (merge frequency moves in opposite directions).
+(b) At 95% load, tiering stays low-latency under both fair and greedy;
+leveling's fair-scheduler p99 blows up as the ratio grows while greedy
+stays controlled throughout.
+"""
+
+from repro.harness import size_ratio_sweep
+
+from _common import SCALE, banner, run_once, show, table_block
+
+RATIOS = (2, 4, 6, 10)
+
+
+def test_fig11_size_ratio_sweep(benchmark, capsys):
+    def experiment():
+        return {
+            "tiering": size_ratio_sweep("tiering", RATIOS, scale=SCALE),
+            "leveling": size_ratio_sweep("leveling", RATIOS, scale=SCALE),
+        }
+
+    sweeps = run_once(benchmark, experiment)
+    text = "\n".join(
+        [
+            banner("Figure 11", "size-ratio sweep: max throughput (a) and "
+                                "p99 write latency (b)"),
+            "tiering:",
+            table_block(sweeps["tiering"]),
+            "leveling (dynamic level sizes):",
+            table_block(sweeps["leveling"]),
+        ]
+    )
+    show(capsys, text, "fig11_size_ratio.txt")
+
+    tiering = {row["T"]: row for row in sweeps["tiering"]}
+    leveling = {row["T"]: row for row in sweeps["leveling"]}
+    # (a) throughput monotonicity across the sweep's endpoints
+    assert tiering[10]["max_throughput"] > tiering[2]["max_throughput"]
+    assert leveling[10]["max_throughput"] < leveling[2]["max_throughput"]
+    # (b) tiering: both schedulers stay fast at every ratio
+    for row in sweeps["tiering"]:
+        assert row["p99_greedy"] < 1.0
+        assert row["p99_fair"] < 5.0
+    # (b) leveling at large T: fair suffers, greedy stays controlled
+    assert leveling[10]["p99_fair"] >= leveling[10]["p99_greedy"]
+    assert leveling[10]["p99_greedy"] < 15.0

@@ -1,0 +1,71 @@
+"""Figure 12: global versus local component constraints.
+
+Local constraints barely hurt tiering (its merge time per level is
+stable) but inflate leveling's percentile write latencies badly — the
+inherent variance of leveling's merge times needs the global budget to
+absorb it. The effect is worst for the greedy scheduler, whose preferred
+small merges can be blocked by a full next level.
+"""
+
+from repro.harness import ExperimentSpec, running_phase
+from repro.harness import testing_phase as measure_max
+
+from _common import SCALE, banner, run_once, show, table_block
+
+
+def test_fig12_constraint_scope(benchmark, capsys):
+    def experiment():
+        rows = []
+        for policy, make in (
+            ("tiering", lambda: ExperimentSpec.tiering(scale=SCALE)),
+            ("leveling", lambda: ExperimentSpec.leveling(scale=SCALE)),
+        ):
+            max_throughput, _ = measure_max(make())
+            for scheduler in ("fair", "greedy"):
+                for constraint in ("global", "local"):
+                    result = running_phase(
+                        make().with_(scheduler=scheduler, constraint=constraint),
+                        max_throughput=max_throughput,
+                    )
+                    profile = result.write_latency_profile((50.0, 99.0))
+                    rows.append(
+                        {
+                            "policy": policy,
+                            "scheduler": scheduler,
+                            "constraint": constraint,
+                            "stall_seconds": result.stall_time,
+                            "p50": profile[50.0],
+                            "p99": profile[99.0],
+                        }
+                    )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    text = "\n".join(
+        [
+            banner("Figure 12", "component constraints: global vs local, "
+                                "p99 write latency at 95% load"),
+            table_block(rows),
+        ]
+    )
+    show(capsys, text, "fig12_constraints.txt")
+
+    def cell(policy, scheduler, constraint):
+        for row in rows:
+            if (row["policy"], row["scheduler"], row["constraint"]) == (
+                policy, scheduler, constraint,
+            ):
+                return row
+        raise KeyError
+
+    # tiering: local constraints have little impact
+    for scheduler in ("fair", "greedy"):
+        assert cell("tiering", scheduler, "local")["p99"] < 5.0
+    # leveling: local constraints inflate latencies vs global
+    for scheduler in ("fair", "greedy"):
+        local = cell("leveling", scheduler, "local")["p99"]
+        global_ = cell("leveling", scheduler, "global")["p99"]
+        assert local >= global_
+    # and the greedy scheduler is hurt at least as much as fair in
+    # absolute terms under the local constraint
+    assert cell("leveling", "greedy", "local")["p99"] > 1.0

@@ -1,0 +1,120 @@
+"""Figures 14-17: concurrent query performance under updates at 95% load.
+
+For both merge policies and both runtime schedulers, evaluates point
+lookups, short scans, and long scans against the running-phase write
+trace, plus the effect of forcing SSD writes regularly (16 MB) versus
+only at merge completion:
+
+* leveling ~= tiering on point lookups (Bloom filters absorb the extra
+  components) but clearly better on range scans;
+* the greedy scheduler improves query throughput by minimizing the number
+  of components, more so for tiering (more components to save);
+* regular forces cost a little throughput but crush the percentile query
+  latencies compared to one huge force per merge.
+"""
+
+from repro.harness import ExperimentSpec, running_phase
+from repro.harness import testing_phase as measure_max
+from repro.sim import QueryWorkload, simulate_queries
+
+from _common import SCALE, banner, run_once, show, table_block
+
+#: The paper's long scan touches 1M of 100M records; same fraction here.
+LONG_SCAN_FRACTION = 0.01
+
+
+def test_fig14_17_query_performance(benchmark, capsys):
+    def experiment():
+        rows = []
+        force_rows = []
+        for policy, make in (
+            ("tiering", lambda: ExperimentSpec.tiering(scale=SCALE)),
+            ("leveling", lambda: ExperimentSpec.leveling(scale=SCALE)),
+        ):
+            spec = make()
+            long_scan_records = spec.config.total_keys * LONG_SCAN_FRACTION
+            max_throughput, _ = measure_max(spec)
+            for scheduler in ("fair", "greedy"):
+                run = running_phase(
+                    spec.with_(scheduler=scheduler),
+                    max_throughput=max_throughput,
+                )
+                for workload in (
+                    QueryWorkload.point_lookup(),
+                    QueryWorkload.short_scan(),
+                    QueryWorkload.long_scan(long_scan_records),
+                ):
+                    outcome = simulate_queries(run, spec.config, workload)
+                    profile = outcome.latency_profile((50.0, 99.0, 99.9))
+                    rows.append(
+                        {
+                            "policy": policy,
+                            "scheduler": scheduler,
+                            "query": workload.kind,
+                            "qps": outcome.mean_throughput(),
+                            "p50_ms": profile[50.0] * 1e3,
+                            "p99_ms": profile[99.0] * 1e3,
+                            "p999_ms": profile[99.9] * 1e3,
+                        }
+                    )
+            # force-regular vs force-at-end (greedy scheduler)
+            for mode, at_end in (("regular", False), ("at-end", True)):
+                forced = spec.with_(
+                    scheduler="greedy",
+                    config=spec.config.with_(force_at_end_only=at_end),
+                )
+                run = running_phase(forced, max_throughput=max_throughput)
+                outcome = simulate_queries(
+                    run, forced.config, QueryWorkload.point_lookup()
+                )
+                profile = outcome.latency_profile((99.0, 99.9))
+                force_rows.append(
+                    {
+                        "policy": policy,
+                        "force": mode,
+                        "qps": outcome.mean_throughput(),
+                        "p99_ms": profile[99.0] * 1e3,
+                        "p999_ms": profile[99.9] * 1e3,
+                    }
+                )
+        return rows, force_rows
+
+    rows, force_rows = run_once(benchmark, experiment)
+    text = "\n".join(
+        [
+            banner("Figures 14-17", "query throughput and latency under "
+                                    "concurrent updates"),
+            table_block(rows),
+            "\nforce policy (point lookups, greedy):",
+            table_block(force_rows),
+        ]
+    )
+    show(capsys, text, "fig14_17_queries.txt")
+
+    def pick(**criteria):
+        for row in rows:
+            if all(row[key] == value for key, value in criteria.items()):
+                return row
+        raise KeyError(criteria)
+
+    # leveling ~ tiering for point lookups (within 25%)
+    t_point = pick(policy="tiering", scheduler="greedy", query="point")["qps"]
+    l_point = pick(policy="leveling", scheduler="greedy", query="point")["qps"]
+    assert abs(t_point - l_point) / max(t_point, l_point) < 0.25
+    # leveling clearly better for scans
+    t_scan = pick(policy="tiering", scheduler="greedy", query="short-scan")["qps"]
+    l_scan = pick(policy="leveling", scheduler="greedy", query="short-scan")["qps"]
+    assert l_scan > 1.2 * t_scan
+    # greedy >= fair everywhere; bigger win for tiering point/short
+    for policy in ("tiering", "leveling"):
+        for query in ("point", "short-scan", "long-scan"):
+            greedy = pick(policy=policy, scheduler="greedy", query=query)["qps"]
+            fair = pick(policy=policy, scheduler="fair", query=query)["qps"]
+            assert greedy >= 0.99 * fair
+    # forcing at merge end only: slightly more throughput, far worse tails
+    for policy in ("tiering", "leveling"):
+        regular = next(r for r in force_rows
+                       if r["policy"] == policy and r["force"] == "regular")
+        at_end = next(r for r in force_rows
+                      if r["policy"] == policy and r["force"] == "at-end")
+        assert at_end["p999_ms"] > 5 * regular["p999_ms"]

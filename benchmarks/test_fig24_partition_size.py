@@ -1,0 +1,44 @@
+"""Figure 24: impact of the partition (file) size on write stalls.
+
+Sweeping the partition file size from small (LevelDB's default regime)
+toward the size of a whole level turns partitioned merges into full
+merges. The overall write throughput barely moves — write cost does not
+depend on how merges are packaged — but the 99th percentile write
+latency explodes once individual merges become long enough to starve the
+single-threaded scheduler.
+"""
+
+from repro.harness import partition_size_sweep
+
+from _common import SCALE, banner, run_once, show, table_block
+
+#: Paper sweep: 8 MB .. 32 GB; same geometric ladder, scaled.
+FILE_MIBS = (8.0, 64.0, 512.0, 4096.0, 32768.0)
+
+
+def test_fig24_partition_size_sweep(benchmark, capsys):
+    def experiment():
+        return partition_size_sweep(FILE_MIBS, scale=SCALE)
+
+    rows = run_once(benchmark, experiment)
+    text = "\n".join(
+        [
+            banner("Figure 24", "partition size sweep: throughput (a) and "
+                                "p99 write latency (b)"),
+            table_block(rows),
+        ]
+    )
+    show(capsys, text, "fig24_partition_size.txt")
+
+    by_size = {row["file_mib"]: row for row in rows}
+    throughputs = [row["max_throughput"] for row in rows]
+    # (a) throughput stays within a modest band across the whole sweep
+    assert max(throughputs) < 2.0 * min(throughputs)
+    # (b) small partitions are stall-free under the single-threaded
+    # scheduler; level-sized partitions are not
+    assert by_size[FILE_MIBS[0]]["p99"] < 1.0
+    assert by_size[FILE_MIBS[0]]["stalls"] == 0.0
+    largest = by_size[FILE_MIBS[-1]]
+    assert largest["p99"] > 5.0 or largest["stalls"] > 0
+    # latency grows monotonically-ish across the extremes
+    assert largest["p99"] >= by_size[FILE_MIBS[0]]["p99"]

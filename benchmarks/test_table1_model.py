@@ -1,0 +1,85 @@
+"""Table 1 / Section 5.1: validating the simulator against the cost model.
+
+The paper's analysis rests on the closed forms ``W_level ~= 2B/(T*L)``
+and ``W_tier ~= B/L`` and on the exponential count of flushed components
+a single-threaded scheduler must tolerate. This benchmark measures the
+simulator's converged closed-loop maxima (fair scheduler, the paper's
+protocol) against those predictions.
+
+Measured/predicted lands at ~1.0x for tiering and ~0.8x for leveling:
+the tiering form is essentially exact once the measurement window spans
+several bottom-level merge cycles, while the leveling form's ``T/2``
+average-merges-per-level undercounts the last level's rewrites slightly
+(the paper itself qualifies both with "approximately"). The Section
+5.1.3 motivating table — flushed components tolerated during one
+level-``i`` merge under a single-threaded scheduler — is printed from
+the exact formula.
+"""
+
+from repro.core import model
+from repro.harness import ExperimentSpec
+from repro.harness import testing_phase as measure_max
+
+from _common import SCALE, banner, run_once, show, table_block
+
+
+def test_table1_closed_form_validation(benchmark, capsys):
+    def experiment():
+        rows = []
+        for policy, ratio in (("tiering", 3), ("leveling", 10)):
+            if policy == "tiering":
+                spec = ExperimentSpec.tiering(size_ratio=ratio, scale=SCALE)
+                levels = spec.policy_factory().levels
+                predicted = model.max_write_throughput_tiering(
+                    spec.config.bandwidth_entries_per_s, levels
+                )
+            else:
+                spec = ExperimentSpec.leveling(size_ratio=ratio, scale=SCALE)
+                levels = spec.policy_factory().levels
+                predicted = model.max_write_throughput_leveling(
+                    spec.config.bandwidth_entries_per_s, ratio, levels
+                )
+            measured, _ = measure_max(spec)
+            rows.append(
+                {
+                    "policy": policy,
+                    "T": ratio,
+                    "L": levels,
+                    "predicted_W": predicted,
+                    "measured_W": measured,
+                    "ratio": measured / predicted,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    text = "\n".join(
+        [
+            banner("Table 1", "closed-form model vs measured maxima"),
+            table_block(rows),
+            "\nflushed components tolerated during one level-i merge "
+            "(single-threaded, Section 5.1.3):",
+            table_block(
+                [
+                    {
+                        "policy": "leveling",
+                        "level": level,
+                        "tolerated": model.flushed_components_tolerated(
+                            "leveling", 10, level, 3
+                        ),
+                    }
+                    for level in (1, 2, 3)
+                ]
+            ),
+        ]
+    )
+    show(capsys, text, "table1_model.txt")
+
+    by_policy = {row["policy"]: row for row in rows}
+    # tiering: the B/L form is essentially exact at convergence
+    assert 0.85 <= by_policy["tiering"]["ratio"] <= 1.2
+    # leveling: 2B/(TL) is the paper's "approximately"; the simulator
+    # lands somewhat below it (last-level rewrites cost more than T/2)
+    assert 0.6 <= by_policy["leveling"]["ratio"] <= 1.1
+    # and tiering out-writes leveling, as the model demands
+    assert by_policy["tiering"]["measured_W"] > by_policy["leveling"]["measured_W"]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Absorbing write bursts: process-ASAP versus rate-limited writes.
+
+Reproduces the Figure 13 experiment: a leveling LSM-tree under an arrival
+process that alternates a calm base rate with 5-minute bursts, comparing
+the paper-recommended "no limit" write interaction (process writes as
+quickly as possible; Theorem 1) with a fixed in-memory rate limit that
+smooths throughput at the price of queuing.
+
+Run:  python examples/bursty_workload.py
+"""
+
+from __future__ import annotations
+
+from repro.core.schedulers import RateLimitControl
+from repro.harness import (
+    ExperimentSpec,
+    format_latency_profile,
+    running_phase,
+    sparkline,
+    testing_phase,
+)
+from repro.workloads import BurstPhase, BurstyArrivals
+
+
+def main() -> None:
+    spec = ExperimentSpec.leveling(scheduler="greedy", scale=256.0)
+    max_throughput, _ = testing_phase(spec)
+    print(f"measured maximum write throughput: {max_throughput:.1f} entries/s")
+
+    # Fig 13's schedule (2000/s for 25 min, 8000/s for 5 min, limit 4000/s)
+    # expressed as fractions of this testbed's measured maximum.
+    arrivals = BurstyArrivals([
+        BurstPhase(1500.0, 0.31 * max_throughput),
+        BurstPhase(300.0, 1.24 * max_throughput),
+    ])
+    print(f"bursty arrivals: {arrivals!r}\n")
+
+    variants = {
+        "no limit (process ASAP)": spec,
+        "in-memory rate limit": spec.with_(
+            control_factory=lambda: RateLimitControl(0.62 * max_throughput)
+        ),
+    }
+    for label, variant in variants.items():
+        result = running_phase(variant, arrivals=arrivals)
+        print(f"== {label} ==")
+        print("  throughput: " + sparkline(result.throughput_series(), 60))
+        print(f"  stalls: {result.stall_count()}")
+        print("  write latencies: "
+              + format_latency_profile(result.write_latency_profile()))
+        print()
+
+    print(
+        "Rate-limiting yields the smoother throughput curve, but writing\n"
+        "as quickly as possible minimizes every write's latency (Theorem 1\n"
+        "and Figure 13): delayed writes just queue up behind the limiter."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Merge schedulers head to head (Figures 9 and 10).
+
+Measures the maximum write throughput once (fair scheduler, per the
+paper's testing-phase rule), then runs the single-threaded, fair, and
+greedy schedulers against identical 95%-utilization arrivals for both the
+tiering and leveling merge policies, printing one comparison table per
+policy.
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import ExperimentSpec, compare_schedulers, format_table
+
+
+def main() -> None:
+    for policy, make_spec in (
+        ("tiering (T=3)", lambda s: ExperimentSpec.tiering(
+            scheduler=s, scale=256.0)),
+        ("leveling (T=10)", lambda s: ExperimentSpec.leveling(
+            scheduler=s, scale=256.0)),
+    ):
+        print(f"== {policy}, running phase at 95% of the fair-measured "
+              "maximum ==")
+        rows = compare_schedulers(make_spec)
+        print(format_table(
+            rows,
+            columns=[
+                "scheduler", "arrival_rate", "stalls", "stall_seconds",
+                "max_components", "p50", "p99", "p999",
+            ],
+        ))
+        print()
+    print(
+        "The single-threaded scheduler collapses under full merges (long\n"
+        "exclusive merges starve everything else); the fair scheduler is\n"
+        "stable for tiering but marginal for leveling; the greedy scheduler\n"
+        "minimizes disk components and write stalls in both — the paper's\n"
+        "Section 5.2 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

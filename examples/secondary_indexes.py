@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Secondary indexes on the real engine: eager vs lazy maintenance.
+
+Builds an indexed dataset (Section 7's setup: a primary record store plus
+secondary indexes) under both maintenance strategies, runs an
+update-heavy workload, and compares the physical index contents and the
+query results — demonstrating that lazy maintenance leaves stale entries
+behind (filtered at query time) while eager maintenance pays a point
+lookup per ingested record to clean as it goes.
+
+Run:  python examples/secondary_indexes.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import struct
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import IndexedStore, StoreOptions
+
+
+def make_record(city: int, balance: int) -> bytes:
+    return struct.pack("<II", city, balance) + b"#" * 120
+
+
+def extract_city(value: bytes) -> int:
+    return struct.unpack_from("<I", value, 0)[0]
+
+
+def extract_balance(value: bytes) -> int:
+    return struct.unpack_from("<I", value, 4)[0]
+
+
+def run(strategy: str, directory: Path) -> None:
+    print(f"== {strategy} maintenance ==")
+    options = StoreOptions(
+        memtable_bytes=128 * 1024, policy="tiering", size_ratio=3,
+        scheduler="greedy", levels=3,
+    )
+    started = time.perf_counter()
+    with IndexedStore(
+        str(directory / strategy),
+        extractors={"city": extract_city, "balance": extract_balance},
+        strategy=strategy,
+        options=options,
+    ) as store:
+        # 4,000 users, then every user's record rewritten twice (city and
+        # balance both change) -- an update-heavy stream
+        for wave in range(3):
+            for user in range(4_000):
+                store.put(
+                    f"user{user:06d}".encode(),
+                    make_record(city=(user + wave) % 50,
+                                balance=user * (wave + 1)),
+                )
+        elapsed = time.perf_counter() - started
+        print(f"  ingested 12,000 writes in {elapsed:.2f}s "
+              f"({12_000 / elapsed:,.0f} writes/s)")
+
+        hits = list(store.query_secondary("city", 10, 10))
+        print(f"  users currently in city 10: {len(hits)}")
+        rich = list(store.query_secondary("balance", 11_000, 12_000))
+        print(f"  users with balance in [11000, 12000]: {len(rich)}")
+
+        index_stats = store.index("city").stats()
+        physical = sum(
+            1 for _ in store.index("city").scan()
+        )
+        print(f"  physical entries in the city index: {physical} "
+              f"(components: {index_stats.disk_components})")
+        if strategy == "lazy":
+            print("  (stale versions remain physically present and are "
+                  "filtered at query time)")
+        else:
+            print("  (anti-matter cleaned stale versions during ingestion "
+                  "-- at the cost of a point lookup per write)")
+    print()
+
+
+def main() -> None:
+    directory = Path(tempfile.mkdtemp(prefix="repro-secondary-"))
+    try:
+        run("lazy", directory)
+        run("eager", directory)
+    finally:
+        shutil.rmtree(directory)
+    print(
+        "The paper's Section 7 finding at engine level: eager maintenance\n"
+        "bounds index garbage but makes ingestion lookup-bound; lazy\n"
+        "maintenance keeps ingestion write-bound and defers cleanup."
+    )
+
+
+if __name__ == "__main__":
+    main()

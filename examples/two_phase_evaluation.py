@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The paper's methodology: two-phase evaluation of write stalls.
+
+Phase 1 (testing): measure the maximum write throughput with the closed
+system model. Phase 2 (running): replay constant arrivals at 95% of that
+maximum with the open system model and measure *write latency* — queuing
+plus processing. A setup whose running phase shows large latencies has an
+unsustainable measured maximum.
+
+This example evaluates the paper's tiering setup under the greedy
+scheduler (the recommended runtime configuration) and, for contrast, the
+size-tiered policy with and without the paper's testing-phase fix.
+
+Run:  python examples/two_phase_evaluation.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import (
+    ExperimentSpec,
+    format_latency_profile,
+    sparkline,
+    two_phase,
+)
+
+
+def evaluate(spec, label: str) -> None:
+    print(f"== {label} ==")
+    outcome = two_phase(spec)
+    print(f"  testing phase:  max write throughput = "
+          f"{outcome.max_write_throughput:.1f} entries/s")
+    print(f"  running phase:  constant arrivals at "
+          f"{outcome.arrival_rate:.1f} entries/s (95% utilization)")
+    print("  throughput: " + sparkline(outcome.running.throughput_series(), 60))
+    print(f"  stalls: {outcome.running.stall_count()} "
+          f"({outcome.running.stall_time:.0f}s total)")
+    print("  write latencies: "
+          + format_latency_profile(outcome.running.write_latency_profile()))
+    verdict = "SUSTAINABLE" if outcome.sustainable else "NOT SUSTAINABLE"
+    print(f"  verdict: the measured maximum is {verdict}\n")
+
+
+def main() -> None:
+    evaluate(
+        ExperimentSpec.tiering(size_ratio=3, scheduler="greedy", scale=256.0),
+        "tiering (T=3), greedy scheduler",
+    )
+    evaluate(
+        ExperimentSpec.size_tiered(scale=256.0),
+        "size-tiered (HBase defaults), naive testing phase",
+    )
+    evaluate(
+        ExperimentSpec.size_tiered(scale=256.0, testing_fix=True),
+        "size-tiered with the paper's min-merge testing fix",
+    )
+    print(
+        "Note how the size-tiered policy measures a higher maximum when\n"
+        "allowed to merge elastically during testing — and how the running\n"
+        "phase exposes that number as unusable, while the conservative\n"
+        "measurement stays clean (Section 5.3 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

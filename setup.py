@@ -1,0 +1,6 @@
+"""Setup shim: enables editable installs on offline boxes whose pip/wheel
+toolchain cannot use PEP 660 (configuration lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

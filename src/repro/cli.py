@@ -1,0 +1,221 @@
+"""Command-line driver: run the paper's methodology without writing code.
+
+::
+
+    python -m repro two-phase --policy tiering --scheduler greedy
+    python -m repro compare --policy leveling
+    python -m repro sweep size-ratio --policy tiering --ratios 2,4,6,10
+    python -m repro sweep utilization --policy tiering --points 0.5,0.8,0.95
+    python -m repro sweep partition-size --files-mib 8,64,512
+
+Every command builds the corresponding :class:`~repro.harness.ExperimentSpec`,
+runs the two-phase evaluation on the scaled simulated testbed, and prints
+the same tables/sparklines the benchmark suite produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .errors import ReproError
+from .harness import (
+    ExperimentSpec,
+    compare_schedulers,
+    format_latency_profile,
+    format_table,
+    partition_size_sweep,
+    size_ratio_sweep,
+    sparkline,
+    two_phase,
+    utilization_sweep,
+)
+
+_POLICIES = ("tiering", "leveling", "lazy-leveling", "size-tiered", "partitioned")
+
+
+def _spec_for(args: argparse.Namespace) -> ExperimentSpec:
+    common = dict(scale=args.scale)
+    if args.policy == "tiering":
+        spec = ExperimentSpec.tiering(
+            size_ratio=int(args.size_ratio or 3),
+            scheduler=args.scheduler,
+            distribution=args.distribution,
+            **common,
+        )
+    elif args.policy == "leveling":
+        spec = ExperimentSpec.leveling(
+            size_ratio=float(args.size_ratio or 10),
+            scheduler=args.scheduler,
+            distribution=args.distribution,
+            **common,
+        )
+    elif args.policy == "lazy-leveling":
+        spec = ExperimentSpec.lazy_leveling(
+            size_ratio=int(args.size_ratio or 3),
+            scheduler=args.scheduler,
+            distribution=args.distribution,
+            **common,
+        )
+    elif args.policy == "size-tiered":
+        spec = ExperimentSpec.size_tiered(
+            scheduler=args.scheduler,
+            testing_fix=args.testing_fix,
+            **common,
+        )
+    elif args.policy == "partitioned":
+        spec = ExperimentSpec.partitioned(
+            testing_fix=args.testing_fix, **common
+        )
+    else:  # pragma: no cover - argparse choices guard this
+        raise ReproError(f"unknown policy {args.policy!r}")
+    return spec.with_(utilization=args.utilization)
+
+
+def _cmd_two_phase(args: argparse.Namespace) -> int:
+    spec = _spec_for(args)
+    print(f"spec: {spec.name} (scale x{args.scale:.0f}, "
+          f"utilization {args.utilization:.0%})")
+    outcome = two_phase(spec)
+    print(f"testing phase:  max write throughput = "
+          f"{outcome.max_write_throughput:.1f} entries/s")
+    print(f"running phase:  arrivals = {outcome.arrival_rate:.1f} entries/s")
+    print("  throughput  "
+          + sparkline(outcome.running.throughput_series(), 60))
+    print(f"  stalls: {outcome.running.stall_count()} "
+          f"({outcome.running.stall_time:.0f}s)")
+    print("  write latencies: "
+          + format_latency_profile(outcome.running.write_latency_profile()))
+    print(f"  sustainable: {'yes' if outcome.sustainable else 'NO'}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    schedulers = [s.strip() for s in args.schedulers.split(",")]
+
+    def make(scheduler: str) -> ExperimentSpec:
+        forged = argparse.Namespace(**vars(args))
+        forged.scheduler = scheduler
+        return _spec_for(forged)
+
+    rows = compare_schedulers(make, schedulers)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.axis == "size-ratio":
+        ratios = [int(v) for v in args.ratios.split(",")]
+        rows = size_ratio_sweep(args.policy, ratios, scale=args.scale)
+    elif args.axis == "utilization":
+        points = [float(v) for v in args.points.split(",")]
+        rows = utilization_sweep(_spec_for(args), points)
+    elif args.axis == "partition-size":
+        sizes = [float(v) for v in args.files_mib.split(",")]
+        rows = partition_size_sweep(sizes, scale=args.scale)
+    else:  # pragma: no cover - argparse choices guard this
+        raise ReproError(f"unknown sweep axis {args.axis!r}")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .engine import verify_store
+
+    report = verify_store(args.directory)
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy", choices=_POLICIES, default="tiering",
+        help="merge policy (default: tiering)",
+    )
+    parser.add_argument(
+        "--scheduler", default="greedy",
+        help="runtime scheduler: single/fair/greedy/greedy-<k> "
+             "(default: greedy)",
+    )
+    parser.add_argument(
+        "--size-ratio", default=None,
+        help="size ratio T (defaults: tiering 3, leveling 10)",
+    )
+    parser.add_argument(
+        "--distribution", choices=("uniform", "zipf"), default="uniform",
+        help="update key distribution (default: uniform)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=256.0,
+        help="testbed scale factor (default: 256)",
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.95,
+        help="running-phase utilization (default: 0.95)",
+    )
+    parser.add_argument(
+        "--testing-fix", action="store_true",
+        help="apply the paper's testing-phase determinism fix "
+             "(size-tiered / partitioned policies)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Two-phase LSM write-stall evaluation "
+                    "(Luo & Carey, PVLDB 2019 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    two_phase_cmd = commands.add_parser(
+        "two-phase", help="run the full testing+running methodology"
+    )
+    _add_common(two_phase_cmd)
+    two_phase_cmd.set_defaults(handler=_cmd_two_phase)
+
+    compare_cmd = commands.add_parser(
+        "compare", help="compare schedulers at identical arrivals"
+    )
+    _add_common(compare_cmd)
+    compare_cmd.add_argument(
+        "--schedulers", default="single,fair,greedy",
+        help="comma-separated scheduler list",
+    )
+    compare_cmd.set_defaults(handler=_cmd_compare)
+
+    sweep_cmd = commands.add_parser(
+        "sweep", help="parameter sweeps (figures 11, 24, 27)"
+    )
+    sweep_cmd.add_argument(
+        "axis", choices=("size-ratio", "utilization", "partition-size")
+    )
+    _add_common(sweep_cmd)
+    sweep_cmd.add_argument("--ratios", default="2,4,6,10")
+    sweep_cmd.add_argument("--points", default="0.5,0.7,0.8,0.9,0.95")
+    sweep_cmd.add_argument("--files-mib", default="8,64,512,4096")
+    sweep_cmd.set_defaults(handler=_cmd_sweep)
+
+    verify_cmd = commands.add_parser(
+        "verify", help="audit a storage-engine directory's integrity"
+    )
+    verify_cmd.add_argument("directory", help="LSMStore data directory")
+    verify_cmd.set_defaults(handler=_cmd_verify)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's core contribution: merge policies, schedulers, and the
+analytic LSM cost model, expressed over abstract component metadata so the
+same logic drives both the discrete-event simulator (``repro.sim``) and
+the real storage engine (``repro.engine``)."""
+
+from . import model
+from .components import (
+    Component,
+    MergeDescriptor,
+    TreeSnapshot,
+    UidAllocator,
+)
+from .policies import (
+    LazyLevelingPolicy,
+    LevelingPolicy,
+    MergePolicy,
+    PartitionedLevelingPolicy,
+    SizeTieredPolicy,
+    TieringPolicy,
+)
+from .schedulers import (
+    ComponentConstraint,
+    FairScheduler,
+    GlobalComponentConstraint,
+    GreedyScheduler,
+    LevelZeroConstraint,
+    LocalComponentConstraint,
+    MergeScheduler,
+    RateLimitControl,
+    SingleThreadedScheduler,
+    SlowdownControl,
+    SpringGearControl,
+    SpringGearScheduler,
+    StopControl,
+    WriteControl,
+)
+
+__all__ = [
+    "Component",
+    "LazyLevelingPolicy",
+    "ComponentConstraint",
+    "FairScheduler",
+    "GlobalComponentConstraint",
+    "GreedyScheduler",
+    "LevelZeroConstraint",
+    "LevelingPolicy",
+    "LocalComponentConstraint",
+    "MergeDescriptor",
+    "MergePolicy",
+    "MergeScheduler",
+    "PartitionedLevelingPolicy",
+    "RateLimitControl",
+    "SingleThreadedScheduler",
+    "SizeTieredPolicy",
+    "SlowdownControl",
+    "SpringGearControl",
+    "SpringGearScheduler",
+    "StopControl",
+    "TieringPolicy",
+    "TreeSnapshot",
+    "UidAllocator",
+    "WriteControl",
+    "model",
+]

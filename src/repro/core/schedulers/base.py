@@ -1,0 +1,59 @@
+"""Merge scheduler interface: dividing I/O bandwidth among merges.
+
+A merge scheduler implements the paper's fourth design choice (Section
+4.1, "I/O Bandwidth Allocation"): given the set of in-flight merge
+operations and the I/O bandwidth budget, decide how many bytes per second
+each merge may consume right now. The executor re-invokes
+:meth:`MergeScheduler.allocate` at every state change (merge scheduled,
+merge completed, flush started or finished), so allocations are
+piecewise-constant over time — which is exactly how the fluid simulator
+integrates them.
+
+The remaining two runtime design choices — the component constraint and
+the interaction with writes — live in sibling modules
+(:mod:`.constraints`, :mod:`.write_control`); a complete runtime
+configuration is the triple (scheduler, constraint, write control).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from ...errors import SchedulerError
+from ..components import MergeDescriptor, TreeSnapshot
+
+#: Allocation: merge uid -> bandwidth in bytes/second.
+Allocation = Mapping[int, float]
+
+
+class MergeScheduler(ABC):
+    """Allocates the I/O bandwidth budget among in-flight merges."""
+
+    #: Human-readable scheduler name used in reports and metrics.
+    name: str = "abstract"
+
+    @abstractmethod
+    def allocate(
+        self,
+        merges: Sequence[MergeDescriptor],
+        budget: float,
+        tree: TreeSnapshot | None = None,
+    ) -> dict[int, float]:
+        """Return bytes/second per merge uid; the sum must not exceed
+        ``budget``. Merges absent from the mapping (or mapped to 0) are
+        paused. ``tree`` is provided for schedulers whose allocation
+        depends on tree state (bLSM's spring-and-gear)."""
+
+    @staticmethod
+    def _check(merges: Sequence[MergeDescriptor], budget: float) -> None:
+        if budget <= 0:
+            raise SchedulerError(f"bandwidth budget must be positive, got {budget}")
+        seen: set[int] = set()
+        for merge in merges:
+            if merge.uid in seen:
+                raise SchedulerError(f"merge {merge.uid} listed twice")
+            seen.add(merge.uid)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

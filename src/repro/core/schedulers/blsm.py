@@ -1,0 +1,171 @@
+"""bLSM's spring-and-gear merge scheduler (Section 2.3, Figure 4).
+
+bLSM [Sears & Ramakrishnan, SIGMOD'12] couples the progress of adjacent
+levels: the rate at which a new component ``C_i`` forms (``in_i``) is
+geared to the progress of merging the previous ``C'_i`` into ``C_{i+1}``
+(``out_i``), and the in-memory write rate is throttled so that the memory
+component fills no faster than it can be absorbed downstream. The effect
+is a *bounded processing latency* — writes are never blocked for long —
+but, as Section 4.2 demonstrates, the processing *rate* still varies with
+the size of the downstream component (fast right after ``C_1`` is swapped
+out, slower as it fills), so under a high arrival rate the queuing latency
+balloons anyway.
+
+Two cooperating classes reproduce this:
+
+* :class:`SpringGearScheduler` divides the bandwidth budget between the
+  flush-absorbing merge (targeting level 1) and the deeper merges so that
+  each level's ``out`` keeps pace with its ``in``.
+* :class:`SpringGearControl` throttles the admission rate to the speed at
+  which the level-1 merge is consuming fresh level-0 data — the "spring"
+  that replaces hard write stalls with graceful slowdown.
+
+bLSM's own component constraint is local — at most two components per
+level — which is how the evaluation in Section 4.2 configures it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ...errors import ConfigurationError
+from ..components import MergeDescriptor, TreeSnapshot
+from .base import MergeScheduler
+from .constraints import ComponentConstraint
+from .write_control import WriteControl
+
+
+class SpringGearScheduler(MergeScheduler):
+    """Progress-coupled bandwidth allocation across merge levels.
+
+    Each active merge targeting level ``i+1`` receives weight proportional
+    to how far the formation of the new level-``i`` component has run
+    ahead of it (``in_i - out_i``), so lagging levels get more bandwidth —
+    the "gear" coupling of Figure 4.
+    """
+
+    name = "spring-gear"
+
+    def __init__(self, level_capacity_bytes: Mapping[int, float], gain: float = 2.0) -> None:
+        if gain <= 0:
+            raise ConfigurationError("gear gain must be positive")
+        for level, capacity in level_capacity_bytes.items():
+            if capacity <= 0:
+                raise ConfigurationError(f"capacity of level {level} must be positive")
+        self._capacity = dict(level_capacity_bytes)
+        self._gain = gain
+
+    def _fill_fraction(self, tree: TreeSnapshot, level: int) -> float:
+        """How full the *forming* (non-merging) component at a level is."""
+        capacity = self._capacity.get(level)
+        if capacity is None:
+            return 0.5  # unknown capacity: neutral weight
+        forming = sum(c.size_bytes for c in tree.mergeable(level))
+        return min(1.0, forming / capacity)
+
+    def allocate(
+        self,
+        merges: Sequence[MergeDescriptor],
+        budget: float,
+        tree: TreeSnapshot | None = None,
+    ) -> dict[int, float]:
+        self._check(merges, budget)
+        if not merges:
+            return {}
+        if len(merges) == 1 or tree is None:
+            return {merges[0].uid: budget} if len(merges) == 1 else {
+                merge.uid: budget / len(merges) for merge in merges
+            }
+        weights: dict[int, float] = {}
+        for merge in merges:
+            source = merge.target_level - 1
+            lag = self._fill_fraction(tree, source) - merge.progress
+            weights[merge.uid] = max(0.05, 0.5 + self._gain * lag)
+        total = sum(weights.values())
+        return {uid: budget * weight / total for uid, weight in weights.items()}
+
+    def __repr__(self) -> str:
+        return f"SpringGearScheduler(gain={self._gain})"
+
+
+class SpringGearControl(WriteControl):
+    """Throttle writes so every level's ``in_i`` tracks its ``out_i``.
+
+    Figure 4's springs, applied at every level:
+
+    * **Level 0 gear** — the admissible in-memory write rate equals the
+      rate at which the active level-0 absorbing merge consumes fresh
+      (level-0) bytes, so the memory component never runs ahead of the
+      tree's ability to absorb it.
+    * **Deeper gears** — while ``C'_i`` is being merged into ``C_{i+1}``,
+      the *formation* of the new ``C_i`` may proceed no faster than that
+      merge's progress: allowed ingest is the merge's fractional progress
+      rate times the level-``i`` capacity. Without this gear the new
+      ``C_1`` fills long before the big ``C_2`` merge completes and the
+      tree hard-blocks for the merge's whole duration — exactly the
+      extended blocking bLSM exists to prevent. With it, writes *crawl*
+      during deep merges (bounded per-write processing latency) and surge
+      right after (the Figure 6a peaks).
+
+    When no gearing merge is active, writes are unthrottled.
+    """
+
+    name = "spring-gear"
+
+    def __init__(
+        self,
+        entry_bytes: float,
+        level_capacity_bytes: Mapping[int, float] | None = None,
+    ) -> None:
+        if entry_bytes <= 0:
+            raise ConfigurationError("entry size must be positive")
+        self._entry_bytes = entry_bytes
+        self._capacity = dict(level_capacity_bytes or {})
+        for level, capacity in self._capacity.items():
+            if capacity <= 0:
+                raise ConfigurationError(
+                    f"capacity of level {level} must be positive"
+                )
+
+    def admission_rate(
+        self,
+        tree: TreeSnapshot,
+        constraint: ComponentConstraint,
+        merges: Sequence[MergeDescriptor] = (),
+        allocation: Mapping[int, float] | None = None,
+        now: float = 0.0,
+    ) -> float:
+        if constraint.is_violated(tree):
+            return 0.0
+        if allocation is None:
+            return math.inf
+        rate = math.inf
+        for merge in merges:
+            bandwidth = allocation.get(merge.uid, 0.0)
+            total = merge.input_bytes
+            if total <= 0:
+                continue
+            if merge.target_level == 1:
+                # level-0 gear: ingest at the fresh-byte consumption rate
+                fresh = sum(
+                    c.size_bytes for c in merge.inputs if c.level == 0
+                )
+                consumption = bandwidth * (fresh / total) / self._entry_bytes
+                rate = min(rate, max(consumption, 1e-9))
+            else:
+                # deeper gear: the forming C_{target-1} tracks this
+                # merge's fractional progress
+                capacity = self._capacity.get(merge.target_level - 1)
+                if capacity is None:
+                    continue
+                progress_rate = bandwidth / total
+                allowed = progress_rate * capacity / self._entry_bytes
+                rate = min(rate, max(allowed, 1e-9))
+        return rate
+
+    def __repr__(self) -> str:
+        return (
+            f"SpringGearControl(entry_bytes={self._entry_bytes}, "
+            f"levels={sorted(self._capacity)})"
+        )

@@ -1,0 +1,128 @@
+"""Component constraints: when must in-memory writes be stalled.
+
+The first design choice of a merge scheduler (Section 4.1 / 5.1.1): an
+upper bound on how many disk components may accumulate before the LSM-tree
+stops admitting writes. A *global* constraint bounds the total count
+across all levels; a *local* constraint bounds each level separately (bLSM
+allows two per level). The paper argues — and Figure 12 shows — that
+global constraints absorb leveling's inherent merge-time variance better
+and therefore minimize write stalls; this reproduction implements both,
+plus the level-0-only constraint LevelDB uses for partitioned trees.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ...errors import ConfigurationError
+from ..components import TreeSnapshot
+
+
+class ComponentConstraint(ABC):
+    """Predicate over tree snapshots: is the component budget exhausted?"""
+
+    #: Human-readable constraint name for reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def is_violated(self, tree: TreeSnapshot) -> bool:
+        """True when writes must be stalled until merges catch up."""
+
+    @abstractmethod
+    def headroom(self, tree: TreeSnapshot) -> float:
+        """Components that may still accumulate before violation, as a
+        fraction of the constraint's budget (0 = violated, 1 = empty
+        tree). Used by graceful write-slowdown controls."""
+
+
+class GlobalComponentConstraint(ComponentConstraint):
+    """At most ``limit`` disk components across all levels.
+
+    The paper's recommended configuration, sized at twice the expected
+    component count of the merge policy
+    (:func:`repro.core.model.default_component_limit`).
+    """
+
+    name = "global"
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigurationError("global component limit must be >= 1")
+        self._limit = limit
+
+    @property
+    def limit(self) -> int:
+        """Maximum tolerated total component count."""
+        return self._limit
+
+    def is_violated(self, tree: TreeSnapshot) -> bool:
+        return tree.count() >= self._limit
+
+    def headroom(self, tree: TreeSnapshot) -> float:
+        return max(0.0, (self._limit - tree.count()) / self._limit)
+
+    def __repr__(self) -> str:
+        return f"GlobalComponentConstraint(limit={self._limit})"
+
+
+class LocalComponentConstraint(ComponentConstraint):
+    """At most ``per_level`` components on any single level.
+
+    bLSM's choice (two per level). Levels whose merges are slow block the
+    whole tree even when other levels have plenty of room — the effect
+    Figure 12 quantifies.
+    """
+
+    name = "local"
+
+    def __init__(self, per_level: int) -> None:
+        if per_level < 1:
+            raise ConfigurationError("per-level component limit must be >= 1")
+        self._per_level = per_level
+
+    @property
+    def per_level(self) -> int:
+        """Maximum tolerated component count on each level."""
+        return self._per_level
+
+    def is_violated(self, tree: TreeSnapshot) -> bool:
+        return any(tree.count_at(level) >= self._per_level for level in tree.levels())
+
+    def headroom(self, tree: TreeSnapshot) -> float:
+        if not tree.levels():
+            return 1.0
+        worst = max(tree.count_at(level) for level in tree.levels())
+        return max(0.0, (self._per_level - worst) / self._per_level)
+
+    def __repr__(self) -> str:
+        return f"LocalComponentConstraint(per_level={self._per_level})"
+
+
+class LevelZeroConstraint(ComponentConstraint):
+    """Bound only the number of level-0 (flushed) components.
+
+    LevelDB's stop trigger for partitioned trees (Section 6.1): writes
+    stop when 12 flushed components have accumulated; partitioned levels
+    are bounded by their byte targets instead and never trip the count.
+    """
+
+    name = "level0"
+
+    def __init__(self, stop: int) -> None:
+        if stop < 1:
+            raise ConfigurationError("level-0 stop threshold must be >= 1")
+        self._stop = stop
+
+    @property
+    def stop(self) -> int:
+        """The level-0 component count at which writes stop."""
+        return self._stop
+
+    def is_violated(self, tree: TreeSnapshot) -> bool:
+        return tree.count_at(0) >= self._stop
+
+    def headroom(self, tree: TreeSnapshot) -> float:
+        return max(0.0, (self._stop - tree.count_at(0)) / self._stop)
+
+    def __repr__(self) -> str:
+        return f"LevelZeroConstraint(stop={self._stop})"

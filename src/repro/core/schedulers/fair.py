@@ -1,0 +1,34 @@
+"""The fair scheduler: split bandwidth evenly across all active merges.
+
+The heuristic used by Cassandra, HBase, and RocksDB (Section 5.1.4): every
+in-flight merge proceeds at ``budget / n``. No merge starves, all levels
+make steady progress — which is why the paper recommends it for the
+*testing phase* — but it does not minimize the number of components over
+time, so under leveling's inherent merge-time variance it leaves write
+stalls on the table at run time (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..components import MergeDescriptor, TreeSnapshot
+from .base import MergeScheduler
+
+
+class FairScheduler(MergeScheduler):
+    """Even split of the I/O budget across in-flight merges."""
+
+    name = "fair"
+
+    def allocate(
+        self,
+        merges: Sequence[MergeDescriptor],
+        budget: float,
+        tree: TreeSnapshot | None = None,
+    ) -> dict[int, float]:
+        self._check(merges, budget)
+        if not merges:
+            return {}
+        share = budget / len(merges)
+        return {merge.uid: share for merge in merges}

@@ -1,0 +1,38 @@
+"""The single-threaded scheduler: one merge at a time, FIFO.
+
+LevelDB executes all merges on one background thread (Section 4.1). For
+full merges the paper shows this is insufficient: while a large merge
+runs, flushed components pile up exponentially (Section 5.1.3's
+``T**i`` analysis), producing long write stalls. For partitioned merges,
+where every merge is small, it is sufficient — provided the measured
+throughput is sustainable (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..components import MergeDescriptor, TreeSnapshot
+from .base import MergeScheduler
+
+
+class SingleThreadedScheduler(MergeScheduler):
+    """Runs merges strictly one at a time, in scheduling order."""
+
+    name = "single"
+
+    def allocate(
+        self,
+        merges: Sequence[MergeDescriptor],
+        budget: float,
+        tree: TreeSnapshot | None = None,
+    ) -> dict[int, float]:
+        self._check(merges, budget)
+        if not merges:
+            return {}
+        # A real single thread never preempts: keep running the merge it
+        # started, which is the one with the lowest uid among those that
+        # have made progress; otherwise the oldest scheduled.
+        started = [m for m in merges if m.progress > 0.0]
+        current = min(started or merges, key=lambda m: m.uid)
+        return {current.uid: budget}

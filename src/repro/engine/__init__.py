@@ -1,0 +1,52 @@
+"""A real, embeddable LSM key-value storage engine.
+
+Built from scratch on the substrates the paper's testbed assumes:
+skip-list memory components, immutable sorted-run files with Bloom
+filters and block indexes, a CRC-framed write-ahead log, a crash-safe
+manifest, reconciling merge iterators, an I/O rate limiter with periodic
+forces, and a compaction driver that executes the *same* merge policies
+and schedulers as the simulator.
+"""
+
+from .blockcache import BlockCache
+from .bloom import BloomFilter
+from .compaction import CompactionManager, MergeJob, build_policy, build_scheduler
+from .integrity import IntegrityReport, verify_store
+from .datastore import LSMStore, StoreStats
+from .iterators import reconcile_get, reconciling_iterator
+from .manifest import Manifest, RunRecord
+from .memtable import MemTable
+from .options import StoreOptions, TOMBSTONE
+from .ratelimiter import RateLimiter, SyncPolicy
+from .secondary import IndexedStore, decode_secondary_key, encode_secondary_key
+from .sstable import RunStats, SSTableReader, SSTableWriter
+from .wal import WriteAheadLog
+
+__all__ = [
+    "BlockCache",
+    "BloomFilter",
+    "CompactionManager",
+    "IntegrityReport",
+    "IndexedStore",
+    "LSMStore",
+    "Manifest",
+    "MemTable",
+    "MergeJob",
+    "RateLimiter",
+    "RunRecord",
+    "RunStats",
+    "SSTableReader",
+    "SSTableWriter",
+    "StoreOptions",
+    "StoreStats",
+    "SyncPolicy",
+    "TOMBSTONE",
+    "WriteAheadLog",
+    "build_policy",
+    "build_scheduler",
+    "verify_store",
+    "decode_secondary_key",
+    "encode_secondary_key",
+    "reconcile_get",
+    "reconciling_iterator",
+]

@@ -1,0 +1,108 @@
+"""Bloom filters over sorted-run key sets (Section 2.1).
+
+Disk components carry a Bloom filter so point lookups can skip components
+that cannot contain the key. The implementation uses the standard
+double-hashing scheme (Kirsch & Mitzenmacher): two independent 64-bit
+hashes ``h1, h2`` derived from one blake2b digest, probing
+``h1 + i * h2`` for ``i in range(k)``. Filters serialize to bytes for
+embedding in the sorted-run file format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+from ..errors import ConfigurationError, CorruptionError
+
+_HEADER = struct.Struct("<4sIIQ")
+_MAGIC = b"BLM1"
+
+
+def _hash_pair(key: bytes) -> tuple[int, int]:
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    h1, h2 = struct.unpack("<QQ", digest)
+    return h1, h2 | 1  # odd h2 so probes cycle through all bits
+
+
+def optimal_hash_count(bits_per_key: float) -> int:
+    """The FPR-minimizing number of probes: ``k = ln2 * bits/key``."""
+    return max(1, int(round(bits_per_key * math.log(2))))
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter built over a known key count."""
+
+    def __init__(self, expected_keys: int, bits_per_key: int = 10) -> None:
+        if expected_keys < 0:
+            raise ConfigurationError("expected key count cannot be negative")
+        if bits_per_key < 1:
+            raise ConfigurationError("need at least one bit per key")
+        bits = max(64, expected_keys * bits_per_key)
+        self._bits = bits
+        self._hashes = optimal_hash_count(bits_per_key)
+        self._array = bytearray((bits + 7) // 8)
+        self._added = 0
+
+    @property
+    def bit_size(self) -> int:
+        """Number of filter bits."""
+        return self._bits
+
+    @property
+    def hash_count(self) -> int:
+        """Number of probes per key."""
+        return self._hashes
+
+    @property
+    def added(self) -> int:
+        """Keys inserted so far."""
+        return self._added
+
+    def add(self, key: bytes) -> None:
+        """Insert a key."""
+        h1, h2 = _hash_pair(key)
+        for i in range(self._hashes):
+            bit = (h1 + i * h2) % self._bits
+            self._array[bit >> 3] |= 1 << (bit & 7)
+        self._added += 1
+
+    def might_contain(self, key: bytes) -> bool:
+        """False means definitely absent; True means probably present."""
+        h1, h2 = _hash_pair(key)
+        for i in range(self._hashes):
+            bit = (h1 + i * h2) % self._bits
+            if not self._array[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    def expected_false_positive_rate(self) -> float:
+        """The analytic FPR given the current fill."""
+        if self._added == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self._hashes * self._added / self._bits)
+        return fill**self._hashes
+
+    def to_bytes(self) -> bytes:
+        """Serialize (header + bit array)."""
+        header = _HEADER.pack(_MAGIC, self._bits, self._hashes, self._added)
+        return header + bytes(self._array)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        """Deserialize; raises :class:`CorruptionError` on bad input."""
+        if len(data) < _HEADER.size:
+            raise CorruptionError("bloom filter blob truncated")
+        magic, bits, hashes, added = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise CorruptionError("bloom filter magic mismatch")
+        body = data[_HEADER.size:]
+        if len(body) != (bits + 7) // 8:
+            raise CorruptionError("bloom filter bit array size mismatch")
+        filt = cls.__new__(cls)
+        filt._bits = bits
+        filt._hashes = hashes
+        filt._array = bytearray(body)
+        filt._added = added
+        return filt

@@ -1,0 +1,404 @@
+"""Compaction driver: executes the core policies on real sorted runs.
+
+This module is where the shared abstractions pay off: the *same*
+:class:`~repro.core.policies.base.MergePolicy` and
+:class:`~repro.core.schedulers.base.MergeScheduler` objects that drive the
+simulator decide which runs to merge and which merge makes progress next.
+
+Merges execute in *chunks*: :meth:`CompactionManager.step` asks the
+scheduler for the current bandwidth allocation and advances the in-flight
+merge with the largest share by one chunk of input bytes. A
+single-threaded scheduler therefore runs one merge to completion; the
+fair scheduler round-robins chunks across merges; the greedy scheduler
+always advances the merge with the fewest remaining input bytes —
+cooperative multitasking that realizes each paper scheduler's discipline
+deterministically, with the shared rate limiter throttling actual file
+writes underneath.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterator
+
+from ..core import model
+from ..core.components import Component, MergeDescriptor, TreeSnapshot, UidAllocator
+from ..core.policies import (
+    LevelingPolicy,
+    MergePolicy,
+    SizeTieredPolicy,
+    TieringPolicy,
+)
+from ..core.schedulers import (
+    FairScheduler,
+    GlobalComponentConstraint,
+    GreedyScheduler,
+    MergeScheduler,
+    SingleThreadedScheduler,
+)
+from ..errors import ConfigurationError
+from .blockcache import BlockCache
+from .iterators import reconciling_iterator
+from .manifest import Manifest
+from .options import StoreOptions, TOMBSTONE
+from .ratelimiter import RateLimiter, SyncPolicy
+from .sstable import SSTableReader, SSTableWriter
+
+
+def build_policy(options: StoreOptions) -> MergePolicy:
+    """Instantiate the configured core merge policy for the engine."""
+    if options.policy == "leveling":
+        return LevelingPolicy(
+            options.size_ratio, options.levels, options.memtable_bytes
+        )
+    if options.policy == "tiering":
+        return TieringPolicy(int(options.size_ratio), options.levels)
+    return SizeTieredPolicy(
+        size_ratio=max(options.size_ratio, 1.1),
+        min_merge=2,
+        max_merge=10,
+    )
+
+
+def build_scheduler(options: StoreOptions) -> MergeScheduler:
+    """Instantiate the configured core merge scheduler."""
+    if options.scheduler == "single":
+        return SingleThreadedScheduler()
+    if options.scheduler == "fair":
+        return FairScheduler()
+    return GreedyScheduler()
+
+
+class _CountingSource:
+    """Wraps a run iterator, counting consumed input bytes."""
+
+    def __init__(self, items: Iterator[tuple[bytes, bytes | None]]) -> None:
+        self._items = items
+        self.consumed = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        key, value = next(self._items)
+        self.consumed += len(key) + (0 if value is TOMBSTONE else len(value))
+        return key, value
+
+
+class MergeJob:
+    """An in-flight merge: incremental reconciliation into a new run."""
+
+    def __init__(
+        self,
+        descriptor: MergeDescriptor,
+        readers: list[SSTableReader],
+        output_path: str,
+        options: StoreOptions,
+        rate_limiter: RateLimiter,
+        drop_tombstones: bool,
+    ) -> None:
+        self.descriptor = descriptor
+        self._readers = readers
+        # reconciling_iterator wants newest-first; inputs are oldest-first
+        sources = [
+            _CountingSource(reader.items()) for reader in reversed(readers)
+        ]
+        self._sources = sources
+        self._stream = reconciling_iterator(
+            sources, keep_tombstones=not drop_tombstones
+        )
+        self._writer = SSTableWriter(
+            output_path,
+            block_bytes=options.block_bytes,
+            bloom_bits_per_key=options.bloom_bits_per_key,
+            expected_keys=sum(r.entry_count for r in readers),
+            rate_limiter=rate_limiter,
+            sync_policy=SyncPolicy(options.bytes_per_sync),
+        )
+        self._output_path = output_path
+        self._total_input = sum(r.data_bytes for r in readers)
+        self.finished = False
+        self.stats = None
+
+    def _consumed(self) -> int:
+        return sum(source.consumed for source in self._sources)
+
+    def advance(self, chunk_bytes: int) -> bool:
+        """Process roughly ``chunk_bytes`` of input; True when complete."""
+        if self.finished:
+            return True
+        target = self._consumed() + chunk_bytes
+        for key, value in self._stream:
+            self._writer.add(key, value)
+            if self._consumed() >= target:
+                break
+        else:
+            self.stats = self._writer.finish()
+            self.finished = True
+        self.descriptor.remaining_input_bytes = max(
+            0.0, self._total_input - self._consumed()
+        )
+        return self.finished
+
+    def abandon(self) -> None:
+        """Abort the merge and delete the partial output."""
+        self._writer.abandon()
+        self.descriptor.release_inputs()
+
+    @property
+    def output_path(self) -> str:
+        """Path of the run being produced."""
+        return self._output_path
+
+
+class CompactionManager:
+    """Owns the live run set and drives flushes and merges."""
+
+    #: Input bytes processed per scheduler consultation. Small enough that
+    #: the greedy scheduler can redirect quickly, large enough to amortize
+    #: Python-level overhead.
+    CHUNK_BYTES = 1 << 20
+
+    def __init__(
+        self,
+        directory: str,
+        options: StoreOptions,
+        manifest: Manifest,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self._directory = directory
+        self._options = options
+        self._manifest = manifest
+        self._policy = build_policy(options)
+        self._scheduler = build_scheduler(options)
+        limit = options.constraint_limit or model.default_component_limit(
+            self._policy.expected_components()
+        )
+        self._constraint = GlobalComponentConstraint(limit)
+        self._uids = UidAllocator()
+        self._rate_limiter = RateLimiter(options.rate_limit_bytes_per_s)
+        self._block_cache = BlockCache(options.block_cache_bytes)
+        self._readers: dict[int, SSTableReader] = {}
+        self._components: dict[int, Component] = {}
+        self._jobs: dict[int, MergeJob] = {}
+        self._merge_count = 0
+        self._recover_components()
+
+    # -- bootstrap/recovery --------------------------------------------
+
+    def _recover_components(self) -> None:
+        live_files = set()
+        for record in self._manifest.live_runs():
+            path = os.path.join(self._directory, record.filename)
+            reader = SSTableReader(path, block_cache=self._block_cache)
+            self._readers[record.run_id] = reader
+            self._components[record.run_id] = Component(
+                uid=record.run_id,
+                level=record.level,
+                size_bytes=float(reader.data_bytes),
+                entry_count=float(reader.entry_count),
+                handle=record,
+            )
+            live_files.add(record.filename)
+        # Orphaned run files are crash leftovers from unfinished merges.
+        for name in os.listdir(self._directory):
+            if name.endswith(".run") and name not in live_files:
+                os.remove(os.path.join(self._directory, name))
+
+    # -- views -----------------------------------------------------------
+
+    def snapshot(self) -> TreeSnapshot:
+        """Core-typed view of the live runs, oldest-first per level."""
+        ordered = sorted(
+            self._components.values(), key=lambda c: (c.level, c.handle.sequence)
+        )
+        return TreeSnapshot(ordered)
+
+    def readers_newest_first(self) -> list[SSTableReader]:
+        """Run readers ordered newest data first (query order)."""
+        records = sorted(
+            self._components.values(),
+            key=lambda c: c.handle.sequence,
+            reverse=True,
+        )
+        return [self._readers[c.uid] for c in records]
+
+    @property
+    def component_count(self) -> int:
+        """Number of live disk components."""
+        return len(self._components)
+
+    @property
+    def merges_completed(self) -> int:
+        """Merges finished over this manager's lifetime."""
+        return self._merge_count
+
+    @property
+    def rate_limiter(self) -> RateLimiter:
+        """The shared flush/merge write throttle."""
+        return self._rate_limiter
+
+    @property
+    def block_cache(self) -> BlockCache:
+        """The shared read cache over all live runs."""
+        return self._block_cache
+
+    def levels(self) -> dict[int, int]:
+        """Component count per level."""
+        result: dict[int, int] = {}
+        for component in self._components.values():
+            result[component.level] = result.get(component.level, 0) + 1
+        return result
+
+    def is_write_stalled(self) -> bool:
+        """True when the component constraint forbids new flushes."""
+        return self._constraint.is_violated(self.snapshot())
+
+    # -- flush -----------------------------------------------------------
+
+    def register_flush(
+        self, items: Iterator[tuple[bytes, bytes | None]], entry_hint: int
+    ) -> None:
+        """Write a sealed memtable out as a new level-0 run."""
+        run_id = self._manifest.allocate_run_id()
+        filename = f"{run_id:08d}.run"
+        writer = SSTableWriter(
+            os.path.join(self._directory, filename),
+            block_bytes=self._options.block_bytes,
+            bloom_bits_per_key=self._options.bloom_bits_per_key,
+            expected_keys=entry_hint,
+            rate_limiter=self._rate_limiter,
+            sync_policy=SyncPolicy(self._options.bytes_per_sync),
+        )
+        for key, value in items:
+            writer.add(key, value)
+        stats = writer.finish()
+        record = self._manifest.add_run(run_id, 0, filename)
+        reader = SSTableReader(stats.path, block_cache=self._block_cache)
+        self._readers[run_id] = reader
+        self._components[run_id] = Component(
+            uid=run_id,
+            level=0,
+            size_bytes=float(reader.data_bytes),
+            entry_count=float(reader.entry_count),
+            handle=record,
+        )
+        self._schedule_merges()
+
+    # -- merging ---------------------------------------------------------
+
+    def _schedule_merges(self) -> None:
+        active = [job.descriptor for job in self._jobs.values()]
+        for descriptor in self._policy.select_merges(
+            self.snapshot(), self._uids, active
+        ):
+            self._start_job(descriptor)
+
+    def _start_job(self, descriptor: MergeDescriptor) -> None:
+        readers = [self._readers[c.uid] for c in descriptor.inputs]
+        oldest_live = min(
+            c.handle.sequence for c in self._components.values()
+        )
+        drops = any(
+            c.handle.sequence == oldest_live for c in descriptor.inputs
+        )
+        output_run_id = self._manifest.allocate_run_id()
+        output_path = os.path.join(
+            self._directory, f"{output_run_id:08d}.run"
+        )
+        job = MergeJob(
+            descriptor,
+            readers,
+            output_path,
+            self._options,
+            self._rate_limiter,
+            drop_tombstones=drops,
+        )
+        job.output_run_id = output_run_id
+        self._jobs[descriptor.uid] = job
+
+    def _finish_job(self, job: MergeJob) -> None:
+        descriptor = job.descriptor
+        removed_ids = [c.uid for c in descriptor.inputs]
+        stats = job.stats
+        added = []
+        if stats.entry_count > 0:
+            added.append(
+                (job.output_run_id, descriptor.target_level,
+                 os.path.basename(stats.path))
+            )
+        data_sequence = max(
+            c.handle.sequence for c in descriptor.inputs
+        )
+        records = self._manifest.replace_runs(
+            removed_ids, added, sequence=data_sequence
+        )
+        for run_id in removed_ids:
+            reader = self._readers.pop(run_id)
+            reader.close()
+            os.remove(reader.path)
+            del self._components[run_id]
+        if records:
+            record = records[0]
+            reader = SSTableReader(stats.path, block_cache=self._block_cache)
+            self._readers[record.run_id] = reader
+            self._components[record.run_id] = Component(
+                uid=record.run_id,
+                level=record.level,
+                size_bytes=float(reader.data_bytes),
+                entry_count=float(reader.entry_count),
+                handle=record,
+            )
+        elif os.path.exists(stats.path):
+            os.remove(stats.path)  # merge produced nothing live
+        descriptor.release_inputs()
+        del self._jobs[descriptor.uid]
+        self._merge_count += 1
+        self._schedule_merges()
+
+    def has_work(self) -> bool:
+        """True when merges are pending."""
+        return bool(self._jobs)
+
+    def step(self) -> bool:
+        """Advance one scheduler-chosen merge by one chunk.
+
+        Returns True if any progress was made (False = idle).
+        """
+        if not self._jobs:
+            self._schedule_merges()
+            if not self._jobs:
+                return False
+        descriptors = [job.descriptor for job in self._jobs.values()]
+        allocation = self._scheduler.allocate(
+            descriptors, budget=1.0, tree=self.snapshot()
+        )
+        if not allocation:
+            return False
+        chosen_uid = max(allocation, key=allocation.get)
+        job = self._jobs[chosen_uid]
+        if job.advance(self.CHUNK_BYTES):
+            self._finish_job(job)
+        return True
+
+    def drain(self, max_steps: int = 1_000_000) -> int:
+        """Run merges until none remain; returns steps taken."""
+        steps = 0
+        self._schedule_merges()
+        while self.has_work():
+            if not self.step():
+                break
+            steps += 1
+            if steps >= max_steps:
+                raise ConfigurationError(
+                    "compaction did not converge within the step budget"
+                )
+        return steps
+
+    def close(self) -> None:
+        """Abandon in-flight merges and close every reader."""
+        for job in list(self._jobs.values()):
+            job.abandon()
+        self._jobs.clear()
+        for reader in self._readers.values():
+            reader.close()

@@ -1,0 +1,403 @@
+"""The public storage engine API: an embeddable LSM key-value store.
+
+:class:`LSMStore` composes the substrates — skip-list memtables, WAL,
+manifest, sorted runs, and the policy/scheduler-driven compaction manager
+— into the store a downstream application uses::
+
+    from repro.engine import LSMStore, StoreOptions
+
+    with LSMStore.open("/tmp/db", StoreOptions(policy="tiering")) as store:
+        store.put(b"k", b"v")
+        value = store.get(b"k")
+        for key, value in store.scan(b"a", b"z"):
+            ...
+
+Writes go to the WAL then the active memtable; a full memtable is sealed
+and flushed as a level-0 run; the component constraint stalls writes when
+merges lag (the paper's "stop" interaction, Section 5.1.2), either
+blocking the writer or raising
+:class:`~repro.errors.WriteStalledError` per ``options.stall_mode``.
+Maintenance (flushes + merge chunks) runs inline by default, or on a
+background thread with ``options.background_maintenance``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ClosedError, ConfigurationError, WriteStalledError
+from .compaction import CompactionManager
+from .iterators import reconcile_get, reconciling_iterator
+from .manifest import Manifest
+from .memtable import MemTable
+from .options import StoreOptions, TOMBSTONE
+from .wal import WriteAheadLog
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A point-in-time summary of the store's state."""
+
+    memtable_entries: int
+    memtable_bytes: int
+    sealed_memtables: int
+    disk_components: int
+    components_per_level: dict[int, int]
+    merges_completed: int
+    write_stalls: int
+    throttle_sleep_seconds: float
+    block_cache_hit_rate: float
+    block_cache_used_bytes: int
+
+
+class LSMStore:
+    """An LSM-tree key-value store driven by the paper's core machinery."""
+
+    def __init__(self, directory: str, options: StoreOptions | None = None) -> None:
+        self._options = options or StoreOptions()
+        self._directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._manifest = Manifest(directory)
+        self._compaction = CompactionManager(
+            directory, self._options, self._manifest
+        )
+        self._wal = WriteAheadLog(
+            os.path.join(directory, "wal.log"), sync=self._options.sync_writes
+        )
+        self._active = MemTable(seed=0)
+        self._sealed: list[MemTable] = []
+        self._memtable_seed = 1
+        self._closed = False
+        self._stall_count = 0
+        self._lock = threading.RLock()
+        self._work_available = threading.Condition(self._lock)
+        self._replay_wal()
+        self._background: threading.Thread | None = None
+        if self._options.background_maintenance:
+            self._background = threading.Thread(
+                target=self._background_loop, name="lsm-maintenance", daemon=True
+            )
+            self._background.start()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: str, options: StoreOptions | None = None) -> "LSMStore":
+        """Open (or create) a store at ``directory``."""
+        return cls(directory, options)
+
+    def __enter__(self) -> "LSMStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush buffered data, finish merges, and release resources."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._work_available.notify_all()
+        if self._background is not None:
+            self._background.join(timeout=30.0)
+        with self._lock:
+            self._flush_all_memtables()
+            self._compaction.drain()
+            self._manifest.compact()
+            self._compaction.close()
+            self._wal.close()
+            self._manifest.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("store is closed")
+
+    # -- recovery --------------------------------------------------------
+
+    def _replay_wal(self) -> None:
+        for key, value in WriteAheadLog.replay(self._wal.path):
+            if value is TOMBSTONE:
+                self._active.delete(key)
+            else:
+                self._active.put(key, value)
+
+    # -- writes ----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update a key."""
+        self._write(key, value)
+
+    def delete(self, key: bytes) -> None:
+        """Delete a key (adds an anti-matter entry)."""
+        self._write(key, TOMBSTONE)
+
+    def write_batch(self, batch: list[tuple[bytes, bytes | None]]) -> None:
+        """Atomically log and apply a batch of puts/deletes."""
+        if not batch:
+            raise ConfigurationError("empty batch")
+        with self._lock:
+            self._check_open()
+            self._wait_for_headroom()
+            self._wal.append(batch)
+            for key, value in batch:
+                if value is TOMBSTONE:
+                    self._active.delete(key)
+                else:
+                    self._active.put(key, value)
+            self._maybe_rotate()
+
+    def _write(self, key: bytes, value) -> None:
+        with self._lock:
+            self._check_open()
+            self._wait_for_headroom()
+            self._wal.append([(key, value)])
+            if value is TOMBSTONE:
+                self._active.delete(key)
+            else:
+                self._active.put(key, value)
+            self._maybe_rotate()
+
+    def _wait_for_headroom(self) -> None:
+        """The write-stall gate: the paper's stop interaction mode."""
+        while self._compaction.is_write_stalled():
+            self._stall_count += 1
+            if self._options.stall_mode == "reject":
+                raise WriteStalledError(
+                    "component constraint violated; merges must catch up"
+                )
+            self._advance_maintenance(blocking=True)
+
+    def _maybe_rotate(self) -> None:
+        if self._active.approximate_bytes < self._options.memtable_bytes:
+            return
+        if len(self._sealed) >= self._options.num_memtables - 1:
+            # No free memory component: a flush stall. Push maintenance
+            # forward until one drains (flush stalls are rare when flushes
+            # get I/O priority; with num_memtables=1 they are the norm).
+            while self._sealed:
+                self._advance_maintenance(blocking=True)
+        self._active.seal()
+        self._sealed.append(self._active)
+        self._active = MemTable(seed=self._memtable_seed)
+        self._memtable_seed += 1
+        self._work_available.notify_all()
+        if not self._options.background_maintenance:
+            self._advance_maintenance(blocking=False)
+
+    # -- maintenance -----------------------------------------------------
+
+    def _flush_oldest_sealed(self) -> None:
+        memtable = self._sealed.pop(0)
+        self._compaction.register_flush(memtable.items(), len(memtable))
+        self._wal_checkpoint()
+
+    def _wal_checkpoint(self) -> None:
+        # Every memtable that was sealed before this flush is durable in
+        # runs once the sealed queue is empty; the WAL can then restart.
+        if not self._sealed and len(self._active) == 0:
+            self._wal.truncate()
+
+    def _flush_all_memtables(self) -> None:
+        if len(self._active) > 0:
+            self._active.seal()
+            self._sealed.append(self._active)
+            self._active = MemTable(seed=self._memtable_seed)
+            self._memtable_seed += 1
+        while self._sealed:
+            self._flush_oldest_sealed()
+
+    def _advance_maintenance(self, blocking: bool) -> None:
+        """One pump: flush if a memtable waits, plus merge chunks.
+
+        In inline mode this is the only engine of progress, so each pump
+        also advances merges by enough chunks to keep compaction paced
+        with ingestion (several memtables' worth of merge input per
+        flush); otherwise merges would only ever run once the component
+        constraint had already stalled writers.
+        """
+        progressed = False
+        if self._sealed:
+            self._flush_oldest_sealed()
+            progressed = True
+        budget = max(
+            2,
+            int(8 * self._options.memtable_bytes // self._compaction.CHUNK_BYTES)
+            + 1,
+        )
+        for _ in range(budget):
+            if not self._compaction.step():
+                break
+            progressed = True
+        if not progressed and blocking and self._compaction.is_write_stalled():
+            raise ConfigurationError(
+                "write stalled with no merge work available: the component "
+                "constraint is too tight for this policy configuration"
+            )
+
+    def _background_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                did_work = False
+                if self._sealed:
+                    self._flush_oldest_sealed()
+                    did_work = True
+                elif self._compaction.has_work():
+                    self._compaction.step()
+                    did_work = True
+                if not did_work:
+                    self._work_available.wait(timeout=0.05)
+
+    def maintenance(self, max_steps: int = 1_000_000) -> None:
+        """Run flushes and merges to quiescence (inline mode helper)."""
+        with self._lock:
+            self._check_open()
+            while self._sealed:
+                self._flush_oldest_sealed()
+            self._compaction.drain(max_steps)
+
+    def flush(self) -> None:
+        """Seal and flush the active memtable."""
+        with self._lock:
+            self._check_open()
+            self._flush_all_memtables()
+
+    def checkpoint(self, target_directory: str) -> int:
+        """Create an openable point-in-time copy of the store.
+
+        Buffered writes are flushed to runs first, then every live run is
+        hard-linked (falling back to a copy across filesystems) into
+        ``target_directory`` together with a minimal manifest snapshot.
+        The checkpoint opens as a normal store; in-flight merges in the
+        source are irrelevant because their inputs are still live in the
+        manifest. Returns the number of runs captured.
+        """
+        import shutil
+
+        with self._lock:
+            self._check_open()
+            self._flush_all_memtables()
+            target = os.path.abspath(target_directory)
+            if os.path.exists(target) and os.listdir(target):
+                raise ConfigurationError(
+                    f"checkpoint target {target!r} is not empty"
+                )
+            os.makedirs(target, exist_ok=True)
+            records = self._manifest.live_runs()
+            import json
+
+            with open(
+                os.path.join(target, "MANIFEST"), "w", encoding="utf-8"
+            ) as manifest:
+                for record in records:
+                    source_path = os.path.join(
+                        self._directory, record.filename
+                    )
+                    destination = os.path.join(target, record.filename)
+                    try:
+                        os.link(source_path, destination)
+                    except OSError:
+                        shutil.copy2(source_path, destination)
+                    manifest.write(
+                        json.dumps(
+                            {
+                                "op": "add",
+                                "run_id": record.run_id,
+                                "level": record.level,
+                                "filename": record.filename,
+                                "sequence": record.sequence,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                manifest.flush()
+                os.fsync(manifest.fileno())
+            return len(records)
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        """Point lookup; None when absent (or deleted)."""
+        with self._lock:
+            self._check_open()
+            memtables = [self._active] + list(reversed(self._sealed))
+            readers = self._compaction.readers_newest_first()
+
+            def probe():
+                for memtable in memtables:
+                    yield memtable.get(key)
+                for reader in readers:
+                    if reader.might_contain(key):
+                        yield reader.get(key)
+
+            found, value = reconcile_get(probe())
+            return value if found else None
+
+    def scan(
+        self,
+        lo: bytes | None = None,
+        hi: bytes | None = None,
+        limit: int | None = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Ordered range scan over ``[lo, hi)``.
+
+        Materializes the result under the store lock (snapshot-consistent
+        and safe against concurrent flushes) — callers wanting streaming
+        iteration over huge ranges should scan in key-range pages.
+        """
+        with self._lock:
+            self._check_open()
+            sources = [
+                memtable.items(lo, hi)
+                for memtable in [self._active] + list(reversed(self._sealed))
+            ]
+            sources += [
+                reader.items(lo, hi)
+                for reader in self._compaction.readers_newest_first()
+            ]
+            results = []
+            for key, value in reconciling_iterator(sources):
+                results.append((key, value))
+                if limit is not None and len(results) >= limit:
+                    break
+        return iter(results)
+
+    def multi_get(self, keys: list[bytes]) -> dict[bytes, bytes | None]:
+        """Batched point lookups."""
+        return {key: self.get(key) for key in keys}
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Snapshot of store internals (for monitoring and tests)."""
+        with self._lock:
+            return StoreStats(
+                memtable_entries=len(self._active),
+                memtable_bytes=self._active.approximate_bytes,
+                sealed_memtables=len(self._sealed),
+                disk_components=self._compaction.component_count,
+                components_per_level=self._compaction.levels(),
+                merges_completed=self._compaction.merges_completed,
+                write_stalls=self._stall_count,
+                throttle_sleep_seconds=(
+                    self._compaction.rate_limiter.total_sleep_seconds
+                ),
+                block_cache_hit_rate=self._compaction.block_cache.hit_rate(),
+                block_cache_used_bytes=self._compaction.block_cache.used_bytes,
+            )
+
+    @property
+    def options(self) -> StoreOptions:
+        """The options this store was opened with."""
+        return self._options
+
+    @property
+    def directory(self) -> str:
+        """The store's data directory."""
+        return self._directory

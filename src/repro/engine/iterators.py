@@ -1,0 +1,68 @@
+"""Reconciling merge iterators over multiple components (Section 2.1).
+
+A query over an LSM-tree must reconcile entries with identical keys across
+components: entries from newer components override older ones, and a
+tombstone (anti-matter) hides every older version of its key. The
+:func:`reconciling_iterator` takes per-component ordered iterators,
+*newest first*, and yields each live key's winning entry exactly once via
+a heap with recency tie-breaking — the standard priority-queue scan the
+paper describes for range queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from .options import TOMBSTONE
+
+#: Item layout on the heap: (key, recency_rank, value, source_iterator).
+#: recency_rank 0 is the newest component, so for equal keys the heap
+#: pops the newest entry first and older duplicates are skipped.
+
+
+def reconciling_iterator(
+    sources: Iterable[Iterator[tuple[bytes, bytes | None]]],
+    keep_tombstones: bool = False,
+) -> Iterator[tuple[bytes, bytes | None]]:
+    """Merge ordered per-component streams, newest component first.
+
+    With ``keep_tombstones=False`` (query semantics) deleted keys are
+    elided entirely; with True (merge-to-intermediate-level semantics)
+    the winning tombstone is emitted so it can keep shadowing older
+    components that are not part of this merge.
+    """
+    heap: list[tuple[bytes, int, bytes | None, Iterator]] = []
+    for rank, source in enumerate(sources):
+        for key, value in source:
+            heapq.heappush(heap, (key, rank, value, source))
+            break
+    last_key: bytes | None = None
+    while heap:
+        key, rank, value, source = heapq.heappop(heap)
+        for next_key, next_value in source:
+            heapq.heappush(heap, (next_key, rank, next_value, source))
+            break
+        if key == last_key:
+            continue  # an older version of an already-emitted key
+        last_key = key
+        if value is TOMBSTONE and not keep_tombstones:
+            continue
+        yield key, value
+
+
+def reconcile_get(
+    sources: Iterable[tuple[bool, bytes | None]],
+) -> tuple[bool, bytes | None]:
+    """Point-lookup reconciliation: first hit wins, newest first.
+
+    ``sources`` yields per-component ``(found, value)`` pairs ordered
+    newest component first (the caller short-circuits by generating
+    lazily); a found tombstone terminates the search with "absent".
+    """
+    for found, value in sources:
+        if found:
+            if value is TOMBSTONE:
+                return False, None
+            return True, value
+    return False, None

@@ -1,0 +1,190 @@
+"""The manifest: durable record of which runs form the tree.
+
+A JSON-lines log of version edits. Each edit either adds a run (with its
+level, age stamp and file name) or removes one (merged away). Recovery
+replays the edits; compaction of the manifest itself happens by writing a
+fresh snapshot file and atomically renaming it over the old one. Run
+files not referenced by the recovered version are orphans from a crash
+mid-merge and are deleted on open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from ..errors import CorruptionError
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One live sorted run as the manifest sees it."""
+
+    run_id: int
+    level: int
+    filename: str
+    sequence: int  # age stamp: larger = newer data
+
+
+class Manifest:
+    """Versioned, crash-safe component bookkeeping."""
+
+    def __init__(self, directory: str) -> None:
+        self._directory = directory
+        self._path = os.path.join(directory, "MANIFEST")
+        self._runs: dict[int, RunRecord] = {}
+        self._next_run_id = 1
+        self._next_sequence = 1
+        self._file = None
+        if os.path.exists(self._path):
+            self._recover()
+        self._file = open(self._path, "a", encoding="utf-8")
+
+    def _recover(self) -> None:
+        with open(self._path, "r", encoding="utf-8") as manifest:
+            for line_no, line in enumerate(manifest, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    edit = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn tail line is a crash artifact; everything
+                    # before it is consistent. Anything after is lost.
+                    break
+                self._apply(edit, line_no)
+
+    def _apply(self, edit: dict, line_no: int) -> None:
+        kind = edit.get("op")
+        if kind == "add":
+            record = RunRecord(
+                run_id=int(edit["run_id"]),
+                level=int(edit["level"]),
+                filename=str(edit["filename"]),
+                sequence=int(edit["sequence"]),
+            )
+            self._runs[record.run_id] = record
+            self._next_run_id = max(self._next_run_id, record.run_id + 1)
+            self._next_sequence = max(self._next_sequence, record.sequence + 1)
+        elif kind == "remove":
+            self._runs.pop(int(edit["run_id"]), None)
+        elif kind == "move":
+            run_id = int(edit["run_id"])
+            if run_id in self._runs:
+                old = self._runs[run_id]
+                self._runs[run_id] = RunRecord(
+                    run_id=old.run_id,
+                    level=int(edit["level"]),
+                    filename=old.filename,
+                    sequence=old.sequence,
+                )
+        else:
+            raise CorruptionError(
+                f"manifest line {line_no}: unknown edit {kind!r}"
+            )
+
+    def _append(self, edit: dict) -> None:
+        self._file.write(json.dumps(edit, sort_keys=True) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    # -- public API ----------------------------------------------------
+
+    def live_runs(self) -> list[RunRecord]:
+        """All live runs, oldest (smallest sequence) first."""
+        return sorted(self._runs.values(), key=lambda r: r.sequence)
+
+    def allocate_run_id(self) -> int:
+        """Reserve the next run id (not durable until ``add_run``)."""
+        run_id = self._next_run_id
+        self._next_run_id += 1
+        return run_id
+
+    def add_run(
+        self,
+        run_id: int,
+        level: int,
+        filename: str,
+        sequence: int | None = None,
+    ) -> RunRecord:
+        """Durably register a run.
+
+        Flushes omit ``sequence`` and receive a fresh age stamp. Merge
+        outputs MUST pass the maximum sequence of their inputs: the
+        output's data is only as new as its newest input, and stamping it
+        with creation time would let merged-away old values shadow
+        tombstones flushed while the merge ran.
+        """
+        if sequence is None:
+            sequence = self._next_sequence
+            self._next_sequence += 1
+        record = RunRecord(
+            run_id=run_id,
+            level=level,
+            filename=filename,
+            sequence=sequence,
+        )
+        self._runs[run_id] = record
+        self._append(
+            {
+                "op": "add",
+                "run_id": record.run_id,
+                "level": record.level,
+                "filename": record.filename,
+                "sequence": record.sequence,
+            }
+        )
+        return record
+
+    def replace_runs(
+        self,
+        removed: list[int],
+        added: list[tuple[int, int, str]],
+        sequence: int | None = None,
+    ) -> list[RunRecord]:
+        """Atomically-enough swap merge inputs for outputs.
+
+        Outputs are appended before removals so a crash between lines
+        leaves extra (superseded) runs rather than missing data; the
+        duplicate-shadowing is resolved by reconciliation order.
+        ``sequence`` stamps the outputs with their true data age (the
+        newest input's sequence).
+        """
+        records = [
+            self.add_run(run_id, level, filename, sequence=sequence)
+            for run_id, level, filename in added
+        ]
+        for run_id in removed:
+            self._runs.pop(run_id, None)
+            self._append({"op": "remove", "run_id": run_id})
+        return records
+
+    def compact(self) -> None:
+        """Rewrite the manifest as a minimal snapshot (atomic rename)."""
+        fresh_path = self._path + ".new"
+        with open(fresh_path, "w", encoding="utf-8") as fresh:
+            for record in self.live_runs():
+                fresh.write(
+                    json.dumps(
+                        {
+                            "op": "add",
+                            "run_id": record.run_id,
+                            "level": record.level,
+                            "filename": record.filename,
+                            "sequence": record.sequence,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            fresh.flush()
+            os.fsync(fresh.fileno())
+        self._file.close()
+        os.replace(fresh_path, self._path)
+        self._file = open(self._path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        """Close the manifest file."""
+        if self._file is not None and not self._file.closed:
+            self._file.close()

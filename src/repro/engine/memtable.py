@@ -1,0 +1,154 @@
+"""The memory component: a skip list keyed by raw bytes.
+
+A real skip list, not a ``dict`` sorted on flush: writes must be cheap,
+iteration must be ordered for range scans over the live memtable, and the
+structure must support ordered iteration *while* concurrent readers hold
+iterators (append-only towers, no node removal — deletes insert
+tombstones). Node levels are drawn from a deterministic per-memtable
+generator so tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..errors import ConfigurationError
+from .options import TOMBSTONE
+
+_MAX_LEVEL = 16
+_P = 0.25
+
+#: Overhead charged per entry on top of key/value payload, approximating
+#: node and tower bookkeeping (keeps memtable_bytes meaningful).
+ENTRY_OVERHEAD = 48
+
+
+class _Node:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: bytes | None, value, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.next: list[_Node | None] = [None] * level
+
+
+class MemTable:
+    """An ordered in-memory write buffer with tombstone support."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._rng = random.Random(seed)
+        self._count = 0
+        self._tombstones = 0
+        self._bytes = 0
+        self._sealed = False
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Payload plus bookkeeping overhead currently buffered."""
+        return self._bytes
+
+    @property
+    def tombstone_count(self) -> int:
+        """Number of keys whose latest entry is a deletion."""
+        return self._tombstones
+
+    @property
+    def sealed(self) -> bool:
+        """Sealed memtables are immutable and awaiting flush."""
+        return self._sealed
+
+    def seal(self) -> None:
+        """Make the memtable immutable (called at rotation)."""
+        self._sealed = True
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: bytes) -> list[_Node]:
+        update = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            while node.next[level] is not None and node.next[level].key < key:
+                node = node.next[level]
+            update[level] = node
+        return update
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update a key."""
+        self._insert(key, value)
+
+    def delete(self, key: bytes) -> None:
+        """Record a deletion (anti-matter entry)."""
+        self._insert(key, TOMBSTONE)
+
+    def _insert(self, key: bytes, value) -> None:
+        if self._sealed:
+            raise ConfigurationError("cannot write to a sealed memtable")
+        if not isinstance(key, bytes) or not key:
+            raise ConfigurationError("keys must be non-empty bytes")
+        if value is not TOMBSTONE and not isinstance(value, bytes):
+            raise ConfigurationError("values must be bytes (or a delete)")
+        update = self._find_predecessors(key)
+        candidate = update[0].next[0]
+        if candidate is not None and candidate.key == key:
+            old_value = candidate.value
+            if old_value is TOMBSTONE and value is not TOMBSTONE:
+                self._tombstones -= 1
+            elif old_value is not TOMBSTONE and value is TOMBSTONE:
+                self._tombstones += 1
+            self._bytes += (0 if value is TOMBSTONE else len(value)) - (
+                0 if old_value is TOMBSTONE else len(old_value)
+            )
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.next[i] = update[i].next[i]
+            update[i].next[i] = node
+        self._count += 1
+        if value is TOMBSTONE:
+            self._tombstones += 1
+        self._bytes += (
+            len(key) + (0 if value is TOMBSTONE else len(value)) + ENTRY_OVERHEAD
+        )
+
+    def get(self, key: bytes) -> tuple[bool, bytes | None]:
+        """Return ``(found, value)``; a found tombstone yields
+        ``(True, None)`` so callers can distinguish "deleted here" from
+        "not present in this component"."""
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            while node.next[level] is not None and node.next[level].key < key:
+                node = node.next[level]
+        node = node.next[0]
+        if node is not None and node.key == key:
+            return True, node.value
+        return False, None
+
+    def items(
+        self, lo: bytes | None = None, hi: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes | None]]:
+        """Ordered iteration over ``[lo, hi)``; tombstones included."""
+        node = self._head
+        if lo is not None:
+            for level in range(self._level - 1, -1, -1):
+                while node.next[level] is not None and node.next[level].key < lo:
+                    node = node.next[level]
+        node = node.next[0]
+        while node is not None:
+            if hi is not None and node.key >= hi:
+                return
+            yield node.key, node.value
+            node = node.next[0]

@@ -1,0 +1,105 @@
+"""Configuration for the real storage engine (:mod:`repro.engine`).
+
+The engine mirrors the paper's testbed settings: 4 KB pages, Bloom filters
+at a 1% false-positive target, two memory components, an I/O rate limiter
+for flush/merge writes, and periodic forces every 16 MB. Policies and
+schedulers are named with the same strings as the simulation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+
+#: Sentinel stored in memtables and sorted runs for deletions.
+TOMBSTONE = None
+
+
+@dataclass(frozen=True)
+class StoreOptions:
+    """All engine knobs, validated at construction.
+
+    Attributes
+    ----------
+    memtable_bytes:
+        Memory component budget before a flush is triggered.
+    num_memtables:
+        Memory components (one active, the rest flushing); paper: 2.
+    policy:
+        Merge policy name: ``leveling`` / ``tiering`` / ``size-tiered``.
+    size_ratio:
+        The policy's size ratio ``T``.
+    scheduler:
+        Merge scheduler name: ``single`` / ``fair`` / ``greedy``.
+    constraint_limit:
+        Global component-count limit (0 = derive as twice the policy's
+        expected component count once the tree shape is known).
+    levels:
+        On-disk levels for leveling/tiering policies.
+    block_bytes:
+        Data block (page) size; paper: 4 KB.
+    bloom_bits_per_key:
+        Bloom filter sizing; 10 bits/key gives the paper's ~1% FPR.
+    bytes_per_sync:
+        Force data to disk every this many written bytes (paper: 16 MB).
+    rate_limit_bytes_per_s:
+        Flush/merge write throttle (paper: 100 MB/s); 0 disables.
+    block_cache_bytes:
+        Shared LRU block cache over all sorted runs (the engine's
+        buffer cache; paper's testbed used 2 GB). 0 disables.
+    stall_mode:
+        ``"block"`` (writers wait, the paper's stop mode) or ``"reject"``
+        (raise :class:`~repro.errors.WriteStalledError`).
+    background_maintenance:
+        True runs flushes/merges on a background thread; False runs them
+        inline inside ``put`` (deterministic, the default for tests).
+    sync_writes:
+        fsync the WAL on every commit batch (durability over speed).
+    """
+
+    memtable_bytes: int = 4 * 2**20
+    num_memtables: int = 2
+    policy: str = "tiering"
+    size_ratio: float = 3
+    scheduler: str = "greedy"
+    constraint_limit: int = 0
+    levels: int = 4
+    block_bytes: int = 4096
+    bloom_bits_per_key: int = 10
+    bytes_per_sync: int = 16 * 2**20
+    rate_limit_bytes_per_s: int = 0
+    block_cache_bytes: int = 8 * 2**20
+    stall_mode: str = "block"
+    background_maintenance: bool = False
+    sync_writes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.memtable_bytes < 4096:
+            raise ConfigurationError("memtable budget is implausibly small")
+        if self.num_memtables < 1:
+            raise ConfigurationError("need at least one memory component")
+        if self.policy not in ("leveling", "tiering", "size-tiered"):
+            raise ConfigurationError(f"unknown policy {self.policy!r}")
+        if self.scheduler not in ("single", "fair", "greedy"):
+            raise ConfigurationError(f"unknown scheduler {self.scheduler!r}")
+        if self.size_ratio <= 1:
+            raise ConfigurationError("size ratio must exceed 1")
+        if self.levels < 1:
+            raise ConfigurationError("need at least one level")
+        if self.block_bytes < 128:
+            raise ConfigurationError("block size too small")
+        if self.bloom_bits_per_key < 1:
+            raise ConfigurationError("bloom filter needs at least 1 bit/key")
+        if self.bytes_per_sync < self.block_bytes:
+            raise ConfigurationError("bytes_per_sync must cover a block")
+        if self.rate_limit_bytes_per_s < 0:
+            raise ConfigurationError("rate limit cannot be negative")
+        if self.block_cache_bytes < 0:
+            raise ConfigurationError("block cache cannot be negative")
+        if self.stall_mode not in ("block", "reject"):
+            raise ConfigurationError(f"unknown stall mode {self.stall_mode!r}")
+
+    def with_(self, **overrides) -> "StoreOptions":
+        """Functional update."""
+        return replace(self, **overrides)

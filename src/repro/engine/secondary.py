@@ -1,0 +1,188 @@
+"""Secondary indexes over the storage engine (Section 7.1).
+
+An :class:`IndexedStore` keeps a primary :class:`~repro.engine.datastore.LSMStore`
+plus one LSM-tree per secondary index. Secondary entries map a composite
+key ``secondary_value || primary_key -> b""`` so that one secondary value
+with many matching records scans as a contiguous key range.
+
+Two maintenance strategies, as in the paper:
+
+* **eager** — ingestion point-looks-up the old record; if present, its old
+  secondary entries are deleted (anti-matter) before the new entries are
+  inserted. Index-only scans are then exact.
+* **lazy** — ingestion blindly inserts the new secondary entries; stale
+  ones are left behind and filtered at query time by validating each
+  candidate against the primary record (the standard read-repair that
+  lazy maintenance requires).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Callable, Iterator
+
+from ..errors import ConfigurationError
+from .datastore import LSMStore
+from .options import StoreOptions
+
+#: Secondary values are fixed-width big-endian with a sign-bias so that
+#: byte order equals numeric order (negatives included); composite keys
+#: therefore sort by (secondary value, primary key).
+_SECONDARY_WIDTH = 8
+_PACK = struct.Struct(">Q")
+_SIGN_BIAS = 1 << 63
+
+
+def encode_secondary_key(value: int, primary_key: bytes) -> bytes:
+    """Composite secondary-index key: value then primary key."""
+    return _PACK.pack(value + _SIGN_BIAS) + primary_key
+
+
+def decode_secondary_key(composite: bytes) -> tuple[int, bytes]:
+    """Invert :func:`encode_secondary_key`."""
+    if len(composite) < _SECONDARY_WIDTH:
+        raise ConfigurationError("secondary key too short")
+    biased = _PACK.unpack(composite[:_SECONDARY_WIDTH])[0]
+    return biased - _SIGN_BIAS, composite[_SECONDARY_WIDTH:]
+
+
+class IndexedStore:
+    """A primary store plus maintained secondary indexes.
+
+    Parameters
+    ----------
+    directory:
+        Root directory; the primary lives in ``primary/``, each index in
+        ``index-<name>/``.
+    extractors:
+        ``{index_name: callable(value_bytes) -> int}`` — how to derive
+        each secondary value from a record.
+    strategy:
+        ``"eager"`` or ``"lazy"``.
+    options:
+        Engine options applied to the primary; indexes use the same
+        options with a proportionally smaller memtable.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        extractors: dict[str, Callable[[bytes], int]],
+        strategy: str = "lazy",
+        options: StoreOptions | None = None,
+    ) -> None:
+        if strategy not in ("eager", "lazy"):
+            raise ConfigurationError(f"unknown maintenance strategy {strategy!r}")
+        if not extractors:
+            raise ConfigurationError("need at least one secondary index")
+        self._strategy = strategy
+        self._extractors = dict(extractors)
+        options = options or StoreOptions()
+        os.makedirs(directory, exist_ok=True)
+        self._primary = LSMStore.open(os.path.join(directory, "primary"), options)
+        index_options = options.with_(
+            memtable_bytes=max(4096, options.memtable_bytes // 4)
+        )
+        self._indexes = {
+            name: LSMStore.open(
+                os.path.join(directory, f"index-{name}"), index_options
+            )
+            for name in extractors
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "IndexedStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the primary and every index."""
+        self._primary.close()
+        for index in self._indexes.values():
+            index.close()
+
+    @property
+    def strategy(self) -> str:
+        """The configured maintenance strategy."""
+        return self._strategy
+
+    @property
+    def primary(self) -> LSMStore:
+        """The primary store (exposed for stats and tests)."""
+        return self._primary
+
+    def index(self, name: str) -> LSMStore:
+        """One secondary index's backing store."""
+        return self._indexes[name]
+
+    # -- writes ----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update a record, maintaining all secondary indexes."""
+        if self._strategy == "eager":
+            old_value = self._primary.get(key)  # the eager point lookup
+            if old_value is not None:
+                for name, extract in self._extractors.items():
+                    stale = encode_secondary_key(extract(old_value), key)
+                    self._indexes[name].delete(stale)
+        self._primary.put(key, value)
+        for name, extract in self._extractors.items():
+            self._indexes[name].put(encode_secondary_key(extract(value), key), b"")
+
+    def delete(self, key: bytes) -> None:
+        """Delete a record; eager mode also cleans its index entries."""
+        if self._strategy == "eager":
+            old_value = self._primary.get(key)
+            if old_value is not None:
+                for name, extract in self._extractors.items():
+                    stale = encode_secondary_key(extract(old_value), key)
+                    self._indexes[name].delete(stale)
+        self._primary.delete(key)
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        """Primary-key point lookup."""
+        return self._primary.get(key)
+
+    def query_secondary(
+        self, name: str, lo: int, hi: int, limit: int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Records whose ``name`` secondary value lies in ``[lo, hi]``.
+
+        Scans the secondary index for candidate primary keys, sorts them
+        (as the paper's evaluation does), fetches the records, and — under
+        lazy maintenance — validates each record still matches, filtering
+        out stale index entries.
+        """
+        if name not in self._indexes:
+            raise ConfigurationError(f"no such index {name!r}")
+        index = self._indexes[name]
+        start = encode_secondary_key(lo, b"")
+        stop = encode_secondary_key(hi + 1, b"")
+        extract = self._extractors[name]
+        candidates = [
+            decode_secondary_key(composite)[1]
+            for composite, _ in index.scan(start, stop)
+        ]
+        results = []
+        for primary_key in sorted(set(candidates)):
+            value = self._primary.get(primary_key)
+            if value is None:
+                continue  # record deleted; index entry is stale
+            if self._strategy == "lazy" and not lo <= extract(value) <= hi:
+                continue  # stale entry from a superseded version
+            results.append((primary_key, value))
+            if limit is not None and len(results) >= limit:
+                break
+        return iter(results)
+
+    def maintenance(self) -> None:
+        """Drive all stores to quiescence (flushes + merges)."""
+        self._primary.maintenance()
+        for index in self._indexes.values():
+            index.maintenance()

@@ -1,0 +1,396 @@
+"""Immutable sorted-run files (the engine's disk components).
+
+File layout::
+
+    [data block]* [index block] [bloom block] [meta block] [footer]
+
+* **Data blocks** hold length-prefixed key/value entries in key order and
+  close at the configured block size (paper: 4 KB, matching the SSD page).
+  Each block ends with a CRC32 of its payload.
+* The **index block** maps each data block's first key to its (offset,
+  length), enabling a single-block read per point lookup.
+* The **bloom block** is a serialized :class:`~repro.engine.bloom.BloomFilter`
+  over every key in the run.
+* The **meta block** is JSON: entry/tombstone counts, key bounds, and the
+  data byte count (what merge accounting bills against the I/O budget).
+* The fixed-size **footer** locates the three auxiliary blocks and carries
+  the format magic.
+
+Writers stream through the shared :class:`~repro.engine.ratelimiter.RateLimiter`
+and issue periodic forces per the :class:`~repro.engine.ratelimiter.SyncPolicy`,
+reproducing the paper's two I/O optimizations on the real write path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ConfigurationError, CorruptionError
+from .bloom import BloomFilter
+from .options import TOMBSTONE
+from .ratelimiter import RateLimiter, SyncPolicy
+
+_LEN = struct.Struct("<I")
+_INDEX_ENTRY = struct.Struct("<QI")
+_FOOTER = struct.Struct("<QIQIQI8s")
+_MAGIC = b"LSMRUN01"
+_TOMBSTONE_LEN = 0xFFFFFFFF
+_CRC_LEN = 4
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Summary of a finished sorted run."""
+
+    path: str
+    entry_count: int
+    tombstone_count: int
+    data_bytes: int
+    file_bytes: int
+    min_key: bytes
+    max_key: bytes
+
+
+def _crc(payload: bytes) -> bytes:
+    return _LEN.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+
+
+def _check_crc(blob: bytes, context: str) -> bytes:
+    if len(blob) < _CRC_LEN:
+        raise CorruptionError(f"{context}: block truncated")
+    payload, crc = blob[:-_CRC_LEN], blob[-_CRC_LEN:]
+    if _crc(payload) != crc:
+        raise CorruptionError(f"{context}: checksum mismatch")
+    return payload
+
+
+class SSTableWriter:
+    """Streams sorted key/value (or tombstone) entries into a run file."""
+
+    def __init__(
+        self,
+        path: str,
+        block_bytes: int = 4096,
+        bloom_bits_per_key: int = 10,
+        expected_keys: int = 0,
+        rate_limiter: RateLimiter | None = None,
+        sync_policy: SyncPolicy | None = None,
+    ) -> None:
+        if block_bytes < 128:
+            raise ConfigurationError("block size too small")
+        self._path = path
+        self._block_bytes = block_bytes
+        self._file = open(path, "wb")
+        self._rate = rate_limiter or RateLimiter(0)
+        self._sync = sync_policy or SyncPolicy(0)
+        self._bloom = BloomFilter(max(expected_keys, 1024), bloom_bits_per_key)
+        self._block = bytearray()
+        self._block_first_key: bytes | None = None
+        self._index: list[tuple[bytes, int, int]] = []
+        self._offset = 0
+        self._entries = 0
+        self._tombstones = 0
+        self._last_key: bytes | None = None
+        self._min_key: bytes | None = None
+        self._max_key: bytes | None = None
+        self._finished = False
+
+    def _write_raw(self, payload: bytes) -> None:
+        self._rate.acquire(len(payload))
+        self._file.write(payload)
+        self._offset += len(payload)
+        if self._sync.note_write(len(payload)):
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def _flush_block(self) -> None:
+        if not self._block:
+            return
+        payload = bytes(self._block)
+        start = self._offset
+        self._write_raw(payload + _crc(payload))
+        self._index.append(
+            (self._block_first_key, start, len(payload) + _CRC_LEN)
+        )
+        self._block.clear()
+        self._block_first_key = None
+
+    def add(self, key: bytes, value: bytes | None) -> None:
+        """Append one entry; keys must arrive in strictly ascending order."""
+        if self._finished:
+            raise ConfigurationError("writer already finished")
+        if self._last_key is not None and key <= self._last_key:
+            raise ConfigurationError(
+                f"keys out of order: {key!r} after {self._last_key!r}"
+            )
+        self._last_key = key
+        if self._min_key is None:
+            self._min_key = key
+        self._max_key = key
+        if self._block_first_key is None:
+            self._block_first_key = key
+        if value is TOMBSTONE:
+            self._block += _LEN.pack(len(key)) + _LEN.pack(_TOMBSTONE_LEN) + key
+            self._tombstones += 1
+        else:
+            self._block += (
+                _LEN.pack(len(key)) + _LEN.pack(len(value)) + key + value
+            )
+        self._bloom.add(key)
+        self._entries += 1
+        if len(self._block) >= self._block_bytes:
+            self._flush_block()
+
+    def finish(self) -> RunStats:
+        """Flush everything, write the footer, fsync, and close."""
+        if self._finished:
+            raise ConfigurationError("writer already finished")
+        self._finished = True
+        self._flush_block()
+        data_bytes = self._offset
+
+        index_payload = bytearray()
+        for first_key, offset, length in self._index:
+            index_payload += _LEN.pack(len(first_key)) + first_key
+            index_payload += _INDEX_ENTRY.pack(offset, length)
+        index_off = self._offset
+        self._write_raw(bytes(index_payload) + _crc(bytes(index_payload)))
+        index_len = self._offset - index_off
+
+        bloom_payload = self._bloom.to_bytes()
+        bloom_off = self._offset
+        self._write_raw(bloom_payload + _crc(bloom_payload))
+        bloom_len = self._offset - bloom_off
+
+        meta_payload = json.dumps(
+            {
+                "entries": self._entries,
+                "tombstones": self._tombstones,
+                "data_bytes": data_bytes,
+                "min_key": (self._min_key or b"").hex(),
+                "max_key": (self._max_key or b"").hex(),
+            }
+        ).encode("utf-8")
+        meta_off = self._offset
+        self._write_raw(meta_payload + _crc(meta_payload))
+        meta_len = self._offset - meta_off
+
+        self._file.write(
+            _FOOTER.pack(
+                index_off, index_len, bloom_off, bloom_len, meta_off, meta_len,
+                _MAGIC,
+            )
+        )
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        return RunStats(
+            path=self._path,
+            entry_count=self._entries,
+            tombstone_count=self._tombstones,
+            data_bytes=data_bytes,
+            file_bytes=os.path.getsize(self._path),
+            min_key=self._min_key or b"",
+            max_key=self._max_key or b"",
+        )
+
+    def abandon(self) -> None:
+        """Close and delete a partially written run (merge aborted)."""
+        if not self._file.closed:
+            self._file.close()
+        if os.path.exists(self._path):
+            os.remove(self._path)
+
+
+def _decode_block(payload: bytes) -> list[tuple[bytes, bytes | None]]:
+    entries = []
+    pos = 0
+    while pos < len(payload):
+        if pos + 8 > len(payload):
+            raise CorruptionError("data block entry header truncated")
+        key_len = _LEN.unpack_from(payload, pos)[0]
+        val_len = _LEN.unpack_from(payload, pos + 4)[0]
+        pos += 8
+        key = payload[pos : pos + key_len]
+        pos += key_len
+        if val_len == _TOMBSTONE_LEN:
+            entries.append((key, TOMBSTONE))
+        else:
+            entries.append((key, payload[pos : pos + val_len]))
+            pos += val_len
+    return entries
+
+
+class SSTableReader:
+    """Random and sequential access to one sorted-run file.
+
+    With a :class:`~repro.engine.blockcache.BlockCache` attached, data
+    blocks are served from and populated into the shared cache (the
+    engine's buffer-cache analogue of the paper's Section 3.1 setup);
+    index/bloom/meta blocks are always held in memory per reader.
+    """
+
+    def __init__(self, path: str, block_cache=None) -> None:
+        self._path = path
+        self._cache = block_cache
+        self._generation = (
+            block_cache.register_reader() if block_cache is not None else 0
+        )
+        self._file = open(path, "rb")
+        size = os.path.getsize(path)
+        if size < _FOOTER.size:
+            raise CorruptionError(f"{path}: file smaller than footer")
+        self._file.seek(size - _FOOTER.size)
+        footer = self._file.read(_FOOTER.size)
+        (
+            index_off,
+            index_len,
+            bloom_off,
+            bloom_len,
+            meta_off,
+            meta_len,
+            magic,
+        ) = _FOOTER.unpack(footer)
+        if magic != _MAGIC:
+            raise CorruptionError(f"{path}: bad magic {magic!r}")
+        index_payload = _check_crc(self._read_at(index_off, index_len), "index")
+        self._index: list[tuple[bytes, int, int]] = []
+        pos = 0
+        while pos < len(index_payload):
+            key_len = _LEN.unpack_from(index_payload, pos)[0]
+            pos += 4
+            first_key = index_payload[pos : pos + key_len]
+            pos += key_len
+            offset, length = _INDEX_ENTRY.unpack_from(index_payload, pos)
+            pos += _INDEX_ENTRY.size
+            self._index.append((first_key, offset, length))
+        self._bloom = BloomFilter.from_bytes(
+            _check_crc(self._read_at(bloom_off, bloom_len), "bloom")
+        )
+        meta = json.loads(
+            _check_crc(self._read_at(meta_off, meta_len), "meta").decode("utf-8")
+        )
+        self._entries = int(meta["entries"])
+        self._tombstones = int(meta["tombstones"])
+        self._data_bytes = int(meta["data_bytes"])
+        self._min_key = bytes.fromhex(meta["min_key"])
+        self._max_key = bytes.fromhex(meta["max_key"])
+        self._closed = False
+
+    # -- metadata ------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """Backing file path."""
+        return self._path
+
+    @property
+    def entry_count(self) -> int:
+        """Entries in the run, tombstones included."""
+        return self._entries
+
+    @property
+    def tombstone_count(self) -> int:
+        """Tombstone entries in the run."""
+        return self._tombstones
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes of data blocks (the merge-costing size)."""
+        return self._data_bytes
+
+    @property
+    def min_key(self) -> bytes:
+        """Smallest key in the run."""
+        return self._min_key
+
+    @property
+    def max_key(self) -> bytes:
+        """Largest key in the run."""
+        return self._max_key
+
+    # -- access --------------------------------------------------------
+
+    def _read_at(self, offset: int, length: int) -> bytes:
+        self._file.seek(offset)
+        blob = self._file.read(length)
+        if len(blob) != length:
+            raise CorruptionError(f"{self._path}: short read")
+        return blob
+
+    def _read_block(self, offset: int, length: int) -> bytes:
+        """Read (and checksum-verify) one data block, cache-aware."""
+        if self._cache is not None:
+            cached = self._cache.get(self._generation, offset)
+            if cached is not None:
+                return cached
+        payload = _check_crc(self._read_at(offset, length), "data")
+        if self._cache is not None:
+            self._cache.put(self._generation, offset, payload)
+        return payload
+
+    def _block_for(self, key: bytes) -> int:
+        lo, hi = 0, len(self._index) - 1
+        result = -1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self._index[mid][0] <= key:
+                result = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return result
+
+    def might_contain(self, key: bytes) -> bool:
+        """Bloom filter check (False = definitely absent)."""
+        return self._bloom.might_contain(key)
+
+    def get(self, key: bytes) -> tuple[bool, bytes | None]:
+        """Point lookup: ``(found, value)``; found tombstone = (True, None)."""
+        if self._closed:
+            raise ConfigurationError("reader is closed")
+        if not self._index or not self._bloom.might_contain(key):
+            return False, None
+        block_idx = self._block_for(key)
+        if block_idx < 0:
+            return False, None
+        _, offset, length = self._index[block_idx]
+        payload = self._read_block(offset, length)
+        for entry_key, value in _decode_block(payload):
+            if entry_key == key:
+                return True, value
+            if entry_key > key:
+                break
+        return False, None
+
+    def items(
+        self, lo: bytes | None = None, hi: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes | None]]:
+        """Ordered iteration over ``[lo, hi)``, tombstones included."""
+        if self._closed:
+            raise ConfigurationError("reader is closed")
+        start = 0
+        if lo is not None and self._index:
+            start = max(self._block_for(lo), 0)
+        for block_idx in range(start, len(self._index)):
+            _, offset, length = self._index[block_idx]
+            payload = self._read_block(offset, length)
+            for key, value in _decode_block(payload):
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key >= hi:
+                    return
+                yield key, value
+
+    def close(self) -> None:
+        """Release the file handle and cached blocks (idempotent)."""
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+            if self._cache is not None:
+                self._cache.evict_reader(self._generation)

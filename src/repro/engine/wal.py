@@ -1,0 +1,117 @@
+"""Write-ahead log: durability for the memory components.
+
+Records are length-prefixed, CRC-protected frames, each carrying one
+commit batch of operations (put or delete). Replay stops cleanly at the
+first torn or corrupt frame — a crash mid-append must not poison the
+recovered prefix. The paper logs to a separate spindle; here the WAL path
+is simply a separate file, and fsync behaviour is the caller's choice
+(``sync=True`` per batch for durability, or buffered for speed).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterator
+
+from ..errors import ConfigurationError
+from .options import TOMBSTONE
+
+_FRAME_HEADER = struct.Struct("<II")  # payload length, crc32
+_OP = struct.Struct("<BII")  # opcode, key length, value length
+_OP_PUT = 1
+_OP_DELETE = 2
+
+
+class WriteAheadLog:
+    """Append-only redo log of commit batches."""
+
+    def __init__(self, path: str, sync: bool = False) -> None:
+        self._path = path
+        self._sync = sync
+        self._file = open(path, "ab")
+        self._bytes = os.path.getsize(path)
+
+    @property
+    def path(self) -> str:
+        """Backing file path."""
+        return self._path
+
+    @property
+    def size_bytes(self) -> int:
+        """Current log size."""
+        return self._bytes
+
+    def append(self, batch: list[tuple[bytes, bytes | None]]) -> None:
+        """Durably record one commit batch of (key, value-or-None) ops."""
+        if not batch:
+            raise ConfigurationError("empty commit batch")
+        payload = bytearray()
+        for key, value in batch:
+            if value is TOMBSTONE:
+                payload += _OP.pack(_OP_DELETE, len(key), 0) + key
+            else:
+                payload += _OP.pack(_OP_PUT, len(key), len(value)) + key + value
+        frame = _FRAME_HEADER.pack(
+            len(payload), zlib.crc32(bytes(payload)) & 0xFFFFFFFF
+        )
+        self._file.write(frame + payload)
+        self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+        self._bytes += len(frame) + len(payload)
+
+    def truncate(self) -> None:
+        """Discard the log (all buffered state reached durable runs)."""
+        self._file.close()
+        self._file = open(self._path, "wb")
+        self._file.close()
+        self._file = open(self._path, "ab")
+        self._bytes = 0
+
+    def close(self) -> None:
+        """Close the log file."""
+        if not self._file.closed:
+            self._file.close()
+
+    @staticmethod
+    def replay(path: str) -> Iterator[tuple[bytes, bytes | None]]:
+        """Yield every operation from intact frames, stopping at the
+        first torn or corrupt frame (crash-consistent prefix replay)."""
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as log:
+            while True:
+                header = log.read(_FRAME_HEADER.size)
+                if len(header) < _FRAME_HEADER.size:
+                    return  # clean end or torn header
+                length, crc = _FRAME_HEADER.unpack(header)
+                payload = log.read(length)
+                if len(payload) < length:
+                    return  # torn frame
+                if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                    return  # corrupt frame: stop replay here
+                pos = 0
+                ops: list[tuple[bytes, bytes | None]] = []
+                valid = True
+                while pos < length:
+                    if pos + _OP.size > length:
+                        valid = False
+                        break
+                    opcode, key_len, val_len = _OP.unpack_from(payload, pos)
+                    pos += _OP.size
+                    key = payload[pos : pos + key_len]
+                    pos += key_len
+                    if opcode == _OP_PUT:
+                        value = payload[pos : pos + val_len]
+                        pos += val_len
+                        ops.append((key, value))
+                    elif opcode == _OP_DELETE:
+                        ops.append((key, TOMBSTONE))
+                    else:
+                        valid = False
+                        break
+                if not valid:
+                    return
+                yield from ops

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch a single base class. The sub-hierarchy mirrors the
+package layout: configuration problems, simulation-model violations, and
+storage-engine failures each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulerError(ReproError):
+    """A merge scheduler was driven through an illegal transition."""
+
+
+class PolicyError(ReproError):
+    """A merge policy produced or received an invalid merge description."""
+
+
+class StorageError(ReproError):
+    """Base class for failures in the real storage engine (``repro.engine``)."""
+
+
+class CorruptionError(StorageError):
+    """On-disk data failed a checksum or structural validation check."""
+
+
+class WriteStalledError(StorageError):
+    """A non-blocking write was rejected because the tree is stalled.
+
+    Raised only when the engine is configured with ``stall_mode="reject"``;
+    the default behaviour is to block the writer until the stall clears,
+    matching the paper's "stop" write-interaction mode.
+    """
+
+
+class ClosedError(StorageError):
+    """An operation was attempted on a closed datastore or iterator."""

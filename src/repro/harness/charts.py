@@ -1,0 +1,80 @@
+"""Multi-line ASCII charts for benchmark output.
+
+Sparklines (``report.sparkline``) compress a series to one line; some
+figures deserve an actual plot — multiple labelled series on shared axes,
+with a y-scale. :func:`ascii_chart` renders exactly that with plain
+characters so figure output stays terminal- and logfile-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Glyphs assigned to series in declaration order.
+_GLYPHS = "*o+x#@%&"
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    if values.size <= width:
+        return values
+    edges = np.linspace(0, values.size, width + 1).astype(int)
+    return np.asarray(
+        [
+            values[lo:hi].mean() if hi > lo else values[min(lo, values.size - 1)]
+            for lo, hi in zip(edges[:-1], edges[1:])
+        ]
+    )
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 68,
+    height: int = 12,
+    y_label: str = "",
+    x_label: str = "time",
+) -> str:
+    """Render labelled series as a fixed-size ASCII chart.
+
+    All series share the y-axis (scaled to the global maximum) and the
+    x-axis (each series resampled to ``width`` columns). Returns a
+    multi-line string: legend, plot rows with y-tick labels, and an
+    x-axis rule.
+    """
+    if not series:
+        raise ConfigurationError("ascii_chart needs at least one series")
+    if width < 8 or height < 3:
+        raise ConfigurationError("chart area too small")
+    resampled: dict[str, np.ndarray] = {}
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ConfigurationError(f"series {name!r} is empty")
+        resampled[name] = _resample(arr, width)
+    top = max(float(arr.max()) for arr in resampled.values())
+    top = top if top > 0 else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, arr) in enumerate(resampled.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for column, value in enumerate(arr[:width]):
+            row = int(round((height - 1) * (1.0 - value / top)))
+            row = min(max(row, 0), height - 1)
+            current = grid[row][column]
+            grid[row][column] = "!" if current not in (" ", glyph) else glyph
+
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+        for i, name in enumerate(resampled)
+    )
+    lines = [legend + (f"   (y: {y_label})" if y_label else "")]
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        tick = f"{top * fraction:>9.1f} |"
+        lines.append(tick + "".join(row))
+    lines.append(" " * 9 + " +" + "-" * width)
+    lines.append(" " * 11 + x_label)
+    return "\n".join(lines)

@@ -1,0 +1,407 @@
+"""Experiment specifications: declarative descriptions of one LSM setup.
+
+An :class:`ExperimentSpec` pins down everything a two-phase evaluation
+needs — the testbed config, the merge policy, the runtime scheduler, the
+component constraint, the write control, the workload distribution, and
+the phase durations — so a benchmark is one constructor call plus
+:func:`repro.harness.two_phase`. The classmethod builders encode the
+paper's experimental setups (Sections 4-7) with their exact defaults.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..core import model
+from ..core.components import Component, UidAllocator
+from ..core.policies import (
+    LazyLevelingPolicy,
+    LevelingPolicy,
+    MergePolicy,
+    PartitionedLevelingPolicy,
+    SizeTieredPolicy,
+    TieringPolicy,
+)
+from ..core.schedulers import (
+    ComponentConstraint,
+    FairScheduler,
+    GlobalComponentConstraint,
+    GreedyScheduler,
+    LevelZeroConstraint,
+    LocalComponentConstraint,
+    MergeScheduler,
+    RateLimitControl,
+    SingleThreadedScheduler,
+    SlowdownControl,
+    SpringGearControl,
+    SpringGearScheduler,
+    StopControl,
+    WriteControl,
+)
+from ..errors import ConfigurationError
+from ..sim import (
+    SimConfig,
+    bench_config,
+    loaded_lazy_leveling_tree,
+    loaded_leveling_tree,
+    loaded_partitioned_tree,
+    loaded_size_tiered_stack,
+    loaded_tiering_tree,
+)
+from ..workloads import KeyspaceModel, UniformKeys, ZipfianKeys
+
+#: Default benchmark scale factor (see :func:`repro.sim.bench_config`).
+DEFAULT_SCALE = 128.0
+
+#: Phase durations. The running phase matches the paper's 2 hours. The
+#: *testing* phase defaults to 4 simulated hours with a 1-hour warm-up
+#: exclusion: the measured maximum only converges once the window spans
+#: several bottom-level merge cycles, and on the scaled testbed a 2-hour
+#: window over-weights the cheap periods between giant merges by ~8%,
+#: which at 95% utilization is the difference between reproducing
+#: Figures 11b/12 and contradicting them. (Virtual hours are nearly free;
+#: the paper's physical testbed did not have that luxury.)
+TESTING_DURATION = 14400.0
+RUNNING_DURATION = 7200.0
+WARMUP = 3600.0
+
+
+def make_scheduler(name: str, policy: MergePolicy, config: SimConfig) -> MergeScheduler:
+    """Build a scheduler by name: single / fair / greedy / greedy-k / spring."""
+    if name == "single":
+        return SingleThreadedScheduler()
+    if name == "fair":
+        return FairScheduler()
+    if name == "greedy":
+        return GreedyScheduler()
+    if name.startswith("greedy-"):
+        return GreedyScheduler(concurrency=int(name.split("-", 1)[1]))
+    if name == "spring":
+        capacities: dict[int, float] = {}
+        if isinstance(policy, LevelingPolicy):
+            capacities = {
+                level: policy.level_capacity_bytes(level)
+                for level in range(1, policy.levels + 1)
+            }
+        return SpringGearScheduler(capacities)
+    raise ConfigurationError(f"unknown scheduler {name!r}")
+
+
+def make_constraint(
+    name: str, policy: MergePolicy, factor: float = 2.0
+) -> ComponentConstraint:
+    """Build a constraint by name: global / local / level0."""
+    if name == "global":
+        return GlobalComponentConstraint(
+            model.default_component_limit(policy.expected_components(), factor)
+        )
+    if name == "local":
+        if isinstance(policy, TieringPolicy):
+            per_level = int(math.ceil(factor * policy.size_ratio))
+        else:
+            per_level = int(math.ceil(factor))
+        return LocalComponentConstraint(per_level)
+    if name == "level0":
+        return LevelZeroConstraint(stop=12)
+    raise ConfigurationError(f"unknown constraint {name!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A fully pinned-down LSM experiment (see module docstring)."""
+
+    name: str
+    config: SimConfig
+    policy_factory: Callable[[], MergePolicy]
+    bootstrap: Callable[
+        [MergePolicy, KeyspaceModel, SimConfig, UidAllocator], list[Component]
+    ]
+    scheduler: str = "greedy"
+    testing_scheduler: str = "fair"
+    constraint: str = "global"
+    constraint_factor: float = 2.0
+    control_factory: Callable[[], WriteControl] = StopControl
+    distribution: str = "uniform"
+    zipf_theta: float = 0.99
+    keyspace_factory: Callable[[], KeyspaceModel] | None = None
+    testing_policy_factory: Callable[[], MergePolicy] | None = None
+    testing_duration: float = TESTING_DURATION
+    running_duration: float = RUNNING_DURATION
+    warmup: float = WARMUP
+    utilization: float = 0.95
+    window: float = 30.0
+
+    def keyspace(self) -> KeyspaceModel:
+        """The analytic keyspace model for this spec's distribution.
+
+        ``keyspace_factory`` overrides the distribution-derived default —
+        used e.g. by the Table 1 validation benchmark, which needs a
+        reclamation-free (very sparse) keyspace.
+        """
+        if self.keyspace_factory is not None:
+            return self.keyspace_factory()
+        if self.distribution == "uniform":
+            return KeyspaceModel(UniformKeys(self.config.total_keys))
+        if self.distribution == "zipf":
+            return KeyspaceModel(
+                ZipfianKeys(self.config.total_keys, self.zipf_theta)
+            )
+        raise ConfigurationError(f"unknown distribution {self.distribution!r}")
+
+    def with_(self, **overrides) -> "ExperimentSpec":
+        """Functional update."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # the paper's standard setups
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def tiering(
+        cls,
+        size_ratio: int = 3,
+        scheduler: str = "greedy",
+        scale: float = DEFAULT_SCALE,
+        distribution: str = "uniform",
+        **overrides,
+    ) -> "ExperimentSpec":
+        """Section 5.2's tiering setup (T=3, eight-ish levels)."""
+        config = bench_config(scale)
+        levels = model.levels_for_tiering(
+            config.total_keys, config.memory_component_entries, size_ratio
+        )
+
+        def build() -> TieringPolicy:
+            return TieringPolicy(size_ratio, levels)
+
+        return cls(
+            name=f"tiering-T{size_ratio}-{scheduler}",
+            config=config,
+            policy_factory=build,
+            bootstrap=loaded_tiering_tree,
+            scheduler=scheduler,
+            distribution=distribution,
+            **overrides,
+        )
+
+    @classmethod
+    def leveling(
+        cls,
+        size_ratio: float = 10,
+        scheduler: str = "greedy",
+        scale: float = DEFAULT_SCALE,
+        distribution: str = "uniform",
+        dynamic_level_sizes: bool = False,
+        **overrides,
+    ) -> "ExperimentSpec":
+        """Section 5.2's leveling setup (T=10, three levels)."""
+        config = bench_config(scale)
+        levels = model.levels_for_leveling(
+            config.total_keys, config.memory_component_entries, size_ratio
+        )
+        last_level = config.total_bytes if dynamic_level_sizes else None
+
+        def build() -> LevelingPolicy:
+            return LevelingPolicy(
+                size_ratio,
+                levels,
+                config.memory_component_bytes,
+                last_level_bytes=last_level,
+            )
+
+        return cls(
+            name=f"leveling-T{size_ratio}-{scheduler}",
+            config=config,
+            policy_factory=build,
+            bootstrap=loaded_leveling_tree,
+            scheduler=scheduler,
+            distribution=distribution,
+            **overrides,
+        )
+
+    @classmethod
+    def lazy_leveling(
+        cls,
+        size_ratio: int = 3,
+        scheduler: str = "greedy",
+        scale: float = DEFAULT_SCALE,
+        distribution: str = "uniform",
+        **overrides,
+    ) -> "ExperimentSpec":
+        """The Dostoevsky-style extension policy (DESIGN.md Section 8):
+        tiering at intermediate levels, leveling at the last."""
+        config = bench_config(scale)
+        levels = model.levels_for_tiering(
+            config.total_keys, config.memory_component_entries, size_ratio
+        )
+
+        def build() -> LazyLevelingPolicy:
+            return LazyLevelingPolicy(size_ratio, max(levels, 2))
+
+        return cls(
+            name=f"lazy-leveling-T{size_ratio}-{scheduler}",
+            config=config,
+            policy_factory=build,
+            bootstrap=loaded_lazy_leveling_tree,
+            scheduler=scheduler,
+            distribution=distribution,
+            **overrides,
+        )
+
+    @classmethod
+    def size_tiered(
+        cls,
+        size_ratio: float = 1.2,
+        min_merge: int = 2,
+        max_merge: int = 10,
+        scheduler: str = "greedy",
+        scale: float = DEFAULT_SCALE,
+        testing_fix: bool = False,
+        component_cap: int = 50,
+        **overrides,
+    ) -> "ExperimentSpec":
+        """Section 5.3's size-tiered setup (HBase defaults, cap of 50).
+
+        ``testing_fix=True`` applies the paper's solution: the testing
+        phase merges exactly ``min_merge`` components.
+        """
+        config = bench_config(scale)
+
+        def build() -> SizeTieredPolicy:
+            return SizeTieredPolicy(
+                size_ratio=size_ratio,
+                min_merge=min_merge,
+                max_merge=max_merge,
+                expected_component_cap=component_cap // 2,
+            )
+
+        testing_factory = None
+        if testing_fix:
+            def testing_factory() -> SizeTieredPolicy:  # noqa: E306
+                return build().with_always_min(True)
+
+        return cls(
+            name=f"size-tiered-{scheduler}{'-fixed' if testing_fix else ''}",
+            config=config,
+            policy_factory=build,
+            bootstrap=loaded_size_tiered_stack,
+            scheduler=scheduler,
+            testing_policy_factory=testing_factory,
+            **overrides,
+        )
+
+    @classmethod
+    def partitioned(
+        cls,
+        size_ratio: float = 10,
+        file_mib: float = 64.0,
+        selection: str = "round-robin",
+        scale: float = DEFAULT_SCALE,
+        testing_fix: bool = False,
+        **overrides,
+    ) -> "ExperimentSpec":
+        """Section 6's LevelDB setup: 64 MB files, L1 target of ten
+        memory components, L0 min-merge 4 and stop threshold 12, one
+        single-threaded compaction.
+
+        ``testing_fix=True`` applies Section 6.2's solution: the testing
+        phase merges exactly ``T0`` level-0 components.
+        """
+        config = bench_config(scale)
+        level1_target = 10 * config.memory_component_bytes
+        max_file = file_mib * 2**20 / scale
+        levels = 1
+        while level1_target * size_ratio ** (levels - 1) < config.total_bytes:
+            levels += 1
+
+        def build() -> PartitionedLevelingPolicy:
+            return PartitionedLevelingPolicy(
+                size_ratio=size_ratio,
+                levels=levels,
+                level1_target_bytes=level1_target,
+                max_file_bytes=max_file,
+                l0_min_merge=4,
+                selection=selection,
+            )
+
+        testing_factory = None
+        if testing_fix:
+            def testing_factory() -> PartitionedLevelingPolicy:  # noqa: E306
+                return build().with_l0_exact(True)
+
+        return cls(
+            name=f"partitioned-{selection}{'-fixed' if testing_fix else ''}",
+            config=config,
+            policy_factory=build,
+            bootstrap=loaded_partitioned_tree,
+            scheduler="single",
+            testing_scheduler="single",
+            constraint="level0",
+            testing_policy_factory=testing_factory,
+            **overrides,
+        )
+
+    @classmethod
+    def blsm(
+        cls,
+        scale: float = DEFAULT_SCALE,
+        distribution: str = "uniform",
+        **overrides,
+    ) -> "ExperimentSpec":
+        """Section 4.2's bLSM setup: 1 GB memory component, size ratio 10,
+        two disk levels, spring-and-gear scheduling with graceful
+        write slowdown, and bLSM's local two-components-per-level
+        constraint.
+
+        The local budget is three per level under this library's
+        "violated at the budget" convention: bLSM's *steady state* keeps
+        two components per level (the full ``C'_i`` being merged away
+        plus the forming ``C_i``), so a budget of two would block writes
+        for the entire duration of every deep merge — precisely the
+        extended blocking bLSM exists to avoid. Three means "the two
+        structural components plus no more than one straggler".
+        """
+        config = bench_config(scale).with_(
+            memory_component_bytes=1024 * 2**20 / scale,
+            reallocation_interval=5.0,
+        )
+        levels = 2
+
+        def build() -> LevelingPolicy:
+            return LevelingPolicy(10, levels, config.memory_component_bytes)
+
+        capacities = {
+            level: build().level_capacity_bytes(level)
+            for level in range(1, levels + 1)
+        }
+
+        return cls(
+            name="blsm-spring-gear",
+            config=config,
+            policy_factory=build,
+            bootstrap=loaded_leveling_tree,
+            scheduler="spring",
+            testing_scheduler="spring",
+            constraint="local",
+            constraint_factor=3.0,
+            control_factory=lambda: SpringGearControl(
+                config.entry_bytes, capacities
+            ),
+            distribution=distribution,
+            **overrides,
+        )
+
+
+def make_control(name: str, config: SimConfig, rate: float = 0.0) -> WriteControl:
+    """Build a write control by name (stop / limit / slowdown / spring)."""
+    if name == "stop":
+        return StopControl()
+    if name == "limit":
+        return RateLimitControl(rate)
+    if name == "slowdown":
+        return SlowdownControl(base_rate=config.memory_write_rate)
+    if name == "spring":
+        return SpringGearControl(config.entry_bytes)
+    raise ConfigurationError(f"unknown write control {name!r}")

@@ -1,0 +1,150 @@
+"""Exact and streaming percentile computation over latency samples.
+
+The paper reports percentile write/query latencies (50%, 90%, 99%, 99.9%).
+Experiments in this reproduction are deterministic simulations, so we keep
+*exact* samples whenever feasible (:class:`LatencyReservoir` with an
+unbounded mode) and fall back to uniform reservoir sampling for very long
+runs. Percentiles use the "lower" interpolation, i.e. the reported value is
+an actual observed sample, which is what latency dashboards conventionally
+report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: The percentile levels reported throughout the paper's figures.
+STANDARD_PERCENTILES: tuple[float, ...] = (50.0, 90.0, 99.0, 99.9)
+
+
+def percentile(samples: Sequence[float] | np.ndarray, q: float) -> float:
+    """Return the ``q``-th percentile of ``samples`` as an observed value.
+
+    ``q`` is expressed in percent (0-100). Raises
+    :class:`~repro.errors.ConfigurationError` when ``samples`` is empty or
+    ``q`` is out of range, rather than silently returning NaN.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile q={q} must be within [0, 100]")
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot take a percentile of zero samples")
+    return float(np.percentile(arr, q, method="lower"))
+
+
+def percentile_profile(
+    samples: Sequence[float] | np.ndarray,
+    levels: Iterable[float] = STANDARD_PERCENTILES,
+) -> dict[float, float]:
+    """Return ``{level: value}`` for each percentile level in ``levels``."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot take percentiles of zero samples")
+    levels = tuple(levels)
+    values = np.percentile(arr, levels, method="lower")
+    return {level: float(value) for level, value in zip(levels, values)}
+
+
+def weighted_percentile_profile(
+    values: Sequence[float] | np.ndarray,
+    weights: Sequence[float] | np.ndarray,
+    levels: Iterable[float] = STANDARD_PERCENTILES,
+) -> dict[float, float]:
+    """Percentiles of a weighted sample set.
+
+    Used for fluid-model latencies, where each sample stands for a mass
+    of writes (or queries) rather than a single observation: the ``q``-th
+    percentile is the smallest value whose cumulative weight share
+    reaches ``q``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.size == 0 or values.shape != weights.shape:
+        raise ConfigurationError(
+            "weighted percentiles need matching, non-empty values/weights"
+        )
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise ConfigurationError("weights must be non-negative with mass")
+    order = np.argsort(values)
+    values = values[order]
+    cumulative = np.cumsum(weights[order])
+    cumulative /= cumulative[-1]
+    result = {}
+    for level in tuple(levels):
+        if not 0.0 <= level <= 100.0:
+            raise ConfigurationError(f"percentile level {level} out of range")
+        index = int(np.searchsorted(cumulative, level / 100.0))
+        result[level] = float(values[min(index, values.size - 1)])
+    return result
+
+
+class LatencyReservoir:
+    """Collects latency samples with an optional uniform-sampling cap.
+
+    With ``capacity=None`` (default) every sample is kept and percentiles
+    are exact. With a finite capacity the reservoir keeps a uniform random
+    subset using Vitter's algorithm R, driven by an explicit
+    :class:`numpy.random.Generator` so simulations stay reproducible.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError("reservoir capacity must be positive")
+        self._capacity = capacity
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._samples: list[float] = []
+        self._seen = 0
+
+    @property
+    def count(self) -> int:
+        """Total number of samples offered to the reservoir."""
+        return self._seen
+
+    def add(self, value: float) -> None:
+        """Record one latency sample (seconds)."""
+        self._seen += 1
+        if self._capacity is None or len(self._samples) < self._capacity:
+            self._samples.append(float(value))
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self._capacity:
+            self._samples[slot] = float(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many latency samples."""
+        for value in values:
+            self.add(value)
+
+    def samples(self) -> np.ndarray:
+        """Return the retained samples as an array (copy)."""
+        return np.asarray(self._samples, dtype=np.float64)
+
+    def percentile(self, q: float) -> float:
+        """Exact-or-sampled percentile of the retained samples."""
+        return percentile(self._samples, q)
+
+    def profile(
+        self, levels: Iterable[float] = STANDARD_PERCENTILES
+    ) -> dict[float, float]:
+        """Percentile profile (see :func:`percentile_profile`)."""
+        return percentile_profile(self._samples, levels)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the retained samples."""
+        if not self._samples:
+            raise ConfigurationError("cannot take the mean of zero samples")
+        return float(np.mean(self._samples))
+
+    def maximum(self) -> float:
+        """Largest retained sample."""
+        if not self._samples:
+            raise ConfigurationError("cannot take the max of zero samples")
+        return float(np.max(self._samples))

@@ -1,0 +1,181 @@
+"""Windowed time-series recording for instantaneous throughput plots.
+
+Most figures in the paper plot *instantaneous write throughput*, averaged
+over 30-second windows, against simulated time. :class:`WindowedCounter`
+accumulates fluid event counts (e.g. entries written) into fixed-width
+windows of virtual time; :class:`StepSeries` records piecewise-constant
+state (e.g. the number of disk components) and can be resampled onto a
+window grid for plotting and shape assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """A single ``(time, value)`` sample of a time series."""
+
+    time: float
+    value: float
+
+
+class WindowedCounter:
+    """Accumulates a fluid count into fixed-width windows of virtual time.
+
+    ``add(t0, t1, amount)`` spreads ``amount`` uniformly over the interval
+    ``[t0, t1)`` — the natural operation for a fluid simulation where, say,
+    1234 entries were written at a constant rate between two events. Point
+    increments use ``add(t, t, amount)``.
+    """
+
+    def __init__(self, window: float = 30.0) -> None:
+        if window <= 0:
+            raise ConfigurationError("window width must be positive")
+        self._window = window
+        self._totals: dict[int, float] = {}
+
+    @property
+    def window(self) -> float:
+        """Window width in (virtual) seconds."""
+        return self._window
+
+    def add(self, t0: float, t1: float, amount: float) -> None:
+        """Spread ``amount`` uniformly over ``[t0, t1)`` (or at ``t0``)."""
+        if t1 < t0:
+            raise ConfigurationError(f"interval [{t0}, {t1}) is reversed")
+        if amount == 0.0:
+            return
+        first = int(t0 // self._window)
+        if t1 == t0:
+            self._totals[first] = self._totals.get(first, 0.0) + amount
+            return
+        last = int(t1 // self._window)
+        if first == last:
+            self._totals[first] = self._totals.get(first, 0.0) + amount
+            return
+        rate = amount / (t1 - t0)
+        for idx in range(first, last + 1):
+            lo = max(t0, idx * self._window)
+            hi = min(t1, (idx + 1) * self._window)
+            if hi > lo:
+                self._totals[idx] = self._totals.get(idx, 0.0) + rate * (hi - lo)
+
+    def rates(self, until: float | None = None) -> list[SeriesPoint]:
+        """Per-window average rates (amount per second).
+
+        Returns one point per window from time zero through the last
+        recorded window (or through ``until``), with the point's time at
+        the window start. Windows with no activity report a rate of 0 —
+        a write stall must show up as a zero, not a gap.
+        """
+        if not self._totals and until is None:
+            return []
+        last = max(self._totals) if self._totals else -1
+        if until is not None:
+            last = max(last, int(until // self._window) - 1)
+        return [
+            SeriesPoint(idx * self._window, self._totals.get(idx, 0.0) / self._window)
+            for idx in range(0, last + 1)
+        ]
+
+    def rate_values(self, until: float | None = None) -> np.ndarray:
+        """The per-window rates as a bare array (for shape assertions)."""
+        return np.asarray([p.value for p in self.rates(until)], dtype=np.float64)
+
+    def total(self) -> float:
+        """Total accumulated amount across all windows."""
+        return float(sum(self._totals.values()))
+
+
+class StepSeries:
+    """Records a piecewise-constant state variable over virtual time.
+
+    Used for "number of disk components over time" plots. ``record(t, v)``
+    states that the variable has value ``v`` from time ``t`` until the next
+    record. Queries are by resampling onto a uniform grid or by extrema.
+    """
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Record that the state changed to ``value`` at ``time``."""
+        if self._times and time < self._times[-1]:
+            raise ConfigurationError(
+                f"state recorded out of order: {time} < {self._times[-1]}"
+            )
+        if self._times and time == self._times[-1]:
+            self._values[-1] = float(value)
+            return
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def points(self) -> list[SeriesPoint]:
+        """All recorded change-points in time order."""
+        return [SeriesPoint(t, v) for t, v in zip(self._times, self._values)]
+
+    def value_at(self, time: float) -> float:
+        """The state value in effect at ``time``."""
+        if not self._times or time < self._times[0]:
+            raise ConfigurationError(f"no state recorded at or before t={time}")
+        idx = int(np.searchsorted(self._times, time, side="right")) - 1
+        return self._values[idx]
+
+    def resample(self, start: float, stop: float, step: float) -> np.ndarray:
+        """Sample the step function on ``arange(start, stop, step)``."""
+        if step <= 0:
+            raise ConfigurationError("resample step must be positive")
+        grid = np.arange(start, stop, step)
+        return np.asarray([self.value_at(t) for t in grid], dtype=np.float64)
+
+    def maximum(self) -> float:
+        """Largest value ever recorded."""
+        if not self._values:
+            raise ConfigurationError("no state recorded")
+        return max(self._values)
+
+    def minimum(self) -> float:
+        """Smallest value ever recorded."""
+        if not self._values:
+            raise ConfigurationError("no state recorded")
+        return min(self._values)
+
+    def time_average(self, start: float, stop: float) -> float:
+        """Time-weighted mean of the step function over ``[start, stop]``."""
+        if stop <= start:
+            raise ConfigurationError("time_average interval is empty")
+        total = 0.0
+        for (t0, v), t1 in zip(
+            zip(self._times, self._values), self._times[1:] + [stop]
+        ):
+            lo, hi = max(t0, start), min(t1, stop)
+            if hi > lo:
+                total += v * (hi - lo)
+        return total / (stop - start)
+
+
+def stall_windows(rates: Iterable[float], threshold_fraction: float = 0.05) -> int:
+    """Count throughput windows that qualify as write stalls.
+
+    A window is a stall when its rate falls below ``threshold_fraction`` of
+    the series' mean rate — the operational definition this reproduction
+    uses when a figure says "write stalls have occurred". (The mean, not
+    the median: a closed loop that stalls half the time has a median of
+    zero, which would hide exactly the behaviour being detected.)
+    """
+    values = np.asarray(list(rates), dtype=np.float64)
+    if values.size == 0:
+        return 0
+    cutoff = float(np.mean(values)) * threshold_fraction
+    return int(np.sum(values < cutoff))

@@ -1,0 +1,56 @@
+"""The discrete-event LSM simulator: the reproduction's testbed substrate."""
+
+from .bootstrap import (
+    loaded_lazy_leveling_tree,
+    loaded_leveling_tree,
+    loaded_partitioned_tree,
+    loaded_size_tiered_stack,
+    loaded_tiering_tree,
+)
+from .config import MiB, SimConfig, bench_config, paper_config
+from .export import load_result_dict, result_to_dict, save_result
+from .lsm import SimulatedLSMTree
+from .queries import (
+    QueryDevice,
+    QueryOutcome,
+    QueryWorkload,
+    pages_per_query,
+    simulate_queries,
+)
+from .result import ForceEvent, MergeRecord, SimResult
+from .secondary import (
+    DatasetResult,
+    EagerLookupControl,
+    SecondarySetup,
+    dataset_two_phase,
+    simulate_dataset,
+)
+
+__all__ = [
+    "DatasetResult",
+    "EagerLookupControl",
+    "ForceEvent",
+    "MergeRecord",
+    "MiB",
+    "QueryDevice",
+    "QueryOutcome",
+    "QueryWorkload",
+    "SecondarySetup",
+    "SimConfig",
+    "SimResult",
+    "SimulatedLSMTree",
+    "bench_config",
+    "dataset_two_phase",
+    "load_result_dict",
+    "result_to_dict",
+    "save_result",
+    "pages_per_query",
+    "simulate_dataset",
+    "simulate_queries",
+    "loaded_lazy_leveling_tree",
+    "loaded_leveling_tree",
+    "loaded_partitioned_tree",
+    "loaded_size_tiered_stack",
+    "loaded_tiering_tree",
+    "paper_config",
+]

@@ -1,0 +1,166 @@
+"""Simulation configuration: the experimental setup of Section 3.1.
+
+The defaults mirror the paper's testbed: 1 KB entries, 128 MB memory
+components (two of them, to minimize flush stalls), a 100 MB/s I/O
+bandwidth budget enforced by a rate limiter, SSD forces every 16 MB, and a
+100-million-record dataset. :meth:`SimConfig.scaled` produces
+geometrically shrunken configurations that preserve every ratio the
+analysis depends on (levels, size ratios, bandwidth-to-memory proportions)
+while keeping simulated-event counts small enough for the benchmark
+suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+
+#: Bytes per mebibyte, used throughout the paper's parameter listings.
+MiB = float(2**20)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """All knobs of the simulated LSM testbed.
+
+    Attributes
+    ----------
+    entry_bytes:
+        Size of one record (paper: 1 KB).
+    memory_component_bytes:
+        Budget of one memory component (paper: 128 MB).
+    num_memory_components:
+        Memory components per tree; one active plus spares being flushed
+        (paper: 2).
+    bandwidth_bytes_per_s:
+        The I/O write-bandwidth budget shared by flushes and merges
+        (paper: 100 MB/s via a rate limiter).
+    memory_write_rate:
+        CPU-bound ceiling on in-memory writes, entries/second; must be
+        high enough that the closed-system maximum is I/O-bound, as it is
+        on the paper's testbed.
+    total_keys:
+        Unique keys loaded before the experiment (paper: 100 million).
+    flush_costs_io:
+        When True (default, faithful), an active flush takes priority for
+        the whole bandwidth budget and merges pause; when False, flushes
+        run on dedicated bandwidth — useful for validating the simulator
+        against the closed-form model, which ignores flush I/O.
+    force_interval_bytes:
+        Periodic-force interval for flush/merge writes (paper: 16 MB); a
+        force of ``s`` bytes blocks concurrent queries for
+        ``s / force_drain_bytes_per_s`` seconds.
+    force_drain_bytes_per_s:
+        Device burst rate at which a force drains the OS I/O queue.
+    force_at_end_only:
+        When True, reproduce the "force only at merge completion" variant
+        of the query experiments (Figures 14-17): one force of the whole
+        component instead of periodic 16 MB forces.
+    reallocation_interval:
+        When set, bandwidth allocations are also refreshed every this many
+        simulated seconds (needed by progress-coupled schedulers such as
+        bLSM's spring-and-gear); None refreshes only at state changes.
+    max_events:
+        Hard cap on simulation events; exceeding it raises, catching
+        accidental infinite event loops.
+    """
+
+    entry_bytes: float = 1024.0
+    memory_component_bytes: float = 128 * MiB
+    num_memory_components: int = 2
+    bandwidth_bytes_per_s: float = 100 * MiB
+    memory_write_rate: float = 500_000.0
+    total_keys: int = 100_000_000
+    flush_costs_io: bool = True
+    force_interval_bytes: float = 16 * MiB
+    force_drain_bytes_per_s: float = 500 * MiB
+    force_at_end_only: bool = False
+    reallocation_interval: float | None = None
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.entry_bytes <= 0:
+            raise ConfigurationError("entry_bytes must be positive")
+        if self.memory_component_bytes < self.entry_bytes:
+            raise ConfigurationError("memory component smaller than one entry")
+        if self.num_memory_components < 1:
+            raise ConfigurationError("need at least one memory component")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth budget must be positive")
+        if self.memory_write_rate <= 0:
+            raise ConfigurationError("memory write rate must be positive")
+        if self.total_keys < 1:
+            raise ConfigurationError("total_keys must be positive")
+        if self.force_interval_bytes <= 0:
+            raise ConfigurationError("force interval must be positive")
+        if self.force_drain_bytes_per_s <= 0:
+            raise ConfigurationError("force drain rate must be positive")
+        if self.reallocation_interval is not None and self.reallocation_interval <= 0:
+            raise ConfigurationError("reallocation interval must be positive")
+        if self.max_events < 1000:
+            raise ConfigurationError("max_events is implausibly small")
+
+    @property
+    def memory_component_entries(self) -> float:
+        """Entries that fit in one memory component."""
+        return self.memory_component_bytes / self.entry_bytes
+
+    @property
+    def bandwidth_entries_per_s(self) -> float:
+        """The I/O budget expressed in entries/second (Table 1's ``B``)."""
+        return self.bandwidth_bytes_per_s / self.entry_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        """Unique-data footprint of the loaded dataset."""
+        return self.total_keys * self.entry_bytes
+
+    def scaled(self, factor: float) -> "SimConfig":
+        """A geometrically shrunken testbed for fast benchmark runs.
+
+        Divides the dataset, the memory component, the bandwidth budget,
+        and the CPU write ceiling by ``factor``. Every *ratio* the
+        analysis depends on is preserved — level counts (``total /
+        memory``), flush and merge durations (``memory / bandwidth``),
+        and the CPU-to-I/O speed gap — so the simulated timeline is
+        identical to the paper-scale testbed with all throughputs divided
+        by ``factor``. Event counts drop by the same factor, which is
+        what makes the benchmark suite fast.
+        """
+        if factor < 1:
+            raise ConfigurationError("scale factor must be at least 1")
+        return replace(
+            self,
+            memory_component_bytes=self.memory_component_bytes / factor,
+            total_keys=max(1, int(self.total_keys / factor)),
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s / factor,
+            memory_write_rate=self.memory_write_rate / factor,
+            force_interval_bytes=max(
+                self.entry_bytes, self.force_interval_bytes / factor
+            ),
+            force_drain_bytes_per_s=self.force_drain_bytes_per_s / factor,
+        )
+
+    def with_(self, **overrides) -> "SimConfig":
+        """Functional update (a readable alias for ``dataclasses.replace``)."""
+        return replace(self, **overrides)
+
+
+def paper_config() -> SimConfig:
+    """The testbed exactly as Section 3.1 describes it."""
+    return SimConfig()
+
+
+def bench_config(scale: float = 128.0) -> SimConfig:
+    """The default shrunken testbed used by this repo's benchmarks.
+
+    ``scale=128`` gives a 1 MB memory component and ~780k keys: the same
+    three-level leveling / eight-level tiering shapes as the paper's
+    setup, with merges completing in well under a simulated second so a
+    full two-phase experiment costs a few thousand events.
+    """
+    if not math.isfinite(scale):
+        raise ConfigurationError("scale must be finite")
+    return paper_config().scaled(scale)

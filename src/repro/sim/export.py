@@ -1,0 +1,100 @@
+"""Exporting simulation results for downstream analysis.
+
+Figures in the paper are plots; users reproducing them with their own
+tooling (matplotlib, gnuplot, a spreadsheet) need the underlying series.
+:func:`result_to_dict` flattens a :class:`~repro.sim.result.SimResult`
+into plain JSON-serializable data — throughput series, component-count
+change points, stall intervals, merge log, latency percentiles — and
+:func:`save_result` / :func:`load_result_dict` round-trip it through a
+file. The export is lossy by design (the full fluid curves are sampled),
+but carries everything the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .result import SimResult
+
+#: Export format version, bumped on breaking layout changes.
+FORMAT_VERSION = 1
+
+
+def result_to_dict(
+    result: SimResult,
+    latency_levels: tuple[float, ...] = (50.0, 90.0, 99.0, 99.9),
+    curve_samples: int = 2000,
+) -> dict:
+    """Flatten a simulation result to JSON-serializable data."""
+    if curve_samples < 2:
+        raise ConfigurationError("need at least two curve samples")
+    grid = np.linspace(0.0, result.duration, curve_samples)
+    payload: dict = {
+        "format_version": FORMAT_VERSION,
+        "duration": result.duration,
+        "window": result.window,
+        "closed_system": result.closed_system,
+        "total_writes": result.total_writes,
+        "final_queue_length": result.final_queue_length,
+        "throughput_series": result.throughput_series().tolist(),
+        "io_activity_series": result.io_activity.rate_values(
+            until=result.duration
+        ).tolist(),
+        "component_points": [
+            {"time": point.time, "value": point.value}
+            for point in result.components.points()
+        ],
+        "stall_intervals": [list(pair) for pair in result.stall_intervals],
+        "merge_log": [
+            {
+                "completed_at": record.completed_at,
+                "started_at": record.started_at,
+                "input_count": record.input_count,
+                "level0_inputs": record.level0_inputs,
+                "input_bytes": record.input_bytes,
+                "output_bytes": record.output_bytes,
+                "target_level": record.target_level,
+                "reason": record.reason,
+            }
+            for record in result.merge_log
+        ],
+        "arrival_curve": {
+            "time": grid.tolist(),
+            "total": result.arrivals.value_at(grid).tolist(),
+        },
+        "departure_curve": {
+            "time": grid.tolist(),
+            "total": result.departures.value_at(grid).tolist(),
+        },
+    }
+    if not result.closed_system and result.total_writes > 0:
+        payload["write_latency_percentiles"] = {
+            str(level): value
+            for level, value in result.write_latency_profile(
+                latency_levels
+            ).items()
+        }
+    return payload
+
+
+def save_result(result: SimResult, path: str | Path, **kwargs) -> None:
+    """Write a result export as JSON."""
+    payload = result_to_dict(result, **kwargs)
+    Path(path).write_text(
+        json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_result_dict(path: str | Path) -> dict:
+    """Read back a result export, validating the format version."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported export format version {version!r}"
+        )
+    return payload

@@ -1,0 +1,254 @@
+"""Concurrent query simulation (Sections 5.2.3 "Impact on Query
+Performance" and 7.2 "Secondary Index Queries").
+
+Queries in the paper's experiments are sensitive to exactly three things
+the write path produces, all of which the write simulation traces:
+
+* the **number of disk components** over time — point lookups pay a Bloom
+  false-positive I/O per extra component, and range scans must touch every
+  component;
+* **merge/flush I/O activity** — background writes steal device time from
+  reads (and post-stall catch-up bursts visibly dent query throughput,
+  the Figure 16 effect);
+* **disk forces** — a force of ``s`` bytes blocks the device for
+  ``s / drain_rate`` seconds; regular 16 MB forces cost a little
+  throughput everywhere, while force-at-merge-end creates rare but huge
+  latency spikes (the Figures 15/17 percentile effect).
+
+The query model evaluates each analysis window of a completed write-phase
+:class:`~repro.sim.result.SimResult` and produces a query throughput
+series plus weighted percentile latencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..metrics import weighted_percentile_profile
+from .config import SimConfig
+from .result import SimResult
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """One query type from the paper's evaluation.
+
+    ``kind`` is ``"point"``, ``"short-scan"``, ``"long-scan"`` or
+    ``"secondary"``; ``records`` is the number of records accessed
+    (1, 100, and 1M in the paper — scaled setups shrink the long scan).
+    ``threads`` is the number of concurrent query clients (paper: 8 for
+    point/short, 4 for long scans).
+    """
+
+    kind: str
+    records: float = 1.0
+    threads: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("point", "short-scan", "long-scan", "secondary"):
+            raise ConfigurationError(f"unknown query kind {self.kind!r}")
+        if self.records < 1:
+            raise ConfigurationError("records per query must be >= 1")
+        if self.threads < 1:
+            raise ConfigurationError("need at least one query thread")
+
+    @classmethod
+    def point_lookup(cls, threads: int = 8) -> "QueryWorkload":
+        """Fetch one record by primary key."""
+        return cls("point", 1.0, threads)
+
+    @classmethod
+    def short_scan(cls, records: float = 100.0, threads: int = 8) -> "QueryWorkload":
+        """Range scan over ~100 records."""
+        return cls("short-scan", records, threads)
+
+    @classmethod
+    def long_scan(cls, records: float, threads: int = 4) -> "QueryWorkload":
+        """Range scan over a large record count (paper: one million)."""
+        return cls("long-scan", records, threads)
+
+
+@dataclass(frozen=True)
+class QueryDevice:
+    """The read side of the simulated SSD.
+
+    ``read_pages_per_s`` defaults to four times the write-bandwidth page
+    rate — SSD reads are cheaper than throttled writes. ``contention``
+    scales how strongly concurrent flush/merge writes depress read
+    capacity; the paper's 100 MB/s throttle exists precisely to bound
+    this. ``regular_force_overhead`` is the small throughput tax of
+    forcing every 16 MB.
+    """
+
+    page_bytes: float = 4096.0
+    read_pages_per_s: float = 0.0
+    op_latency_s: float = 0.001
+    contention: float = 0.35
+    regular_force_overhead: float = 0.05
+    bloom_false_positive: float = 0.01
+
+    @classmethod
+    def for_config(cls, config: SimConfig, **overrides) -> "QueryDevice":
+        """Device matched to a testbed config's bandwidth scale.
+
+        Page-read capacity tracks the (scaled) write bandwidth; the
+        per-operation round-trip latency — which is what bounds a small
+        thread pool of point lookups — scales *up* as the bandwidth
+        scales down, keeping the lookup-throughput-to-write-throughput
+        ratio of the paper's testbed (about 1 ms per lookup at
+        100 MB/s).
+        """
+        pages = 4.0 * config.bandwidth_bytes_per_s / 4096.0
+        scale = (100 * 2**20) / config.bandwidth_bytes_per_s
+        values = {"read_pages_per_s": pages, "op_latency_s": 0.001 * scale}
+        values.update(overrides)
+        return cls(**values)
+
+
+@dataclass
+class QueryOutcome:
+    """Query-side results for one write-phase run."""
+
+    workload: QueryWorkload
+    window: float
+    throughput: np.ndarray  # queries/s per window
+    latency_values: np.ndarray
+    latency_weights: np.ndarray
+
+    def mean_throughput(self) -> float:
+        """Average query throughput across windows."""
+        return float(self.throughput.mean())
+
+    def latency_profile(
+        self, levels: tuple[float, ...] = (50.0, 90.0, 99.0, 99.9)
+    ) -> dict[float, float]:
+        """Weighted percentile query latencies."""
+        return weighted_percentile_profile(
+            self.latency_values, self.latency_weights, levels
+        )
+
+
+def pages_per_query(
+    workload: QueryWorkload,
+    components: float,
+    device: QueryDevice,
+    entry_bytes: float,
+    secondary_components: float = 0.0,
+) -> float:
+    """Expected device page reads for one query given component counts.
+
+    * Point lookups read one true page plus a Bloom-false-positive page
+      per non-containing component.
+    * Range scans seek into *every* component (Bloom filters do not help
+      ranges) and then stream the requested records.
+    * Secondary queries scan the secondary index (a seek per secondary
+      component plus the matching-entry pages), sort the primary keys,
+      and perform one point lookup per match.
+    """
+    records_per_page = max(device.page_bytes / entry_bytes, 1.0)
+    if workload.kind == "point":
+        return 1.0 + device.bloom_false_positive * max(components - 1.0, 0.0)
+    if workload.kind in ("short-scan", "long-scan"):
+        stream_pages = workload.records / records_per_page
+        return components + stream_pages
+    # secondary: index scan + sorted primary fetches
+    index_pages = secondary_components + workload.records / records_per_page
+    primary_pages = workload.records * (
+        1.0 + device.bloom_false_positive * max(components - 1.0, 0.0)
+    )
+    return index_pages + primary_pages
+
+
+def simulate_queries(
+    result: SimResult,
+    config: SimConfig,
+    workload: QueryWorkload,
+    device: QueryDevice | None = None,
+    secondary_result: SimResult | None = None,
+) -> QueryOutcome:
+    """Evaluate a query workload against a completed write-phase run."""
+    if device is None:
+        device = QueryDevice.for_config(config)
+    if device.read_pages_per_s <= 0:
+        raise ConfigurationError("device read capacity must be positive")
+    window = result.window
+    windows = int(math.ceil(result.duration / window))
+    io_rates = result.io_activity.rate_values(until=result.duration)
+    if io_rates.size < windows:
+        io_rates = np.pad(io_rates, (0, windows - io_rates.size))
+
+    force_blocked = np.zeros(windows)
+    force_sizes: dict[int, float] = {}
+    if config.force_at_end_only:
+        for event in result.force_events:
+            idx = min(int(event.time // window), windows - 1)
+            duration = event.bytes / config.force_drain_bytes_per_s
+            force_blocked[idx] += duration
+            force_sizes[idx] = max(force_sizes.get(idx, 0.0), duration)
+    # Regular forces: the blocked time is io_bytes / drain_rate spread
+    # evenly; individual blockages last force_interval / drain_rate.
+    regular_spike = config.force_interval_bytes / config.force_drain_bytes_per_s
+
+    throughput = np.zeros(windows)
+    latency_values: list[float] = []
+    latency_weights: list[float] = []
+
+    for idx in range(windows):
+        t_mid = (idx + 0.5) * window
+        components = result.components.value_at(min(t_mid, result.duration))
+        secondary_components = 0.0
+        if secondary_result is not None:
+            secondary_components = secondary_result.components.value_at(
+                min(t_mid, secondary_result.duration)
+            )
+        pages = pages_per_query(
+            workload, components, device, config.entry_bytes, secondary_components
+        )
+        write_fraction = min(io_rates[idx] / config.bandwidth_bytes_per_s, 1.0)
+        capacity = device.read_pages_per_s * (
+            1.0 - device.contention * write_fraction
+        )
+        if not config.force_at_end_only:
+            capacity *= 1.0 - device.regular_force_overhead
+            blocked = min(
+                io_rates[idx] * window / config.force_drain_bytes_per_s, window
+            )
+        else:
+            blocked = min(force_blocked[idx], window)
+        available = max(window - blocked, 0.0) / window
+        rate = capacity * available / pages
+        # A small client pool cannot exceed threads / service_time; the
+        # per-op round trip dominates point lookups, page streaming
+        # dominates scans.
+        service = device.op_latency_s + pages / device.read_pages_per_s
+        rate = min(rate, workload.threads / service)
+        throughput[idx] = rate
+
+        base_latency = device.op_latency_s + pages / max(capacity, 1e-9)
+        done = rate * window
+        if done <= 0:
+            continue
+        if blocked > 0:
+            spike = (
+                force_sizes.get(idx, regular_spike)
+                if config.force_at_end_only
+                else regular_spike
+            )
+            affected = done * min(blocked / window, 1.0)
+            latency_values.append(base_latency + spike)
+            latency_weights.append(max(affected, 1e-9))
+            done -= affected
+        latency_values.append(base_latency)
+        latency_weights.append(max(done, 1e-9))
+
+    return QueryOutcome(
+        workload=workload,
+        window=window,
+        throughput=throughput,
+        latency_values=np.asarray(latency_values),
+        latency_weights=np.asarray(latency_weights),
+    )

@@ -1,0 +1,57 @@
+"""Workload generation: key distributions, arrival processes, records.
+
+The simulator consumes :class:`ArrivalProcess` and :class:`KeyspaceModel`;
+the real storage engine consumes :class:`RecordGenerator` streams.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstPhase,
+    BurstyArrivals,
+    ClosedArrivals,
+    ConstantArrivals,
+)
+from .distributions import (
+    HotspotKeys,
+    KeyDistribution,
+    LatestKeys,
+    UniformKeys,
+    ZipfianKeys,
+)
+from .keyspace import KeyspaceModel, Profile
+from .mixes import (
+    OPERATIONS,
+    TraceOp,
+    YCSB_MIXES,
+    YCSBWorkload,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+from .records import GeneratedRecord, RecordGenerator, decode_key, encode_key
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstPhase",
+    "BurstyArrivals",
+    "ClosedArrivals",
+    "ConstantArrivals",
+    "GeneratedRecord",
+    "HotspotKeys",
+    "KeyDistribution",
+    "KeyspaceModel",
+    "LatestKeys",
+    "OPERATIONS",
+    "TraceOp",
+    "YCSBWorkload",
+    "YCSB_MIXES",
+    "Profile",
+    "RecordGenerator",
+    "UniformKeys",
+    "ZipfianKeys",
+    "decode_key",
+    "encode_key",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
+]

@@ -1,0 +1,203 @@
+"""YCSB core workload mixes and operation traces for the storage engine.
+
+The paper builds custom workloads on top of YCSB; this module provides
+the standard YCSB core mixes (A-F) for exercising the real engine the way
+key-value-store evaluations conventionally do, plus a small deterministic
+operation-trace facility: generate a trace once, save it as JSON lines,
+and replay it against any store — useful for comparing engine
+configurations on identical operation sequences.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .distributions import KeyDistribution, LatestKeys, UniformKeys, ZipfianKeys
+from .records import encode_key
+
+#: The YCSB core packages: (read, update, insert, scan, read-modify-write)
+#: fractions and the key distribution each package specifies.
+YCSB_MIXES: dict[str, dict[str, float | str]] = {
+    "A": {"read": 0.5, "update": 0.5, "distribution": "zipfian"},
+    "B": {"read": 0.95, "update": 0.05, "distribution": "zipfian"},
+    "C": {"read": 1.0, "distribution": "zipfian"},
+    "D": {"read": 0.95, "insert": 0.05, "distribution": "latest"},
+    "E": {"scan": 0.95, "insert": 0.05, "distribution": "zipfian"},
+    "F": {"read": 0.5, "rmw": 0.5, "distribution": "zipfian"},
+}
+
+#: Operations a trace may contain.
+OPERATIONS = ("read", "update", "insert", "scan", "rmw")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One operation of a workload trace."""
+
+    op: str
+    key: bytes
+    value_size: int = 0
+    scan_length: int = 0
+
+    def to_json(self) -> str:
+        """One JSON line."""
+        return json.dumps(
+            {
+                "op": self.op,
+                "key": self.key.decode("ascii"),
+                "value_size": self.value_size,
+                "scan_length": self.scan_length,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceOp":
+        """Parse one JSON line."""
+        raw = json.loads(line)
+        if raw["op"] not in OPERATIONS:
+            raise ConfigurationError(f"unknown trace op {raw['op']!r}")
+        return cls(
+            op=raw["op"],
+            key=raw["key"].encode("ascii"),
+            value_size=int(raw["value_size"]),
+            scan_length=int(raw["scan_length"]),
+        )
+
+
+class YCSBWorkload:
+    """Generates operation streams for one YCSB core mix.
+
+    Parameters
+    ----------
+    mix:
+        "A".."F" (see :data:`YCSB_MIXES`).
+    keyspace:
+        Records loaded before the run; inserts extend it.
+    value_size:
+        Bytes per record value.
+    scan_length:
+        Records per scan for workload E.
+    seed:
+        Generator seed; identical seeds give identical streams.
+    """
+
+    def __init__(
+        self,
+        mix: str,
+        keyspace: int = 10_000,
+        value_size: int = 256,
+        scan_length: int = 50,
+        seed: int = 0,
+    ) -> None:
+        mix = mix.upper()
+        if mix not in YCSB_MIXES:
+            raise ConfigurationError(f"unknown YCSB mix {mix!r}")
+        if keyspace < 1:
+            raise ConfigurationError("keyspace must be positive")
+        self._mix = mix
+        self._profile = YCSB_MIXES[mix]
+        self._keyspace = keyspace
+        self._inserted = keyspace
+        self._value_size = value_size
+        self._scan_length = scan_length
+        self._rng = np.random.default_rng(seed)
+        self._distribution = self._make_distribution()
+
+    @property
+    def mix(self) -> str:
+        """The mix letter."""
+        return self._mix
+
+    def _make_distribution(self) -> KeyDistribution:
+        name = self._profile["distribution"]
+        if name == "zipfian":
+            return ZipfianKeys(self._inserted)
+        if name == "latest":
+            return LatestKeys(self._inserted)
+        return UniformKeys(self._inserted)
+
+    def _choose_ops(self, count: int) -> list[str]:
+        names = [op for op in OPERATIONS if self._profile.get(op, 0.0)]
+        weights = np.asarray([self._profile[op] for op in names], dtype=float)
+        weights /= weights.sum()
+        picks = self._rng.choice(len(names), size=count, p=weights)
+        return [names[i] for i in picks]
+
+    def operations(self, count: int) -> Iterator[TraceOp]:
+        """Yield ``count`` operations of this mix."""
+        for op in self._choose_ops(count):
+            if op == "insert":
+                key = encode_key(self._inserted)
+                self._inserted += 1
+                self._distribution = self._make_distribution()
+                yield TraceOp(op, key, value_size=self._value_size)
+            else:
+                key_id = int(self._distribution.sample(self._rng, 1)[0])
+                key = encode_key(key_id)
+                if op == "scan":
+                    yield TraceOp(op, key, scan_length=self._scan_length)
+                elif op == "read":
+                    yield TraceOp(op, key)
+                else:  # update / rmw write a fresh value
+                    yield TraceOp(op, key, value_size=self._value_size)
+
+    def load_operations(self) -> Iterator[TraceOp]:
+        """The initial load: insert every key once."""
+        for key_id in range(self._keyspace):
+            yield TraceOp("insert", encode_key(key_id),
+                          value_size=self._value_size)
+
+
+def save_trace(path: str | Path, operations: Iterator[TraceOp]) -> int:
+    """Write a trace as JSON lines; returns the operation count."""
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as sink:
+        for op in operations:
+            sink.write(op.to_json() + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> Iterator[TraceOp]:
+    """Stream a trace back from disk."""
+    with Path(path).open("r", encoding="utf-8") as source:
+        for line in source:
+            line = line.strip()
+            if line:
+                yield TraceOp.from_json(line)
+
+
+def replay_trace(store, operations: Iterator[TraceOp]) -> dict[str, int]:
+    """Apply a trace to an :class:`~repro.engine.datastore.LSMStore`-like
+    object (``put``/``get``/``scan``); returns per-op counts.
+
+    Read-modify-write reads the record and writes a derived value;
+    missing reads are counted separately so configuration comparisons can
+    check they replayed identically.
+    """
+    counts = {op: 0 for op in OPERATIONS}
+    counts["read_miss"] = 0
+    for trace_op in operations:
+        counts[trace_op.op] += 1
+        if trace_op.op == "read":
+            if store.get(trace_op.key) is None:
+                counts["read_miss"] += 1
+        elif trace_op.op in ("update", "insert"):
+            store.put(trace_op.key, b"v" * max(trace_op.value_size, 1))
+        elif trace_op.op == "scan":
+            for _ in store.scan(trace_op.key, None, limit=trace_op.scan_length):
+                pass
+        elif trace_op.op == "rmw":
+            current = store.get(trace_op.key) or b""
+            store.put(
+                trace_op.key,
+                (current + b"+")[: max(trace_op.value_size, 1)],
+            )
+    return counts

@@ -1,0 +1,26 @@
+"""Shared fixtures: a small, fast testbed configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import bench_config
+from repro.workloads import KeyspaceModel, UniformKeys, ZipfianKeys
+
+
+@pytest.fixture
+def config():
+    """A heavily scaled testbed: fast enough for unit-level simulation."""
+    return bench_config(512)
+
+
+@pytest.fixture
+def uniform_keyspace(config):
+    """Uniform keyspace model matching the small config."""
+    return KeyspaceModel(UniformKeys(config.total_keys))
+
+
+@pytest.fixture
+def zipf_keyspace(config):
+    """Zipfian keyspace model matching the small config."""
+    return KeyspaceModel(ZipfianKeys(config.total_keys, 0.99))

@@ -1,0 +1,142 @@
+"""Hypothesis property tests over every merge policy.
+
+Random tree snapshots drive each policy's ``select_merges``; the
+invariants the executors rely on must hold for *any* tree state:
+
+* selected inputs are never already merging, and never selected twice;
+* within one call, merges are disjoint;
+* target levels are valid for the policy;
+* calling again with the returned merges active yields no overlap.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Component,
+    LazyLevelingPolicy,
+    LevelingPolicy,
+    PartitionedLevelingPolicy,
+    SizeTieredPolicy,
+    TieringPolicy,
+    TreeSnapshot,
+    UidAllocator,
+)
+
+MB = 2**20
+
+
+def full_merge_tree(draw, max_level):
+    """Random snapshot for full-merge policies (whole-range components)."""
+    count = draw(st.integers(0, 14))
+    components = []
+    for uid in range(1, count + 1):
+        level = draw(st.integers(0, max_level))
+        size = draw(st.floats(0.1, 500.0))
+        component = Component(
+            uid=uid,
+            level=level,
+            size_bytes=size * MB,
+            entry_count=size * 1024,
+        )
+        component.merging = draw(st.booleans())
+        components.append(component)
+    return TreeSnapshot(components)
+
+
+@st.composite
+def full_trees(draw):
+    return full_merge_tree(draw, max_level=4)
+
+
+@st.composite
+def partitioned_trees(draw):
+    """Random snapshot with valid (non-overlapping) partitioned levels."""
+    components = []
+    uid = 1
+    l0_count = draw(st.integers(0, 8))
+    for _ in range(l0_count):
+        components.append(
+            Component(uid=uid, level=0, size_bytes=1 * MB, entry_count=1024)
+        )
+        uid += 1
+    for level in (1, 2):
+        files = draw(st.integers(0, 6))
+        if files == 0:
+            continue
+        width = 1.0 / files
+        for index in range(files):
+            component = Component(
+                uid=uid,
+                level=level,
+                size_bytes=draw(st.floats(0.1, 4.0)) * MB,
+                entry_count=1024,
+                key_lo=index * width,
+                key_hi=(index + 1) * width,
+            )
+            component.merging = draw(st.booleans())
+            components.append(component)
+            uid += 1
+    return TreeSnapshot(components)
+
+
+POLICIES = [
+    lambda: LevelingPolicy(10, 3, 1 * MB),
+    lambda: TieringPolicy(3, 4),
+    lambda: SizeTieredPolicy(),
+    lambda: LazyLevelingPolicy(3, 4),
+]
+
+
+def assert_merge_invariants(tree, merges, max_target):
+    seen_uids: set[int] = set()
+    for merge in merges:
+        assert 0 <= merge.target_level <= max_target
+        assert merge.inputs
+        for component in merge.inputs:
+            assert component.uid not in seen_uids, "component selected twice"
+            seen_uids.add(component.uid)
+            # the flag was set by the descriptor itself; the component
+            # must belong to the snapshot
+            assert component in tree.components
+
+
+class TestFullMergePolicyProperties:
+    @given(tree=full_trees(), policy_index=st.integers(0, len(POLICIES) - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_select_merges_invariants(self, tree, policy_index):
+        policy = POLICIES[policy_index]()
+        uids = UidAllocator()
+        premarked = {c.uid for c in tree.components if c.merging}
+        merges = policy.select_merges(tree, uids, [])
+        assert_merge_invariants(tree, merges, max_target=8)
+        for merge in merges:
+            for component in merge.inputs:
+                assert component.uid not in premarked
+        # idempotence: a second call with those merges active selects
+        # nothing that overlaps (all chosen inputs are now marked)
+        again = policy.select_merges(tree, uids, merges)
+        chosen = {c.uid for m in merges for c in m.inputs}
+        for merge in again:
+            for component in merge.inputs:
+                assert component.uid not in chosen
+
+
+class TestPartitionedPolicyProperties:
+    @given(tree=partitioned_trees())
+    @settings(max_examples=120, deadline=None)
+    def test_select_merges_invariants(self, tree):
+        policy = PartitionedLevelingPolicy(
+            size_ratio=10,
+            levels=3,
+            level1_target_bytes=4 * MB,
+            max_file_bytes=1 * MB,
+        )
+        uids = UidAllocator()
+        merges = policy.select_merges(tree, uids, [])
+        assert len(merges) <= 1  # single compaction at a time
+        assert_merge_invariants(tree, merges, max_target=3)
+        if merges:
+            # inputs from at most two adjacent levels
+            levels = {c.level for c in merges[0].inputs}
+            assert len(levels) <= 2
+            assert max(levels) - min(levels) <= 1

@@ -1,0 +1,170 @@
+"""Tests for merge schedulers, including a property-test of Theorem 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Component,
+    FairScheduler,
+    GreedyScheduler,
+    MergeDescriptor,
+    SingleThreadedScheduler,
+    SpringGearScheduler,
+    TreeSnapshot,
+)
+from repro.errors import ConfigurationError, SchedulerError
+
+
+def merge_of(uid, size_bytes, target=1, progress=0.0):
+    component = Component(
+        uid=uid * 100, level=0, size_bytes=size_bytes, entry_count=size_bytes
+    )
+    merge = MergeDescriptor(uid=uid, inputs=[component], target_level=target)
+    merge.remaining_input_bytes = size_bytes * (1 - progress)
+    return merge
+
+
+class TestFairScheduler:
+    def test_even_split(self):
+        merges = [merge_of(1, 100), merge_of(2, 500), merge_of(3, 900)]
+        allocation = FairScheduler().allocate(merges, 90.0)
+        assert all(bw == pytest.approx(30.0) for bw in allocation.values())
+
+    def test_empty_merges(self):
+        assert FairScheduler().allocate([], 100.0) == {}
+
+    def test_sum_within_budget(self):
+        merges = [merge_of(i, 10 * i) for i in range(1, 8)]
+        allocation = FairScheduler().allocate(merges, 55.0)
+        assert sum(allocation.values()) == pytest.approx(55.0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(SchedulerError):
+            FairScheduler().allocate([merge_of(1, 10)], 0.0)
+
+    def test_duplicate_merges_rejected(self):
+        merge = merge_of(1, 10)
+        with pytest.raises(SchedulerError):
+            FairScheduler().allocate([merge, merge], 10.0)
+
+
+class TestGreedyScheduler:
+    def test_smallest_remaining_gets_everything(self):
+        merges = [merge_of(1, 500), merge_of(2, 100), merge_of(3, 900)]
+        allocation = GreedyScheduler().allocate(merges, 42.0)
+        assert allocation == {2: pytest.approx(42.0)}
+
+    def test_ranks_by_remaining_not_total(self):
+        big_but_nearly_done = merge_of(1, 1000, progress=0.95)  # 50 left
+        small_but_fresh = merge_of(2, 100)  # 100 left
+        allocation = GreedyScheduler().allocate(
+            [big_but_nearly_done, small_but_fresh], 10.0
+        )
+        assert list(allocation) == [1]
+
+    def test_tie_broken_by_uid(self):
+        merges = [merge_of(5, 100), merge_of(2, 100)]
+        allocation = GreedyScheduler().allocate(merges, 10.0)
+        assert list(allocation) == [2]
+
+    def test_smallest_k_extension(self):
+        merges = [merge_of(1, 100), merge_of(2, 200), merge_of(3, 300)]
+        allocation = GreedyScheduler(concurrency=2).allocate(merges, 10.0)
+        assert set(allocation) == {1, 2}
+        assert sum(allocation.values()) == pytest.approx(10.0)
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ConfigurationError):
+            GreedyScheduler(concurrency=0)
+
+
+class TestSingleThreadedScheduler:
+    def test_runs_oldest_first(self):
+        merges = [merge_of(3, 10), merge_of(1, 999), merge_of(2, 5)]
+        allocation = SingleThreadedScheduler().allocate(merges, 7.0)
+        assert allocation == {1: pytest.approx(7.0)}
+
+    def test_never_preempts_a_started_merge(self):
+        started = merge_of(5, 100, progress=0.5)
+        fresh = merge_of(1, 10)
+        allocation = SingleThreadedScheduler().allocate([started, fresh], 7.0)
+        assert list(allocation) == [5]
+
+
+class TestSpringGearScheduler:
+    def test_single_merge_gets_full_budget(self):
+        scheduler = SpringGearScheduler({1: 1000.0})
+        allocation = scheduler.allocate([merge_of(1, 100)], 50.0, TreeSnapshot([]))
+        assert allocation == {1: pytest.approx(50.0)}
+
+    def test_lagging_merge_gets_more_bandwidth(self):
+        scheduler = SpringGearScheduler({1: 1000.0, 2: 1000.0})
+        # level-1 forming component is nearly full -> the merge draining
+        # it into level 2 lags and should receive more bandwidth
+        forming = Component(uid=99, level=1, size_bytes=900.0, entry_count=900)
+        tree = TreeSnapshot([forming])
+        absorb = merge_of(1, 100, target=1)  # level-0 -> 1
+        drain = merge_of(2, 100, target=2)  # level-1 -> 2, no progress
+        allocation = scheduler.allocate([absorb, drain], 100.0, tree)
+        assert allocation[2] > allocation[1]
+
+    def test_allocations_sum_to_budget(self):
+        scheduler = SpringGearScheduler({1: 1000.0})
+        merges = [merge_of(1, 100, target=1), merge_of(2, 100, target=2)]
+        allocation = scheduler.allocate(merges, 80.0, TreeSnapshot([]))
+        assert sum(allocation.values()) == pytest.approx(80.0)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ConfigurationError):
+            SpringGearScheduler({}, gain=0.0)
+
+
+class TestTheorem2:
+    """Property test of Theorem 2: for a fixed set of merges (same input
+    component count each), the greedy scheduler completes its i-th merge
+    no later than any other scheduler — verified here against fair."""
+
+    @staticmethod
+    def completion_times(sizes, scheduler, budget=100.0):
+        merges = [merge_of(i + 1, s) for i, s in enumerate(sizes)]
+        remaining = {m.uid: m.remaining_input_bytes for m in merges}
+        clock, done = 0.0, []
+        while merges:
+            allocation = scheduler.allocate(merges, budget)
+            # advance to the next completion under this allocation
+            dt = min(
+                remaining[uid] / bw
+                for uid, bw in allocation.items()
+                if bw > 0
+            )
+            clock += dt
+            for uid, bw in allocation.items():
+                remaining[uid] -= bw * dt
+            finished = [m for m in merges if remaining[m.uid] <= 1e-9]
+            for merge in finished:
+                merge.remaining_input_bytes = 0.0
+                merges.remove(merge)
+                done.append(clock)
+            for merge in merges:
+                merge.remaining_input_bytes = remaining[merge.uid]
+        return done
+
+    @given(
+        st.lists(st.floats(1.0, 1e6), min_size=1, max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_dominates_fair_at_every_rank(self, sizes):
+        greedy_times = self.completion_times(list(sizes), GreedyScheduler())
+        fair_times = self.completion_times(list(sizes), FairScheduler())
+        for greedy_t, fair_t in zip(sorted(greedy_times), sorted(fair_times)):
+            assert greedy_t <= fair_t + 1e-6
+
+    @given(st.lists(st.floats(1.0, 1e6), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_total_completion_time_equal(self, sizes):
+        # the LAST merge finishes at sum(sizes)/budget for any
+        # work-conserving scheduler
+        greedy_times = self.completion_times(list(sizes), GreedyScheduler())
+        fair_times = self.completion_times(list(sizes), FairScheduler())
+        assert max(greedy_times) == pytest.approx(max(fair_times), rel=1e-6)

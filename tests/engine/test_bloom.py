@@ -1,0 +1,91 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import BloomFilter
+from repro.errors import ConfigurationError, CorruptionError
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        filt = BloomFilter(expected_keys=1000)
+        inserted = [f"key{i}".encode() for i in range(1000)]
+        for key in inserted:
+            filt.add(key)
+        assert all(filt.might_contain(key) for key in inserted)
+
+    def test_false_positive_rate_near_target(self):
+        filt = BloomFilter(expected_keys=10_000, bits_per_key=10)
+        for i in range(10_000):
+            filt.add(f"key{i}".encode())
+        false_positives = sum(
+            filt.might_contain(f"absent{i}".encode()) for i in range(10_000)
+        )
+        # 10 bits/key targets ~1%; allow generous slack
+        assert false_positives / 10_000 < 0.03
+
+    def test_expected_fpr_analytic(self):
+        filt = BloomFilter(expected_keys=1000, bits_per_key=10)
+        for i in range(1000):
+            filt.add(str(i).encode())
+        assert 0.001 < filt.expected_false_positive_rate() < 0.05
+
+    def test_empty_filter_rejects_everything_statistically(self):
+        filt = BloomFilter(expected_keys=100)
+        hits = sum(filt.might_contain(f"x{i}".encode()) for i in range(1000))
+        assert hits == 0
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        filt = BloomFilter(expected_keys=500, bits_per_key=12)
+        for i in range(500):
+            filt.add(f"k{i}".encode())
+        restored = BloomFilter.from_bytes(filt.to_bytes())
+        assert restored.bit_size == filt.bit_size
+        assert restored.hash_count == filt.hash_count
+        assert all(restored.might_contain(f"k{i}".encode()) for i in range(500))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(CorruptionError):
+            BloomFilter.from_bytes(b"BL")
+
+    def test_bad_magic_rejected(self):
+        filt = BloomFilter(expected_keys=10)
+        blob = bytearray(filt.to_bytes())
+        blob[0] = 0
+        with pytest.raises(CorruptionError):
+            BloomFilter.from_bytes(bytes(blob))
+
+    def test_size_mismatch_rejected(self):
+        filt = BloomFilter(expected_keys=10)
+        with pytest.raises(CorruptionError):
+            BloomFilter.from_bytes(filt.to_bytes() + b"extra")
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(expected_keys=-1)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(expected_keys=10, bits_per_key=0)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_never_false_negative(self, key_list):
+        filt = BloomFilter(expected_keys=len(key_list))
+        for key in key_list:
+            filt.add(key)
+        assert all(filt.might_contain(key) for key in key_list)
+
+    @given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=50))
+    @settings(max_examples=20, deadline=None)
+    def test_serialization_preserves_membership(self, key_list):
+        filt = BloomFilter(expected_keys=len(key_list))
+        for key in key_list:
+            filt.add(key)
+        restored = BloomFilter.from_bytes(filt.to_bytes())
+        assert all(restored.might_contain(key) for key in key_list)

@@ -1,0 +1,88 @@
+"""Tests for the crash-safe manifest."""
+
+from repro.engine import Manifest
+
+
+class TestBasicBookkeeping:
+    def test_add_and_list(self, tmp_path):
+        manifest = Manifest(str(tmp_path))
+        run_id = manifest.allocate_run_id()
+        manifest.add_run(run_id, 0, "00000001.run")
+        runs = manifest.live_runs()
+        assert len(runs) == 1
+        assert runs[0].level == 0
+        manifest.close()
+
+    def test_sequence_orders_by_age(self, tmp_path):
+        manifest = Manifest(str(tmp_path))
+        ids = [manifest.allocate_run_id() for _ in range(3)]
+        for run_id in ids:
+            manifest.add_run(run_id, 0, f"{run_id:08d}.run")
+        runs = manifest.live_runs()
+        assert [r.run_id for r in runs] == ids  # oldest first
+        assert runs[0].sequence < runs[-1].sequence
+        manifest.close()
+
+    def test_replace_runs(self, tmp_path):
+        manifest = Manifest(str(tmp_path))
+        ids = [manifest.allocate_run_id() for _ in range(3)]
+        for run_id in ids:
+            manifest.add_run(run_id, 0, f"{run_id:08d}.run")
+        output = manifest.allocate_run_id()
+        manifest.replace_runs(ids[:2], [(output, 1, f"{output:08d}.run")])
+        runs = manifest.live_runs()
+        assert {r.run_id for r in runs} == {ids[2], output}
+        assert [r for r in runs if r.run_id == output][0].level == 1
+        manifest.close()
+
+
+class TestRecovery:
+    def test_reopen_restores_state(self, tmp_path):
+        manifest = Manifest(str(tmp_path))
+        a = manifest.allocate_run_id()
+        manifest.add_run(a, 0, "a.run")
+        b = manifest.allocate_run_id()
+        manifest.add_run(b, 1, "b.run")
+        manifest.close()
+
+        recovered = Manifest(str(tmp_path))
+        runs = recovered.live_runs()
+        assert {(r.run_id, r.level) for r in runs} == {(a, 0), (b, 1)}
+        # id allocation continues past recovered ids
+        assert recovered.allocate_run_id() > b
+        recovered.close()
+
+    def test_removals_survive_reopen(self, tmp_path):
+        manifest = Manifest(str(tmp_path))
+        a = manifest.allocate_run_id()
+        manifest.add_run(a, 0, "a.run")
+        manifest.replace_runs([a], [])
+        manifest.close()
+        recovered = Manifest(str(tmp_path))
+        assert recovered.live_runs() == []
+        recovered.close()
+
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        manifest = Manifest(str(tmp_path))
+        a = manifest.allocate_run_id()
+        manifest.add_run(a, 0, "a.run")
+        manifest.close()
+        with open(tmp_path / "MANIFEST", "a", encoding="utf-8") as damaged:
+            damaged.write('{"op": "add", "run_id": 99, "lev')  # torn line
+        recovered = Manifest(str(tmp_path))
+        assert [r.run_id for r in recovered.live_runs()] == [a]
+        recovered.close()
+
+    def test_compact_rewrites_minimal_snapshot(self, tmp_path):
+        manifest = Manifest(str(tmp_path))
+        ids = [manifest.allocate_run_id() for _ in range(10)]
+        for run_id in ids:
+            manifest.add_run(run_id, 0, f"{run_id}.run")
+        manifest.replace_runs(ids[:9], [])
+        manifest.compact()
+        manifest.close()
+        lines = (tmp_path / "MANIFEST").read_text().strip().splitlines()
+        assert len(lines) == 1
+        recovered = Manifest(str(tmp_path))
+        assert [r.run_id for r in recovered.live_runs()] == [ids[9]]
+        recovered.close()

@@ -1,0 +1,126 @@
+"""Tests for the skip-list memtable."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import MemTable, TOMBSTONE
+from repro.errors import ConfigurationError
+
+keys = st.binary(min_size=1, max_size=24)
+values = st.binary(min_size=0, max_size=64)
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        table = MemTable()
+        table.put(b"a", b"1")
+        assert table.get(b"a") == (True, b"1")
+        assert table.get(b"b") == (False, None)
+
+    def test_update_in_place(self):
+        table = MemTable()
+        table.put(b"a", b"1")
+        table.put(b"a", b"22")
+        assert table.get(b"a") == (True, b"22")
+        assert len(table) == 1
+
+    def test_delete_leaves_tombstone(self):
+        table = MemTable()
+        table.put(b"a", b"1")
+        table.delete(b"a")
+        found, value = table.get(b"a")
+        assert found and value is TOMBSTONE
+        assert table.tombstone_count == 1
+
+    def test_delete_of_absent_key_recorded(self):
+        table = MemTable()
+        table.delete(b"ghost")
+        assert table.get(b"ghost") == (True, TOMBSTONE)
+
+    def test_undelete(self):
+        table = MemTable()
+        table.delete(b"a")
+        table.put(b"a", b"back")
+        assert table.get(b"a") == (True, b"back")
+        assert table.tombstone_count == 0
+
+    def test_invalid_inputs(self):
+        table = MemTable()
+        with pytest.raises(ConfigurationError):
+            table.put(b"", b"v")
+        with pytest.raises(ConfigurationError):
+            table.put("str", b"v")
+        with pytest.raises(ConfigurationError):
+            table.put(b"k", "str")
+
+
+class TestOrderedIteration:
+    def test_items_sorted(self):
+        table = MemTable()
+        for key in (b"m", b"a", b"z", b"b"):
+            table.put(key, b"v")
+        assert [k for k, _ in table.items()] == [b"a", b"b", b"m", b"z"]
+
+    def test_range_bounds(self):
+        table = MemTable()
+        for i in range(10):
+            table.put(f"k{i}".encode(), b"v")
+        keys_in_range = [k for k, _ in table.items(b"k3", b"k7")]
+        assert keys_in_range == [b"k3", b"k4", b"k5", b"k6"]
+
+    def test_tombstones_included_in_iteration(self):
+        table = MemTable()
+        table.put(b"a", b"1")
+        table.delete(b"b")
+        entries = dict(table.items())
+        assert entries[b"b"] is TOMBSTONE
+
+
+class TestSealing:
+    def test_sealed_rejects_writes(self):
+        table = MemTable()
+        table.put(b"a", b"1")
+        table.seal()
+        assert table.sealed
+        with pytest.raises(ConfigurationError):
+            table.put(b"b", b"2")
+        # reads still work
+        assert table.get(b"a") == (True, b"1")
+
+
+class TestAccounting:
+    def test_bytes_grow_with_payload(self):
+        table = MemTable()
+        before = table.approximate_bytes
+        table.put(b"key", b"x" * 1000)
+        assert table.approximate_bytes >= before + 1000
+
+    def test_update_adjusts_bytes(self):
+        table = MemTable()
+        table.put(b"key", b"x" * 1000)
+        large = table.approximate_bytes
+        table.put(b"key", b"x")
+        assert table.approximate_bytes < large
+
+
+class TestPropertyBased:
+    @given(st.lists(st.tuples(keys, values), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_semantics(self, operations):
+        table = MemTable(seed=42)
+        reference: dict[bytes, bytes] = {}
+        for key, value in operations:
+            table.put(key, value)
+            reference[key] = value
+        for key, value in reference.items():
+            assert table.get(key) == (True, value)
+        assert [k for k, _ in table.items()] == sorted(reference)
+
+    @given(st.lists(keys, min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_iteration_strictly_sorted(self, key_list):
+        table = MemTable(seed=1)
+        for key in key_list:
+            table.put(key, b"v")
+        emitted = [k for k, _ in table.items()]
+        assert all(a < b for a, b in zip(emitted, emitted[1:]))

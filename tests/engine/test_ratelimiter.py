@@ -1,0 +1,74 @@
+"""Tests for the rate limiter and sync policy."""
+
+import pytest
+
+from repro.engine import RateLimiter, SyncPolicy
+from repro.errors import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+class TestRateLimiter:
+    def test_unlimited_never_sleeps(self):
+        clock = FakeClock()
+        limiter = RateLimiter(0, clock=clock, sleep=clock.sleep)
+        limiter.acquire(10**9)
+        assert limiter.total_sleep_seconds == 0
+
+    def test_burst_budget_allows_first_second(self):
+        clock = FakeClock()
+        limiter = RateLimiter(100.0, clock=clock, sleep=clock.sleep)
+        limiter.acquire(100)  # exactly the burst
+        assert limiter.total_sleep_seconds == 0
+
+    def test_sustained_rate_enforced(self):
+        clock = FakeClock()
+        limiter = RateLimiter(100.0, clock=clock, sleep=clock.sleep)
+        for _ in range(10):
+            limiter.acquire(100)
+        # 1000 bytes at 100 B/s needs ~10s minus the 1s burst
+        assert clock.now == pytest.approx(9.0, abs=0.5)
+
+    def test_refill_over_time(self):
+        clock = FakeClock()
+        limiter = RateLimiter(100.0, clock=clock, sleep=clock.sleep)
+        limiter.acquire(100)
+        clock.now += 5.0  # idle time refills the bucket (capped at 1s)
+        before = clock.now
+        limiter.acquire(100)
+        assert clock.now == before  # burst available again, no sleep
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RateLimiter(-1)
+
+    def test_zero_bytes_noop(self):
+        clock = FakeClock()
+        limiter = RateLimiter(10.0, clock=clock, sleep=clock.sleep)
+        limiter.acquire(0)
+        assert clock.now == 0.0
+
+
+class TestSyncPolicy:
+    def test_force_every_interval(self):
+        policy = SyncPolicy(interval_bytes=100)
+        forces = sum(policy.note_write(30) for _ in range(10))
+        assert forces == 3  # 300 bytes / 100
+        assert policy.forces_issued == 3
+
+    def test_zero_interval_never_forces(self):
+        policy = SyncPolicy(interval_bytes=0)
+        assert not any(policy.note_write(10**6) for _ in range(10))
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyncPolicy(interval_bytes=-1)

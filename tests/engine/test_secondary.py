@@ -1,0 +1,159 @@
+"""Tests for secondary-index maintenance on the real engine."""
+
+import struct
+
+import pytest
+
+from repro.engine import (
+    IndexedStore,
+    StoreOptions,
+    decode_secondary_key,
+    encode_secondary_key,
+)
+from repro.errors import ConfigurationError
+
+SMALL = StoreOptions(
+    memtable_bytes=16 * 1024,
+    policy="tiering",
+    size_ratio=3,
+    scheduler="greedy",
+    levels=3,
+)
+
+
+def extract_city(value: bytes) -> int:
+    return struct.unpack("<I", value[:4])[0]
+
+
+def record(city: int, payload: bytes = b"data") -> bytes:
+    return struct.pack("<I", city) + payload
+
+
+@pytest.fixture(params=["eager", "lazy"])
+def store(request, tmp_path):
+    indexed = IndexedStore(
+        str(tmp_path / "db"),
+        extractors={"city": extract_city},
+        strategy=request.param,
+        options=SMALL,
+    )
+    yield indexed
+    indexed.close()
+
+
+class TestCompositeKeys:
+    def test_roundtrip(self):
+        composite = encode_secondary_key(42, b"user1")
+        assert decode_secondary_key(composite) == (42, b"user1")
+
+    def test_negative_values_sort_before_positive(self):
+        low = encode_secondary_key(-5, b"a")
+        high = encode_secondary_key(5, b"a")
+        assert low < high
+
+    def test_sorting_groups_by_value(self):
+        keys = [
+            encode_secondary_key(2, b"a"),
+            encode_secondary_key(1, b"z"),
+            encode_secondary_key(1, b"a"),
+        ]
+        ordered = sorted(keys)
+        assert [decode_secondary_key(k)[0] for k in ordered] == [1, 1, 2]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decode_secondary_key(b"tiny")
+
+
+class TestMaintenanceStrategies:
+    def test_basic_secondary_query(self, store):
+        store.put(b"u1", record(city=7))
+        store.put(b"u2", record(city=7))
+        store.put(b"u3", record(city=9))
+        results = list(store.query_secondary("city", 7, 7))
+        assert [k for k, _ in results] == [b"u1", b"u2"]
+
+    def test_range_query(self, store):
+        for i in range(20):
+            store.put(f"u{i:03d}".encode(), record(city=i))
+        results = list(store.query_secondary("city", 5, 9))
+        assert len(results) == 5
+
+    def test_update_changes_secondary_value(self, store):
+        store.put(b"u1", record(city=1))
+        store.put(b"u1", record(city=2))
+        assert list(store.query_secondary("city", 1, 1)) == []
+        hits = list(store.query_secondary("city", 2, 2))
+        assert [k for k, _ in hits] == [b"u1"]
+
+    def test_delete_removes_from_queries(self, store):
+        store.put(b"u1", record(city=3))
+        store.delete(b"u1")
+        assert list(store.query_secondary("city", 3, 3)) == []
+
+    def test_query_limit(self, store):
+        for i in range(50):
+            store.put(f"u{i:03d}".encode(), record(city=1))
+        assert len(list(store.query_secondary("city", 1, 1, limit=10))) == 10
+
+    def test_results_survive_maintenance(self, store):
+        for i in range(300):
+            store.put(f"u{i:04d}".encode(), record(city=i % 10))
+        store.maintenance()
+        hits = list(store.query_secondary("city", 4, 4))
+        assert len(hits) == 30
+
+    def test_unknown_index_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            list(store.query_secondary("nope", 0, 1))
+
+
+class TestStrategyDifferences:
+    def build(self, tmp_path, strategy):
+        return IndexedStore(
+            str(tmp_path / strategy),
+            extractors={"city": extract_city},
+            strategy=strategy,
+            options=SMALL,
+        )
+
+    def test_lazy_leaves_stale_entries_eager_does_not(self, tmp_path):
+        with self.build(tmp_path, "lazy") as lazy:
+            lazy.put(b"u1", record(city=1))
+            lazy.put(b"u1", record(city=2))
+            # the stale composite entry physically remains in the index
+            stale = encode_secondary_key(1, b"u1")
+            assert lazy.index("city").get(stale) is not None
+            # but queries filter it out
+            assert list(lazy.query_secondary("city", 1, 1)) == []
+        with self.build(tmp_path, "eager") as eager:
+            eager.put(b"u1", record(city=1))
+            eager.put(b"u1", record(city=2))
+            stale = encode_secondary_key(1, b"u1")
+            assert eager.index("city").get(stale) is None
+
+    def test_both_strategies_agree_on_query_results(self, tmp_path):
+        operations = [(f"u{i % 40:03d}".encode(), i % 7) for i in range(400)]
+        answers = {}
+        for strategy in ("eager", "lazy"):
+            with self.build(tmp_path, strategy) as indexed:
+                for key, city in operations:
+                    indexed.put(key, record(city=city))
+                answers[strategy] = sorted(
+                    k for k, _ in indexed.query_secondary("city", 0, 3)
+                )
+        assert answers["eager"] == answers["lazy"]
+
+
+class TestValidation:
+    def test_bad_strategy(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            IndexedStore(
+                str(tmp_path / "x"),
+                extractors={"a": extract_city},
+                strategy="sometimes",
+            )
+
+    def test_no_extractors(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            IndexedStore(str(tmp_path / "y"), extractors={})

@@ -1,0 +1,184 @@
+"""Tests for the sorted-run file format."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import RateLimiter, SSTableReader, SSTableWriter, SyncPolicy, TOMBSTONE
+from repro.errors import ConfigurationError, CorruptionError
+
+
+def write_run(path, entries, block_bytes=512):
+    writer = SSTableWriter(str(path), block_bytes=block_bytes)
+    for key, value in entries:
+        writer.add(key, value)
+    return writer.finish()
+
+
+class TestWriteRead:
+    def test_roundtrip_small(self, tmp_path):
+        entries = [(f"k{i:04d}".encode(), f"v{i}".encode()) for i in range(100)]
+        stats = write_run(tmp_path / "a.run", entries)
+        assert stats.entry_count == 100
+        reader = SSTableReader(stats.path)
+        for key, value in entries:
+            assert reader.get(key) == (True, value)
+        assert reader.get(b"missing") == (False, None)
+        reader.close()
+
+    def test_multi_block_lookups(self, tmp_path):
+        entries = [
+            (f"k{i:06d}".encode(), b"x" * 100) for i in range(2000)
+        ]
+        stats = write_run(tmp_path / "b.run", entries, block_bytes=1024)
+        reader = SSTableReader(stats.path)
+        assert reader.get(b"k000000")[0]
+        assert reader.get(b"k001999")[0]
+        assert reader.get(b"k001000")[0]
+        assert not reader.get(b"k002000")[0]
+        reader.close()
+
+    def test_tombstones_roundtrip(self, tmp_path):
+        entries = [(b"alive", b"v"), (b"dead", TOMBSTONE)]
+        stats = write_run(tmp_path / "c.run", sorted(entries))
+        assert stats.tombstone_count == 1
+        reader = SSTableReader(stats.path)
+        assert reader.get(b"dead") == (True, TOMBSTONE)
+        assert reader.get(b"alive") == (True, b"v")
+        reader.close()
+
+    def test_metadata(self, tmp_path):
+        entries = [(b"aaa", b"1"), (b"zzz", b"2")]
+        stats = write_run(tmp_path / "d.run", entries)
+        reader = SSTableReader(stats.path)
+        assert reader.min_key == b"aaa"
+        assert reader.max_key == b"zzz"
+        assert reader.entry_count == 2
+        assert reader.data_bytes > 0
+        reader.close()
+
+    def test_range_iteration(self, tmp_path):
+        entries = [(f"k{i:03d}".encode(), str(i).encode()) for i in range(50)]
+        stats = write_run(tmp_path / "e.run", entries, block_bytes=256)
+        reader = SSTableReader(stats.path)
+        subset = list(reader.items(b"k010", b"k020"))
+        assert [k for k, _ in subset] == [f"k{i:03d}".encode() for i in range(10, 20)]
+        everything = list(reader.items())
+        assert len(everything) == 50
+        reader.close()
+
+    def test_empty_value_supported(self, tmp_path):
+        stats = write_run(tmp_path / "f.run", [(b"k", b"")])
+        reader = SSTableReader(stats.path)
+        assert reader.get(b"k") == (True, b"")
+        reader.close()
+
+
+class TestWriterDiscipline:
+    def test_out_of_order_keys_rejected(self, tmp_path):
+        writer = SSTableWriter(str(tmp_path / "g.run"))
+        writer.add(b"b", b"1")
+        with pytest.raises(ConfigurationError):
+            writer.add(b"a", b"2")
+        writer.abandon()
+
+    def test_duplicate_key_rejected(self, tmp_path):
+        writer = SSTableWriter(str(tmp_path / "h.run"))
+        writer.add(b"a", b"1")
+        with pytest.raises(ConfigurationError):
+            writer.add(b"a", b"2")
+        writer.abandon()
+
+    def test_double_finish_rejected(self, tmp_path):
+        writer = SSTableWriter(str(tmp_path / "i.run"))
+        writer.add(b"a", b"1")
+        writer.finish()
+        with pytest.raises(ConfigurationError):
+            writer.finish()
+
+    def test_abandon_removes_file(self, tmp_path):
+        path = tmp_path / "j.run"
+        writer = SSTableWriter(str(path))
+        writer.add(b"a", b"1")
+        writer.abandon()
+        assert not path.exists()
+
+    def test_rate_limiter_and_sync_policy_exercised(self, tmp_path):
+        sleeps = []
+        limiter = RateLimiter(
+            1024 * 1024,
+            clock=lambda: sum(sleeps),
+            sleep=sleeps.append,
+        )
+        sync = SyncPolicy(interval_bytes=4096)
+        writer = SSTableWriter(
+            str(tmp_path / "k.run"),
+            block_bytes=512,
+            rate_limiter=limiter,
+            sync_policy=sync,
+        )
+        for i in range(3000):
+            writer.add(f"k{i:06d}".encode(), b"x" * 512)
+        writer.finish()
+        assert limiter.total_sleep_seconds > 0
+        assert sync.forces_issued > 10
+
+
+class TestCorruptionDetection:
+    def test_flipped_data_byte_detected(self, tmp_path):
+        entries = [(f"k{i:03d}".encode(), b"value") for i in range(100)]
+        stats = write_run(tmp_path / "l.run", entries, block_bytes=256)
+        with open(stats.path, "r+b") as damaged:
+            damaged.seek(10)
+            original = damaged.read(1)
+            damaged.seek(10)
+            damaged.write(bytes([original[0] ^ 0xFF]))
+        reader = SSTableReader(stats.path)
+        with pytest.raises(CorruptionError):
+            list(reader.items())
+        reader.close()
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "m.run"
+        write_run(path, [(b"a", b"1")])
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CorruptionError):
+            SSTableReader(str(path))
+
+    def test_tiny_file_rejected(self, tmp_path):
+        path = tmp_path / "n.run"
+        path.write_bytes(b"short")
+        with pytest.raises(CorruptionError):
+            SSTableReader(str(path))
+
+    def test_closed_reader_rejects_access(self, tmp_path):
+        stats = write_run(tmp_path / "o.run", [(b"a", b"1")])
+        reader = SSTableReader(stats.path)
+        reader.close()
+        with pytest.raises(ConfigurationError):
+            reader.get(b"a")
+        reader.close()  # idempotent
+
+
+class TestPropertyBased:
+    @given(
+        contents=st.dictionaries(
+            st.binary(min_size=1, max_size=16),
+            st.one_of(st.none(), st.binary(max_size=64)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_any_contents(self, tmp_path_factory, contents):
+        path = tmp_path_factory.mktemp("runs") / "prop.run"
+        entries = sorted(contents.items())
+        stats = write_run(path, entries, block_bytes=256)
+        reader = SSTableReader(stats.path)
+        assert list(reader.items()) == entries
+        for key, value in entries:
+            assert reader.get(key) == (True, value)
+        reader.close()
+        os.remove(stats.path)

@@ -1,0 +1,80 @@
+"""Tests for the write-ahead log."""
+
+import pytest
+
+from repro.engine import TOMBSTONE, WriteAheadLog
+from repro.errors import ConfigurationError
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append([(b"a", b"1"), (b"b", b"2")])
+        log.append([(b"c", TOMBSTONE)])
+        log.close()
+        ops = list(WriteAheadLog.replay(path))
+        assert ops == [(b"a", b"1"), (b"b", b"2"), (b"c", TOMBSTONE)]
+
+    def test_empty_batch_rejected(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "wal.log"))
+        with pytest.raises(ConfigurationError):
+            log.append([])
+        log.close()
+
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        assert list(WriteAheadLog.replay(str(tmp_path / "nope.log"))) == []
+
+    def test_truncate_resets(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append([(b"a", b"1")])
+        log.truncate()
+        log.append([(b"b", b"2")])
+        log.close()
+        assert list(WriteAheadLog.replay(path)) == [(b"b", b"2")]
+
+    def test_size_accounting(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        assert log.size_bytes == 0
+        log.append([(b"key", b"value")])
+        assert log.size_bytes > 0
+        log.close()
+
+
+class TestCrashConsistency:
+    def test_torn_tail_frame_ignored(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append([(b"a", b"1")])
+        log.append([(b"b", b"2")])
+        log.close()
+        # simulate a crash mid-append: chop bytes off the end
+        with open(path, "r+b") as damaged:
+            damaged.truncate(log.size_bytes - 3)
+        ops = list(WriteAheadLog.replay(path))
+        assert ops == [(b"a", b"1")]
+
+    def test_corrupt_middle_frame_stops_replay(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append([(b"a", b"1")])
+        first_frame_end = log.size_bytes
+        log.append([(b"b", b"2")])
+        log.close()
+        with open(path, "r+b") as damaged:
+            damaged.seek(first_frame_end + 12)
+            damaged.write(b"\xff")
+        ops = list(WriteAheadLog.replay(path))
+        assert ops == [(b"a", b"1")]
+
+    def test_append_after_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append([(b"a", b"1")])
+        log.close()
+        log = WriteAheadLog(path)
+        log.append([(b"b", b"2")])
+        log.close()
+        assert list(WriteAheadLog.replay(path)) == [(b"a", b"1"), (b"b", b"2")]

@@ -1,0 +1,49 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import ascii_chart
+
+
+class TestAsciiChart:
+    def test_single_series_shape(self):
+        chart = ascii_chart({"throughput": [1, 2, 3, 4, 5]}, width=20, height=5)
+        lines = chart.splitlines()
+        assert "* throughput" in lines[0]
+        assert len(lines) == 1 + 5 + 2  # legend + rows + axis + label
+        assert "+--------------------" in lines[-2]
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        chart = ascii_chart(
+            {"fair": [5, 5, 5], "greedy": [1, 1, 1]}, width=10, height=4
+        )
+        assert "* fair" in chart and "o greedy" in chart
+        body = "\n".join(chart.splitlines()[1:-2])
+        assert "*" in body and "o" in body
+
+    def test_peak_lands_on_top_row(self):
+        chart = ascii_chart({"s": [0, 0, 10, 0]}, width=8, height=4)
+        top_row = chart.splitlines()[1]
+        assert "*" in top_row
+
+    def test_long_series_downsampled(self):
+        chart = ascii_chart({"s": list(range(1000))}, width=30, height=6)
+        plot_rows = chart.splitlines()[1:-2]
+        assert all(len(row) <= 11 + 30 for row in plot_rows)
+
+    def test_y_scale_printed(self):
+        chart = ascii_chart({"s": [0.0, 100.0]}, width=10, height=4)
+        assert "100.0 |" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"s": []})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"s": [1]}, width=2)
+
+    def test_zero_series_renders(self):
+        chart = ascii_chart({"s": [0, 0, 0]}, width=10, height=4)
+        assert chart  # no division by zero

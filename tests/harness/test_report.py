@@ -1,0 +1,76 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import format_latency_profile, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [
+            {"name": "fair", "p99": 1.5},
+            {"name": "greedy", "p99": 0.25},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert "name" in lines[0] and "p99" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "greedy" in lines[3]
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert "b" not in text.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "x" in text
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])
+
+
+class TestSparkline:
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "███"
+
+    def test_stall_renders_as_lowest_glyph(self):
+        line = sparkline([10, 10, 0, 10])
+        assert line[2] == "▁"
+
+    def test_downsampling(self):
+        line = sparkline(range(1000), width=20)
+        assert len(line) == 20
+
+    def test_empty_and_zero(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0]) == "▁▁"
+
+
+class TestFormatLatencyProfile:
+    def test_sorted_compact_line(self):
+        text = format_latency_profile({99.0: 1.25, 50.0: 0.001})
+        assert text.startswith("p50=")
+        assert "p99=1.250s" in text
+
+
+class TestEmit:
+    def test_emit_prints_and_appends(self, tmp_path, capsys, monkeypatch):
+        from repro.harness import emit
+
+        monkeypatch.chdir(tmp_path)
+        emit("hello figures", results_file="smoke.txt")
+        emit("second block", results_file="smoke.txt")
+        out = capsys.readouterr().out
+        assert "hello figures" in out
+        contents = (tmp_path / "results" / "smoke.txt").read_text()
+        assert "hello figures" in contents and "second block" in contents
+
+    def test_emit_without_file_only_prints(self, capsys):
+        from repro.harness import emit
+
+        emit("console only")
+        assert "console only" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Tests for the parameter-sweep helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import (
+    ExperimentSpec,
+    partition_size_sweep,
+    size_ratio_sweep,
+    utilization_sweep,
+)
+
+FAST = dict(testing_duration=1800.0, running_duration=1800.0, warmup=300.0)
+
+
+class TestSizeRatioSweep:
+    def test_tiering_rows_have_per_scheduler_columns(self):
+        rows = size_ratio_sweep(
+            "tiering", (2, 3), schedulers=("greedy",), scale=512.0, **FAST
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["max_throughput"] > 0
+            assert "p99_greedy" in row and "stalls_greedy" in row
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            size_ratio_sweep("btree", (2,))
+
+
+class TestUtilizationSweep:
+    def test_rows_per_point(self):
+        spec = ExperimentSpec.tiering(scale=512.0).with_(**FAST)
+        rows = utilization_sweep(spec, (0.5, 0.9))
+        assert [row["utilization"] for row in rows] == [0.5, 0.9]
+        assert all(row["arrival_rate"] > 0 for row in rows)
+
+    def test_p99_monotone_in_utilization(self):
+        spec = ExperimentSpec.tiering(scale=512.0).with_(**FAST)
+        rows = utilization_sweep(spec, (0.4, 0.95))
+        assert rows[0]["p99"] <= rows[1]["p99"] + 1e-9
+
+    def test_invalid_utilization_rejected(self):
+        spec = ExperimentSpec.tiering(scale=512.0).with_(**FAST)
+        with pytest.raises(ConfigurationError):
+            utilization_sweep(spec, (1.5,), max_throughput=100.0)
+
+
+class TestPartitionSizeSweep:
+    def test_rows_per_file_size(self):
+        rows = partition_size_sweep((64.0, 512.0), scale=512.0, **FAST)
+        assert [row["file_mib"] for row in rows] == [64.0, 512.0]
+        assert all(row["max_throughput"] > 0 for row in rows)

@@ -1,0 +1,120 @@
+"""Tests for the two-phase evaluation harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import (
+    ExperimentSpec,
+    build_tree,
+    running_phase,
+    two_phase,
+)
+from repro.harness import testing_phase as measure_max
+from repro.workloads import BurstPhase, BurstyArrivals, ClosedArrivals
+
+
+@pytest.fixture(scope="module")
+def tiering_spec():
+    return ExperimentSpec.tiering(scheduler="greedy", scale=512).with_(
+        testing_duration=2400.0,
+        running_duration=2400.0,
+        warmup=300.0,
+    )
+
+
+class TestTestingPhase:
+    def test_returns_positive_throughput(self, tiering_spec):
+        max_throughput, result = measure_max(tiering_spec)
+        assert max_throughput > 0
+        assert result.closed_system
+
+    def test_scheduler_override(self, tiering_spec):
+        greedy_w, _ = measure_max(tiering_spec, scheduler="greedy")
+        fair_w, _ = measure_max(tiering_spec, scheduler="fair")
+        assert greedy_w > 0 and fair_w > 0
+
+    def test_uses_testing_policy_when_provided(self):
+        spec = ExperimentSpec.size_tiered(scale=512, testing_fix=True).with_(
+            testing_duration=1200.0
+        )
+        tree = build_tree(spec, ClosedArrivals(), testing=True)
+        assert tree._policy.always_min
+        tree = build_tree(spec, ClosedArrivals(), testing=False)
+        assert not tree._policy.always_min
+
+
+class TestRunningPhase:
+    def test_requires_some_rate(self, tiering_spec):
+        with pytest.raises(ConfigurationError):
+            running_phase(tiering_spec)
+
+    def test_open_system_result(self, tiering_spec):
+        result = running_phase(tiering_spec, arrival_rate=5.0)
+        assert not result.closed_system
+        assert result.total_writes > 0
+
+    def test_explicit_arrival_process(self, tiering_spec):
+        arrivals = BurstyArrivals([BurstPhase(60.0, 5.0), BurstPhase(60.0, 10.0)])
+        result = running_phase(tiering_spec, arrivals=arrivals)
+        assert result.total_writes > 0
+
+
+class TestTwoPhase:
+    def test_full_pipeline(self, tiering_spec):
+        outcome = two_phase(tiering_spec)
+        assert outcome.max_write_throughput > 0
+        assert outcome.arrival_rate == pytest.approx(
+            0.95 * outcome.max_write_throughput
+        )
+        summary = outcome.summary()
+        assert set(summary) >= {"max_throughput", "p50", "p99", "p999", "stalls"}
+
+    def test_sustainable_flag(self, tiering_spec):
+        outcome = two_phase(tiering_spec)
+        # tiering with the greedy scheduler is the paper's stable setup
+        assert outcome.sustainable
+        assert outcome.p99_write_latency < 5.0
+
+
+class TestSpecBuilders:
+    def test_tiering_spec_shape(self):
+        spec = ExperimentSpec.tiering(size_ratio=3, scale=512)
+        policy = spec.policy_factory()
+        assert policy.size_ratio == 3
+        assert policy.levels >= 5
+
+    def test_leveling_spec_shape(self):
+        spec = ExperimentSpec.leveling(size_ratio=10, scale=512)
+        policy = spec.policy_factory()
+        assert policy.levels == 3
+
+    def test_leveling_dynamic_sizes(self):
+        spec = ExperimentSpec.leveling(scale=512, dynamic_level_sizes=True)
+        policy = spec.policy_factory()
+        assert policy.level_capacity_bytes(policy.levels) == pytest.approx(
+            spec.config.total_bytes
+        )
+
+    def test_partitioned_spec_defaults(self):
+        spec = ExperimentSpec.partitioned(scale=512)
+        policy = spec.policy_factory()
+        assert policy.l0_min_merge == 4
+        assert spec.scheduler == "single"
+        assert spec.constraint == "level0"
+
+    def test_blsm_spec(self):
+        spec = ExperimentSpec.blsm(scale=512)
+        assert spec.scheduler == "spring"
+        assert spec.config.reallocation_interval is not None
+        policy = spec.policy_factory()
+        assert policy.levels == 2
+
+    def test_zipf_distribution(self):
+        spec = ExperimentSpec.tiering(scale=512, distribution="zipf")
+        keyspace = spec.keyspace()
+        assert keyspace.buckets > 1
+
+    def test_unknown_distribution_rejected(self):
+        spec = ExperimentSpec.tiering(scale=512).with_(distribution="pareto")
+        with pytest.raises(ConfigurationError):
+            spec.keyspace()

@@ -1,0 +1,255 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+Each test runs a (scaled) version of one of the paper's experiments
+through the public harness API and asserts the *shape* of the result —
+who wins, what stalls, which measurement is unsustainable. These are the
+same checks the benchmark suite prints; here they gate the build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    ExperimentSpec,
+    running_phase,
+    two_phase,
+)
+from repro.harness import testing_phase as measure_max
+from repro.metrics import stall_windows
+from repro.workloads import BurstPhase, BurstyArrivals, ConstantArrivals
+
+SCALE = 512.0
+FAST = dict(testing_duration=3600.0, running_duration=3600.0, warmup=600.0)
+
+
+class TestSection5FullMerges:
+    """Figures 9 and 10: scheduler choice decides write stalls."""
+
+    @pytest.fixture(scope="class")
+    def tiering(self):
+        spec = ExperimentSpec.tiering(scale=SCALE).with_(**FAST)
+        max_throughput, _ = measure_max(spec)
+        results = {
+            scheduler: running_phase(
+                spec.with_(scheduler=scheduler), max_throughput=max_throughput
+            )
+            for scheduler in ("single", "fair", "greedy")
+        }
+        return results
+
+    @pytest.fixture(scope="class")
+    def leveling(self):
+        spec = ExperimentSpec.leveling(scale=SCALE).with_(**FAST)
+        max_throughput, _ = measure_max(spec)
+        return {
+            scheduler: running_phase(
+                spec.with_(scheduler=scheduler), max_throughput=max_throughput
+            )
+            for scheduler in ("single", "fair", "greedy")
+        }
+
+    def test_single_threaded_worst_everywhere(self, tiering, leveling):
+        for results in (tiering, leveling):
+            single_p99 = results["single"].write_latency_profile((99.0,))[99.0]
+            for other in ("fair", "greedy"):
+                other_p99 = results[other].write_latency_profile((99.0,))[99.0]
+                assert single_p99 > other_p99
+
+    def test_tiering_fair_and_greedy_are_stable(self, tiering):
+        for scheduler in ("fair", "greedy"):
+            assert tiering[scheduler].stall_count() == 0
+            assert tiering[scheduler].write_latency_profile((99.0,))[99.0] < 1.0
+
+    def test_greedy_minimizes_components(self, tiering):
+        fair_avg = tiering["fair"].components.time_average(600, 3600)
+        greedy_avg = tiering["greedy"].components.time_average(600, 3600)
+        assert greedy_avg < fair_avg
+
+    def test_leveling_greedy_beats_fair_on_stalls(self, leveling):
+        assert leveling["greedy"].stall_time <= leveling["fair"].stall_time
+        fair_p99 = leveling["fair"].write_latency_profile((99.0,))[99.0]
+        greedy_p99 = leveling["greedy"].write_latency_profile((99.0,))[99.0]
+        assert greedy_p99 <= fair_p99
+
+
+class TestSection4bLSM:
+    """Figure 6: bLSM bounds processing latency, not write latency."""
+
+    def test_processing_bounded_write_latency_not(self):
+        spec = ExperimentSpec.blsm(scale=SCALE).with_(**FAST)
+        outcome = two_phase(spec)
+        processing = outcome.running.processing_latency_profile((99.0,))
+        write = outcome.running.write_latency_profile((99.0,))
+        assert processing[99.0] < 1.0  # graceful slowdown: no long blocks
+        assert write[99.0] > 10 * processing[99.0]  # queuing dominates
+
+    def test_throughput_has_sawtooth_variance(self):
+        spec = ExperimentSpec.blsm(scale=SCALE).with_(**FAST)
+        _, testing = measure_max(spec)
+        series = testing.throughput_series()[10:]
+        assert series.std() > 0.1 * max(series.mean(), 1e-9)
+
+
+class TestSection53SizeTiered:
+    """Figures 19-20: elastic merging measures an unsustainable maximum.
+
+    These run at the paper's full two-hour durations: the stall escalation
+    of Figure 19 only develops late in the running phase.
+    """
+
+    def test_naive_maximum_exceeds_fixed_maximum(self):
+        naive = ExperimentSpec.size_tiered(scale=SCALE)
+        fixed = ExperimentSpec.size_tiered(scale=SCALE, testing_fix=True)
+        naive_max, naive_result = measure_max(naive)
+        fixed_max, _ = measure_max(fixed)
+        assert naive_max > fixed_max * 1.2  # paper: 17,008 vs 8,863
+        # the inflated maximum comes from wide elastic merges (the paper
+        # counts 55 ten-component merges during its testing phase)
+        wide = [m for m in naive_result.merge_log if m.input_count >= 8]
+        assert len(wide) > 10
+
+    def test_fixed_rate_runs_clean(self):
+        fixed = ExperimentSpec.size_tiered(scale=SCALE, testing_fix=True)
+        outcome = two_phase(fixed)
+        assert outcome.running.stall_count() == 0
+        assert outcome.running.final_queue_length < outcome.arrival_rate
+
+    def test_naive_rate_is_unsustainable(self):
+        naive = ExperimentSpec.size_tiered(scale=SCALE)
+        naive_max, _ = measure_max(naive)
+        run = running_phase(naive.with_(scheduler="fair"), max_throughput=naive_max)
+        assert run.stall_count() > 0  # Figure 19a: stalls under fair
+        assert run.write_latency_profile((99.0,))[99.0] > 10.0
+
+    def test_running_merges_narrower_than_testing(self):
+        import numpy as np
+
+        naive = ExperimentSpec.size_tiered(scale=SCALE)
+        naive_max, testing_result = measure_max(naive)
+        run = running_phase(naive, max_throughput=naive_max)
+        testing_mean = np.mean([m.input_count for m in testing_result.merge_log])
+        running_mean = np.mean([m.input_count for m in run.merge_log])
+        assert running_mean < testing_mean
+
+
+class TestSection6Partitioned:
+    """Figures 21-24: LevelDB's measured maximum and the exact-T0 fix."""
+
+    def test_naive_maximum_exceeds_fixed(self):
+        naive = ExperimentSpec.partitioned(scale=SCALE).with_(**FAST)
+        fixed = ExperimentSpec.partitioned(scale=SCALE, testing_fix=True).with_(
+            **FAST
+        )
+        naive_max, _ = measure_max(naive)
+        fixed_max, _ = measure_max(fixed)
+        # the paper measured roughly 30% lower after the fix
+        assert fixed_max < naive_max
+
+    def test_fixed_partitioned_single_thread_is_stable(self):
+        fixed = ExperimentSpec.partitioned(scale=SCALE, testing_fix=True).with_(
+            **FAST
+        )
+        outcome = two_phase(fixed)
+        assert outcome.running.stall_count() == 0
+        assert outcome.p99_write_latency < 5.0
+
+    def test_selection_strategy_does_not_change_throughput_much(self):
+        round_robin = ExperimentSpec.partitioned(
+            scale=SCALE, selection="round-robin", testing_fix=True
+        ).with_(**FAST)
+        choose_best = ExperimentSpec.partitioned(
+            scale=SCALE, selection="choose-best", testing_fix=True
+        ).with_(**FAST)
+        w_rr, _ = measure_max(round_robin)
+        w_cb, _ = measure_max(choose_best)
+        assert w_cb == pytest.approx(w_rr, rel=0.25)
+
+
+class TestSection512WriteInteraction:
+    """Figure 13: processing ASAP beats rate-limiting under bursts."""
+
+    @staticmethod
+    def paper_proportioned_bursts(max_throughput):
+        """Fig 13's 2000/8000/limit-4000 schedule, scaled to this
+        testbed's capacity (those rates are ~0.31x/1.24x/0.62x of the
+        paper's measured leveling maximum)."""
+        return (
+            BurstyArrivals(
+                [
+                    BurstPhase(1500.0, 0.31 * max_throughput),
+                    BurstPhase(300.0, 1.24 * max_throughput),
+                ]
+            ),
+            0.62 * max_throughput,
+        )
+
+    def test_no_limit_has_lower_latency_than_limit(self):
+        spec = ExperimentSpec.leveling(scale=SCALE, scheduler="greedy").with_(
+            **FAST
+        )
+        max_throughput, _ = measure_max(spec)
+        arrivals, limit = self.paper_proportioned_bursts(max_throughput)
+        no_limit = running_phase(spec, arrivals=arrivals)
+        from repro.core.schedulers import RateLimitControl
+
+        limited_spec = spec.with_(
+            control_factory=lambda: RateLimitControl(limit)
+        )
+        limited = running_phase(limited_spec, arrivals=arrivals)
+        p99_free = no_limit.write_latency_profile((99.0,))[99.0]
+        p99_limited = limited.write_latency_profile((99.0,))[99.0]
+        assert p99_free <= p99_limited
+
+    def test_limit_smooths_throughput(self):
+        spec = ExperimentSpec.leveling(scale=SCALE, scheduler="greedy").with_(
+            **FAST
+        )
+        max_throughput, _ = measure_max(spec)
+        arrivals, limit = self.paper_proportioned_bursts(max_throughput)
+        from repro.core.schedulers import RateLimitControl
+
+        limited_spec = spec.with_(
+            control_factory=lambda: RateLimitControl(limit)
+        )
+        free = running_phase(spec, arrivals=arrivals).throughput_series()
+        smooth = running_phase(limited_spec, arrivals=arrivals).throughput_series()
+        assert smooth.max() <= free.max() + 1e-9
+
+
+class TestSection511Constraints:
+    """Figure 12: global constraints beat local ones for leveling."""
+
+    def test_local_constraint_hurts_leveling(self):
+        base = ExperimentSpec.leveling(scale=SCALE, scheduler="greedy").with_(
+            **FAST
+        )
+        max_throughput, _ = measure_max(base)
+        global_run = running_phase(base, max_throughput=max_throughput)
+        local_run = running_phase(
+            base.with_(constraint="local"), max_throughput=max_throughput
+        )
+        assert local_run.stall_time >= global_run.stall_time
+        g99 = global_run.write_latency_profile((99.0,))[99.0]
+        l99 = local_run.write_latency_profile((99.0,))[99.0]
+        assert l99 >= g99
+
+    def test_local_constraint_mild_for_tiering(self):
+        base = ExperimentSpec.tiering(scale=SCALE, scheduler="greedy").with_(
+            **FAST
+        )
+        max_throughput, _ = measure_max(base)
+        local_run = running_phase(
+            base.with_(constraint="local"), max_throughput=max_throughput
+        )
+        assert local_run.write_latency_profile((99.0,))[99.0] < 5.0
+
+
+class TestClosedLoopStalls:
+    """Figure 1: a closed loop inevitably shows periodic write stalls."""
+
+    def test_closed_loop_throughput_has_stall_windows(self):
+        spec = ExperimentSpec.partitioned(scale=SCALE).with_(**FAST)
+        _, result = measure_max(spec)
+        series = result.throughput_series()
+        assert stall_windows(series, threshold_fraction=0.3) > 0
+        assert series.std() > 0.1 * series.mean()

@@ -1,0 +1,134 @@
+"""Tests for fluid cumulative curves and FIFO latency extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.metrics import CumulativeCurve, fifo_latencies
+
+
+def linear_curve(rate: float, duration: float, step: float = 1.0) -> CumulativeCurve:
+    curve = CumulativeCurve()
+    t = 0.0
+    while t < duration:
+        t = min(t + step, duration)
+        curve.extend(t, rate * t)
+    return curve
+
+
+class TestCumulativeCurve:
+    def test_monotonic_extension(self):
+        curve = CumulativeCurve()
+        curve.extend(1.0, 10.0)
+        curve.extend(2.0, 10.0)  # flat segment fine
+        with pytest.raises(SimulationError):
+            curve.extend(1.5, 20.0)  # time backwards
+
+    def test_decreasing_total_rejected(self):
+        curve = CumulativeCurve()
+        curve.extend(1.0, 10.0)
+        with pytest.raises(SimulationError):
+            curve.extend(2.0, 5.0)
+
+    def test_value_at_interpolates(self):
+        curve = linear_curve(rate=10.0, duration=10.0)
+        assert curve.value_at(np.array([5.0]))[0] == pytest.approx(50.0)
+
+    def test_inverse_of_linear_curve(self):
+        curve = linear_curve(rate=4.0, duration=10.0)
+        times = curve.inverse(np.array([20.0]))
+        assert times[0] == pytest.approx(5.0)
+
+    def test_inverse_out_of_range_raises(self):
+        curve = linear_curve(rate=1.0, duration=10.0)
+        with pytest.raises(ConfigurationError):
+            curve.inverse(np.array([100.0]))
+
+    def test_inverse_is_first_attainment_at_flat_run(self):
+        curve = CumulativeCurve()
+        curve.extend(1.0, 10.0)
+        curve.extend(5.0, 10.0)  # 4-second stall at count 10
+        curve.extend(6.0, 20.0)
+        assert curve.inverse(np.array([10.0]))[0] == pytest.approx(1.0)
+
+    def test_inverse_attributes_post_stall_counts_after_stall(self):
+        curve = CumulativeCurve()
+        curve.extend(1.0, 10.0)
+        curve.extend(5.0, 10.0)
+        curve.extend(6.0, 20.0)
+        assert curve.inverse(np.array([10.001]))[0] > 5.0
+        assert curve.inverse(np.array([15.0]))[0] == pytest.approx(5.5)
+
+    def test_trailing_flat_run_does_not_smear_departures(self):
+        curve = CumulativeCurve()
+        curve.extend(3.0, 0.0)
+        curve.extend(4.0, 3.0)   # all departures within (3, 4]
+        curve.extend(10.0, 3.0)  # idle tail
+        times = curve.inverse(np.array([1.0, 3.0]))
+        assert times[0] == pytest.approx(3.0 + 1.0 / 3.0)
+        assert times[1] == pytest.approx(4.0)
+
+    def test_advance_accumulates(self):
+        curve = CumulativeCurve()
+        curve.advance(1.0, 5.0)
+        curve.advance(2.0, 5.0)
+        assert curve.final_total == 10.0
+
+
+class TestFifoLatencies:
+    def test_zero_latency_when_departures_track_arrivals(self):
+        arrivals = linear_curve(rate=10.0, duration=100.0)
+        departures = linear_curve(rate=10.0, duration=100.0)
+        latencies = fifo_latencies(arrivals, departures)
+        assert latencies.max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_lag_appears_as_latency(self):
+        arrivals = CumulativeCurve()
+        departures = CumulativeCurve()
+        for t in range(1, 101):
+            arrivals.extend(float(t), 10.0 * t)
+            # departures run 2 seconds behind
+            departures.extend(float(t), max(0.0, 10.0 * (t - 2)))
+        latencies = fifo_latencies(arrivals, departures)
+        assert np.median(latencies) == pytest.approx(2.0, abs=0.1)
+
+    def test_stall_produces_latency_spike(self):
+        arrivals = linear_curve(rate=10.0, duration=100.0)
+        departures = CumulativeCurve()
+        for t in range(1, 101):
+            if 50 <= t < 60:
+                total = 500.0  # stalled
+            elif t >= 60:
+                total = min(10.0 * t, 500.0 + 25.0 * (t - 60) + 0.0)
+            else:
+                total = 10.0 * t
+            departures.extend(float(t), min(total, 1000.0))
+        latencies = fifo_latencies(arrivals, departures)
+        assert latencies.max() >= 9.0  # writes at the stall head waited ~10s
+
+    def test_no_departures_raises(self):
+        arrivals = linear_curve(rate=1.0, duration=1.0)
+        departures = CumulativeCurve()
+        with pytest.raises(SimulationError):
+            fifo_latencies(arrivals, departures)
+
+    def test_skip_fraction_bounds(self):
+        arrivals = linear_curve(rate=1.0, duration=10.0)
+        with pytest.raises(ConfigurationError):
+            fifo_latencies(arrivals, arrivals, skip_fraction=1.0)
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=2, max_size=40))
+    def test_latencies_never_negative(self, rates):
+        arrivals = CumulativeCurve()
+        departures = CumulativeCurve()
+        t, a, d = 0.0, 0.0, 0.0
+        for i, rate in enumerate(rates):
+            t += 1.0
+            a += rate
+            arrivals.extend(t, a)
+            # departures lag arrivals but never exceed them
+            d = min(a, d + rate * (0.5 if i % 3 else 1.5))
+            departures.extend(t, d)
+        latencies = fifo_latencies(arrivals, departures)
+        assert (latencies >= 0).all()

@@ -1,0 +1,134 @@
+"""Tests for exact and reservoir percentile computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics import LatencyReservoir, percentile, percentile_profile
+
+
+class TestPercentile:
+    def test_returns_observed_sample(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile(samples, 50.0) in samples
+
+    def test_median_of_odd_count(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_p0_is_min_and_p100_is_max(self):
+        samples = [4.0, 9.0, 1.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 100.0) == 9.0
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50.0)
+
+    def test_out_of_range_level_raises(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101.0)
+
+    @given(
+        st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=200),
+        st.floats(0, 100),
+    )
+    def test_result_always_within_sample_range(self, samples, q):
+        value = percentile(samples, q)
+        assert min(samples) <= value <= max(samples)
+
+
+class TestPercentileProfile:
+    def test_default_levels(self):
+        profile = percentile_profile(np.arange(1000.0))
+        assert set(profile) == {50.0, 90.0, 99.0, 99.9}
+
+    def test_profile_is_monotone_in_level(self):
+        profile = percentile_profile(np.random.default_rng(0).random(500))
+        levels = sorted(profile)
+        values = [profile[level] for level in levels]
+        assert values == sorted(values)
+
+
+class TestLatencyReservoir:
+    def test_unbounded_mode_keeps_everything(self):
+        reservoir = LatencyReservoir()
+        reservoir.extend(range(100))
+        assert reservoir.count == 100
+        assert len(reservoir.samples()) == 100
+
+    def test_capacity_bounds_retention(self):
+        reservoir = LatencyReservoir(capacity=10)
+        reservoir.extend(range(1000))
+        assert reservoir.count == 1000
+        assert len(reservoir.samples()) == 10
+
+    def test_sampling_is_seed_deterministic(self):
+        first = LatencyReservoir(capacity=5, rng=np.random.default_rng(7))
+        second = LatencyReservoir(capacity=5, rng=np.random.default_rng(7))
+        for value in range(50):
+            first.add(value)
+            second.add(value)
+        assert list(first.samples()) == list(second.samples())
+
+    def test_mean_and_maximum(self):
+        reservoir = LatencyReservoir()
+        reservoir.extend([1.0, 2.0, 3.0])
+        assert reservoir.mean() == pytest.approx(2.0)
+        assert reservoir.maximum() == 3.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyReservoir(capacity=0)
+
+    def test_empty_statistics_raise(self):
+        reservoir = LatencyReservoir()
+        with pytest.raises(ConfigurationError):
+            reservoir.mean()
+        with pytest.raises(ConfigurationError):
+            reservoir.percentile(50.0)
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=500))
+    def test_reservoir_samples_are_subset_of_input(self, values):
+        reservoir = LatencyReservoir(capacity=16)
+        reservoir.extend(values)
+        retained = set(reservoir.samples().tolist())
+        assert retained <= set(float(v) for v in values)
+
+
+class TestWeightedPercentileProfile:
+    def test_uniform_weights_match_plain_percentiles(self):
+        from repro.metrics import weighted_percentile_profile
+
+        values = list(range(1000))
+        profile = weighted_percentile_profile(values, [1.0] * 1000, (50.0, 99.0))
+        assert profile[50.0] == pytest.approx(500, abs=2)
+        assert profile[99.0] == pytest.approx(990, abs=2)
+
+    def test_heavy_weight_dominates(self):
+        from repro.metrics import weighted_percentile_profile
+
+        profile = weighted_percentile_profile(
+            [0.001, 10.0], [99.0, 1.0], (50.0, 99.0, 99.9)
+        )
+        assert profile[50.0] == pytest.approx(0.001)
+        assert profile[99.9] == pytest.approx(10.0)
+
+    def test_unsorted_input_handled(self):
+        from repro.metrics import weighted_percentile_profile
+
+        profile = weighted_percentile_profile(
+            [5.0, 1.0, 3.0], [1.0, 1.0, 1.0], (0.0, 100.0)
+        )
+        assert profile[0.0] == 1.0
+        assert profile[100.0] == 5.0
+
+    def test_validation(self):
+        from repro.metrics import weighted_percentile_profile
+
+        with pytest.raises(ConfigurationError):
+            weighted_percentile_profile([], [], (50.0,))
+        with pytest.raises(ConfigurationError):
+            weighted_percentile_profile([1.0], [-1.0], (50.0,))
+        with pytest.raises(ConfigurationError):
+            weighted_percentile_profile([1.0], [1.0], (150.0,))

@@ -1,0 +1,132 @@
+"""Tests for windowed counters and step series."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics import StepSeries, WindowedCounter, stall_windows
+
+
+class TestWindowedCounter:
+    def test_point_increment_lands_in_its_window(self):
+        counter = WindowedCounter(window=10.0)
+        counter.add(25.0, 25.0, 100.0)
+        rates = counter.rates()
+        assert rates[2].value == pytest.approx(10.0)  # 100 over a 10s window
+
+    def test_uniform_spread_across_windows(self):
+        counter = WindowedCounter(window=10.0)
+        counter.add(5.0, 25.0, 200.0)  # 10 per second over [5, 25)
+        values = counter.rate_values()
+        assert values[0] == pytest.approx(5.0)   # 50 units in window 0
+        assert values[1] == pytest.approx(10.0)  # 100 units in window 1
+        assert values[2] == pytest.approx(5.0)   # 50 units in window 2
+
+    def test_total_is_conserved(self):
+        counter = WindowedCounter(window=7.0)
+        counter.add(0.0, 100.0, 1234.5)
+        assert counter.total() == pytest.approx(1234.5)
+
+    def test_until_pads_trailing_zero_windows(self):
+        counter = WindowedCounter(window=10.0)
+        counter.add(0.0, 10.0, 10.0)
+        values = counter.rate_values(until=50.0)
+        assert len(values) == 5
+        assert values[1:].max() == 0.0
+
+    def test_reversed_interval_raises(self):
+        counter = WindowedCounter()
+        with pytest.raises(ConfigurationError):
+            counter.add(10.0, 5.0, 1.0)
+
+    def test_zero_amount_is_noop(self):
+        counter = WindowedCounter()
+        counter.add(0.0, 10.0, 0.0)
+        assert counter.rates() == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1000, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 1e5, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_conservation_property(self, intervals):
+        counter = WindowedCounter(window=13.0)
+        expected = 0.0
+        for start, length, amount in intervals:
+            counter.add(start, start + length, amount)
+            expected += amount
+        assert counter.total() == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestStepSeries:
+    def test_value_at_between_points(self):
+        series = StepSeries()
+        series.record(0.0, 1.0)
+        series.record(10.0, 5.0)
+        assert series.value_at(3.0) == 1.0
+        assert series.value_at(10.0) == 5.0
+        assert series.value_at(99.0) == 5.0
+
+    def test_same_time_record_overwrites(self):
+        series = StepSeries()
+        series.record(0.0, 1.0)
+        series.record(0.0, 2.0)
+        assert series.value_at(0.0) == 2.0
+        assert len(series) == 1
+
+    def test_out_of_order_raises(self):
+        series = StepSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            series.record(4.0, 1.0)
+
+    def test_query_before_first_point_raises(self):
+        series = StepSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            series.value_at(4.0)
+
+    def test_extrema(self):
+        series = StepSeries()
+        for time, value in [(0.0, 3.0), (1.0, 7.0), (2.0, 1.0)]:
+            series.record(time, value)
+        assert series.maximum() == 7.0
+        assert series.minimum() == 1.0
+
+    def test_resample_grid(self):
+        series = StepSeries()
+        series.record(0.0, 1.0)
+        series.record(5.0, 2.0)
+        grid = series.resample(0.0, 10.0, 1.0)
+        assert list(grid) == [1.0] * 5 + [2.0] * 5
+
+    def test_time_average(self):
+        series = StepSeries()
+        series.record(0.0, 0.0)
+        series.record(5.0, 10.0)
+        assert series.time_average(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_time_average_empty_interval_raises(self):
+        series = StepSeries()
+        series.record(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            series.time_average(5.0, 5.0)
+
+
+class TestStallWindows:
+    def test_counts_windows_below_fraction_of_median(self):
+        rates = [100.0] * 20 + [0.0] * 3
+        assert stall_windows(rates) == 3
+
+    def test_no_stalls_in_flat_series(self):
+        assert stall_windows([50.0] * 10) == 0
+
+    def test_empty_series(self):
+        assert stall_windows([]) == 0

@@ -1,0 +1,72 @@
+"""Tests for the simulation configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import SimConfig, bench_config, paper_config
+
+
+class TestPaperConfig:
+    def test_paper_defaults(self):
+        config = paper_config()
+        assert config.entry_bytes == 1024.0
+        assert config.memory_component_bytes == 128 * 2**20
+        assert config.bandwidth_bytes_per_s == 100 * 2**20
+        assert config.total_keys == 100_000_000
+        assert config.num_memory_components == 2
+        assert config.force_interval_bytes == 16 * 2**20
+
+    def test_derived_quantities(self):
+        config = paper_config()
+        assert config.memory_component_entries == pytest.approx(131_072)
+        assert config.bandwidth_entries_per_s == pytest.approx(102_400)
+        assert config.total_bytes == pytest.approx(1024.0 * 100e6)
+
+
+class TestScaling:
+    def test_ratios_preserved(self):
+        base = paper_config()
+        scaled = base.scaled(128)
+        assert base.total_keys / base.memory_component_entries == pytest.approx(
+            scaled.total_keys / scaled.memory_component_entries, rel=0.01
+        )
+        # flush duration M/B is invariant under scaling
+        assert base.memory_component_bytes / base.bandwidth_bytes_per_s == (
+            pytest.approx(
+                scaled.memory_component_bytes / scaled.bandwidth_bytes_per_s
+            )
+        )
+
+    def test_cpu_io_gap_preserved(self):
+        base = paper_config()
+        scaled = base.scaled(64)
+        assert base.memory_write_rate / base.bandwidth_entries_per_s == (
+            pytest.approx(scaled.memory_write_rate / scaled.bandwidth_entries_per_s)
+        )
+
+    def test_scale_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_config().scaled(0.5)
+
+    def test_bench_config(self):
+        config = bench_config(128)
+        assert config.memory_component_bytes == pytest.approx(2**20)
+
+
+class TestValidation:
+    def test_rejects_nonsense(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(entry_bytes=0)
+        with pytest.raises(ConfigurationError):
+            SimConfig(num_memory_components=0)
+        with pytest.raises(ConfigurationError):
+            SimConfig(bandwidth_bytes_per_s=-5)
+        with pytest.raises(ConfigurationError):
+            SimConfig(memory_component_bytes=10.0)  # smaller than one entry
+        with pytest.raises(ConfigurationError):
+            SimConfig(reallocation_interval=0.0)
+
+    def test_with_override(self):
+        config = paper_config().with_(force_at_end_only=True)
+        assert config.force_at_end_only
+        assert paper_config().force_at_end_only is False

@@ -1,0 +1,55 @@
+"""Tests for simulation-result export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentSpec, running_phase
+from repro.harness import testing_phase as measure_max
+from repro.sim import load_result_dict, result_to_dict, save_result
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = ExperimentSpec.tiering(scale=512.0).with_(
+        testing_duration=1200.0, running_duration=1200.0, warmup=300.0
+    )
+    max_throughput, _ = measure_max(spec)
+    return running_phase(spec, max_throughput=max_throughput)
+
+
+class TestResultToDict:
+    def test_payload_shape(self, result):
+        payload = result_to_dict(result)
+        assert payload["format_version"] == 1
+        assert payload["duration"] == result.duration
+        assert len(payload["throughput_series"]) == 40  # 1200s / 30s
+        assert payload["component_points"]
+        assert "write_latency_percentiles" in payload
+
+    def test_payload_is_json_serializable(self, result):
+        json.dumps(result_to_dict(result))
+
+    def test_curves_are_monotone(self, result):
+        payload = result_to_dict(result)
+        totals = payload["departure_curve"]["total"]
+        assert all(a <= b + 1e-9 for a, b in zip(totals, totals[1:]))
+
+    def test_sample_count_validated(self, result):
+        with pytest.raises(ConfigurationError):
+            result_to_dict(result, curve_samples=1)
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        payload = load_result_dict(path)
+        assert payload["total_writes"] == pytest.approx(result.total_writes)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99}', encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_result_dict(path)

@@ -1,0 +1,65 @@
+"""Structural invariants of the partitioned simulator.
+
+Partitioned levels must remain valid range partitions at all times:
+files within a level (above 0) must not overlap, must respect the file
+size cap within tolerance, and level 0 runs must always span the whole
+key range.
+"""
+
+import pytest
+
+from repro.harness import ExperimentSpec, build_tree
+from repro.workloads import ClosedArrivals, ConstantArrivals
+
+
+@pytest.fixture(scope="module")
+def partitioned_tree():
+    spec = ExperimentSpec.partitioned(scale=512.0)
+    tree = build_tree(spec, ClosedArrivals(), testing=True)
+    tree.run(2400.0)
+    return spec, tree
+
+
+class TestPartitionInvariants:
+    def test_partitioned_levels_never_overlap(self, partitioned_tree):
+        _, tree = partitioned_tree
+        for level, files in tree.levels_view().items():
+            if level == 0:
+                continue
+            ordered = sorted(files, key=lambda c: c.key_lo)
+            for left, right in zip(ordered, ordered[1:]):
+                assert left.key_hi <= right.key_lo + 1e-9, (
+                    f"level {level}: {left} overlaps {right}"
+                )
+
+    def test_file_sizes_respect_cap(self, partitioned_tree):
+        spec, tree = partitioned_tree
+        cap = spec.policy_factory().max_file_bytes
+        for level, files in tree.levels_view().items():
+            if level == 0:
+                continue
+            for component in files:
+                assert component.size_bytes <= cap * 1.05
+
+    def test_level0_runs_span_full_range(self, partitioned_tree):
+        _, tree = partitioned_tree
+        for component in tree.levels_view().get(0, []):
+            assert component.key_lo == 0.0
+            assert component.key_hi == 1.0
+
+    def test_key_ranges_within_unit_interval(self, partitioned_tree):
+        _, tree = partitioned_tree
+        for files in tree.levels_view().values():
+            for component in files:
+                assert -1e-9 <= component.key_lo < component.key_hi <= 1.0 + 1e-9
+
+    def test_invariants_hold_in_running_phase_too(self):
+        spec = ExperimentSpec.partitioned(scale=512.0, testing_fix=True)
+        tree = build_tree(spec, ConstantArrivals(8.0), testing=False)
+        tree.run(2400.0)
+        for level, files in tree.levels_view().items():
+            if level == 0:
+                continue
+            ordered = sorted(files, key=lambda c: c.key_lo)
+            for left, right in zip(ordered, ordered[1:]):
+                assert left.key_hi <= right.key_lo + 1e-9

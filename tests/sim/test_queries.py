@@ -1,0 +1,126 @@
+"""Tests for the query cost model and query co-simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentSpec, running_phase
+from repro.harness import testing_phase as measure_max_throughput
+from repro.sim import (
+    QueryDevice,
+    QueryWorkload,
+    pages_per_query,
+    simulate_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def tiering_run():
+    """One shared running-phase result for query-model tests."""
+    spec = ExperimentSpec.tiering(scheduler="greedy", scale=512)
+    max_throughput, _ = measure_max_throughput(spec)
+    return spec, running_phase(spec, max_throughput=max_throughput)
+
+
+class TestQueryWorkload:
+    def test_constructors(self):
+        assert QueryWorkload.point_lookup().kind == "point"
+        assert QueryWorkload.short_scan().records == 100.0
+        assert QueryWorkload.long_scan(10_000).threads == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryWorkload("delete-all")
+        with pytest.raises(ConfigurationError):
+            QueryWorkload("point", records=0)
+
+
+class TestPagesPerQuery:
+    @pytest.fixture
+    def device(self):
+        return QueryDevice(read_pages_per_s=1000.0)
+
+    def test_point_lookup_pays_bloom_fp_per_component(self, device):
+        one = pages_per_query(QueryWorkload.point_lookup(), 1.0, device, 1024.0)
+        many = pages_per_query(QueryWorkload.point_lookup(), 21.0, device, 1024.0)
+        assert one == pytest.approx(1.0)
+        assert many == pytest.approx(1.0 + 0.01 * 20)
+
+    def test_scans_pay_per_component_seek(self, device):
+        few = pages_per_query(QueryWorkload.short_scan(), 2.0, device, 1024.0)
+        lots = pages_per_query(QueryWorkload.short_scan(), 20.0, device, 1024.0)
+        assert lots - few == pytest.approx(18.0)
+
+    def test_long_scan_dominated_by_streaming(self, device):
+        pages = pages_per_query(
+            QueryWorkload.long_scan(100_000), 10.0, device, 1024.0
+        )
+        assert pages == pytest.approx(10.0 + 100_000 / 4.0)
+
+    def test_secondary_cost_scales_with_selectivity(self, device):
+        low = pages_per_query(
+            QueryWorkload("secondary", records=1), 10.0, device, 1024.0, 5.0
+        )
+        high = pages_per_query(
+            QueryWorkload("secondary", records=1000), 10.0, device, 1024.0, 5.0
+        )
+        assert high > 100 * low
+
+
+class TestQueryDevice:
+    def test_for_config_scales_op_latency(self):
+        from repro.sim import bench_config, paper_config
+
+        fast = QueryDevice.for_config(paper_config())
+        slow = QueryDevice.for_config(bench_config(128))
+        assert slow.op_latency_s == pytest.approx(fast.op_latency_s * 128)
+        assert fast.read_pages_per_s == pytest.approx(slow.read_pages_per_s * 128)
+
+
+class TestSimulateQueries:
+    def test_throughput_positive_every_window(self, tiering_run):
+        spec, run = tiering_run
+        outcome = simulate_queries(run, spec.config, QueryWorkload.point_lookup())
+        assert (outcome.throughput > 0).all()
+
+    def test_point_lookups_fastest_long_scans_slowest(self, tiering_run):
+        spec, run = tiering_run
+        point = simulate_queries(run, spec.config, QueryWorkload.point_lookup())
+        short = simulate_queries(run, spec.config, QueryWorkload.short_scan())
+        long_ = simulate_queries(
+            run, spec.config, QueryWorkload.long_scan(2000.0)
+        )
+        assert point.mean_throughput() > short.mean_throughput()
+        assert short.mean_throughput() > long_.mean_throughput()
+
+    def test_latency_profile_monotone(self, tiering_run):
+        spec, run = tiering_run
+        outcome = simulate_queries(run, spec.config, QueryWorkload.short_scan())
+        profile = outcome.latency_profile()
+        levels = sorted(profile)
+        assert [profile[level] for level in levels] == sorted(
+            profile[level] for level in levels
+        )
+
+    def test_force_at_end_raises_tail_latency(self, tiering_run):
+        spec, _ = tiering_run
+        at_end_spec = spec.with_(config=spec.config.with_(force_at_end_only=True))
+        max_throughput, _ = measure_max_throughput(spec)
+        regular_run = running_phase(spec, max_throughput=max_throughput)
+        at_end_run = running_phase(at_end_spec, max_throughput=max_throughput)
+        regular = simulate_queries(
+            regular_run, spec.config, QueryWorkload.point_lookup()
+        )
+        at_end = simulate_queries(
+            at_end_run, at_end_spec.config, QueryWorkload.point_lookup()
+        )
+        assert at_end.latency_profile()[99.9] > 10 * regular.latency_profile()[99.9]
+
+    def test_fewer_components_means_more_throughput(self, tiering_run):
+        """The greedy-beats-fair mechanism: throughput is monotone in the
+        component count, all else equal."""
+        spec, run = tiering_run
+        device = QueryDevice.for_config(spec.config)
+        lean = pages_per_query(QueryWorkload.short_scan(), 5.0, device, 1024.0)
+        heavy = pages_per_query(QueryWorkload.short_scan(), 25.0, device, 1024.0)
+        assert lean < heavy

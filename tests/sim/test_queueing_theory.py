@@ -1,0 +1,83 @@
+"""Queueing-theory validations of the fluid simulator (Section 3.2).
+
+The paper grounds its methodology in queueing theory ("the queuing time
+approaches infinity when the utilization approaches 100%"). These tests
+check the simulator obeys the corresponding laws: Little's law relates
+mean latency to mean queue length, latencies rise monotonically with
+utilization, and an arrival rate above capacity diverges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import ExperimentSpec, build_tree, running_phase
+from repro.harness import testing_phase as measure_max
+from repro.workloads import ConstantArrivals
+
+
+@pytest.fixture(scope="module")
+def spec_and_max():
+    spec = ExperimentSpec.tiering(scheduler="greedy", scale=512).with_(
+        testing_duration=2400.0, warmup=300.0
+    )
+    max_throughput, _ = measure_max(spec)
+    return spec, max_throughput
+
+
+class TestLittlesLaw:
+    def test_mean_latency_times_rate_equals_mean_queue(self, spec_and_max):
+        """L = lambda * W, computed from the simulator's own curves."""
+        spec, max_throughput = spec_and_max
+        rate = 0.9 * max_throughput
+        result = running_phase(spec, arrival_rate=rate)
+        latencies = result.write_latencies()
+        mean_latency = float(latencies.mean())
+        # time-average queue length from the cumulative curves: the area
+        # between the arrival and departure curves over the duration
+        grid = np.linspace(0.0, result.duration, 2000)
+        queue = result.arrivals.value_at(grid) - result.departures.value_at(grid)
+        mean_queue = float(np.clip(queue, 0.0, None).mean())
+        assert rate * mean_latency == pytest.approx(mean_queue, rel=0.15, abs=1.0)
+
+
+class TestUtilizationMonotonicity:
+    def test_latency_rises_with_utilization(self, spec_and_max):
+        spec, max_throughput = spec_and_max
+        previous = -1.0
+        for utilization in (0.5, 0.8, 0.99):
+            result = running_phase(
+                spec, arrival_rate=utilization * max_throughput
+            )
+            p99 = result.write_latency_profile((99.0,))[99.0]
+            assert p99 >= previous - 1e-9
+            previous = p99
+
+    def test_overload_diverges(self, spec_and_max):
+        spec, max_throughput = spec_and_max
+        result = running_phase(spec, arrival_rate=1.5 * max_throughput)
+        # the queue must grow roughly linearly: ~0.3-0.5x arrivals unserved
+        assert result.final_queue_length > 0.1 * (
+            1.5 * max_throughput * spec.running_duration
+        )
+
+
+class TestWorkConservation:
+    def test_served_work_equals_arrivals_minus_queue(self, spec_and_max):
+        spec, max_throughput = spec_and_max
+        rate = 0.7 * max_throughput
+        result = running_phase(spec, arrival_rate=rate)
+        arrived = result.arrivals.final_total
+        departed = result.departures.final_total
+        assert departed + result.final_queue_length == pytest.approx(
+            arrived, rel=1e-9
+        )
+
+    def test_closed_system_departures_equal_arrivals(self, spec_and_max):
+        spec, _ = spec_and_max
+        from repro.workloads import ClosedArrivals
+
+        tree = build_tree(spec, ClosedArrivals(), testing=True)
+        result = tree.run(1200.0)
+        assert result.arrivals.final_total == pytest.approx(
+            result.departures.final_total
+        )

@@ -1,0 +1,49 @@
+"""Tests for SimResult's reporting surface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentSpec, build_tree
+from repro.workloads import ConstantArrivals
+
+
+@pytest.fixture(scope="module")
+def open_result():
+    spec = ExperimentSpec.tiering(scale=512.0)
+    tree = build_tree(spec, ConstantArrivals(10.0), testing=False)
+    return tree.run(1200.0)
+
+
+class TestSimResultApi:
+    def test_measured_throughput_validates_warmup(self, open_result):
+        with pytest.raises(ConfigurationError):
+            open_result.measured_throughput(exclude_initial=1200.0)
+        with pytest.raises(ConfigurationError):
+            open_result.measured_throughput(exclude_initial=-1.0)
+
+    def test_measured_throughput_matches_arrivals(self, open_result):
+        assert open_result.measured_throughput(300.0) == pytest.approx(
+            10.0, rel=0.05
+        )
+
+    def test_longest_stall_zero_without_stalls(self, open_result):
+        assert open_result.longest_stall() == 0.0
+        assert open_result.stall_count() == 0
+
+    def test_latency_profile_monotone(self, open_result):
+        profile = open_result.write_latency_profile((50.0, 90.0, 99.0))
+        assert profile[50.0] <= profile[90.0] <= profile[99.0]
+
+    def test_processing_profile_present(self, open_result):
+        profile = open_result.processing_latency_profile((50.0, 99.0))
+        assert profile[50.0] >= 0.0
+
+    def test_throughput_series_has_window_resolution(self, open_result):
+        series = open_result.throughput_series()
+        assert len(series) == int(1200.0 / open_result.window)
+
+    def test_write_latency_skip_fraction(self, open_result):
+        full = open_result.write_latencies()
+        trimmed = open_result.write_latencies(skip_fraction=0.5)
+        assert trimmed.size < full.size

@@ -1,0 +1,141 @@
+"""Tests for the secondary-index dataset simulation (Section 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import GlobalComponentConstraint, TreeSnapshot
+from repro.errors import ConfigurationError
+from repro.sim import (
+    EagerLookupControl,
+    QueryDevice,
+    SecondarySetup,
+    bench_config,
+    dataset_two_phase,
+    simulate_dataset,
+)
+from repro.workloads import ClosedArrivals, ConstantArrivals
+
+
+class TestSecondarySetup:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SecondarySetup(strategy="deferred")
+        with pytest.raises(ConfigurationError):
+            SecondarySetup(secondary_count=0)
+
+    def test_eager_doubles_secondary_entries(self):
+        assert SecondarySetup(strategy="lazy").entries_per_write_secondary == 1.0
+        assert SecondarySetup(strategy="eager").entries_per_write_secondary == 2.0
+
+    def test_bandwidth_shares_sum_to_one(self):
+        setup = SecondarySetup(strategy="eager", secondary_count=2)
+        config = bench_config(512)
+        primary, secondary = setup.bandwidth_shares(config)
+        assert primary + 2 * secondary == pytest.approx(1.0)
+
+
+class TestEagerLookupControl:
+    @pytest.fixture
+    def control(self):
+        config = bench_config(512)
+        return EagerLookupControl(
+            config, QueryDevice.for_config(config), threads=8
+        )
+
+    def test_rate_decreases_with_components(self, control):
+        from tests.core.test_constraints import tree_with
+
+        few = control.admission_rate(tree_with({0: 2}), GlobalComponentConstraint(99))
+        many = control.admission_rate(
+            tree_with({0: 40}), GlobalComponentConstraint(99)
+        )
+        assert many < few
+
+    def test_stops_on_violation(self, control):
+        from tests.core.test_constraints import tree_with
+
+        assert control.admission_rate(
+            tree_with({0: 5}), GlobalComponentConstraint(5)
+        ) == 0.0
+
+    def test_rate_varies_over_time(self, control):
+        from tests.core.test_constraints import tree_with
+
+        tree = tree_with({0: 2})
+        constraint = GlobalComponentConstraint(99)
+        rates = {
+            control.admission_rate(tree, constraint, now=t)
+            for t in (0.0, 150.0, 300.0, 450.0)
+        }
+        assert len(rates) > 1  # the modulation is visible
+
+    def test_finite_rate(self, control):
+        from tests.core.test_constraints import tree_with
+
+        rate = control.admission_rate(tree_with({0: 2}), GlobalComponentConstraint(99))
+        assert math.isfinite(rate) and rate > 0
+
+
+class TestDatasetSimulation:
+    def test_lazy_measures_higher_than_eager(self):
+        lazy_max, _ = dataset_two_phase(
+            SecondarySetup(strategy="lazy", scale=512),
+            testing_duration=2400,
+            running_duration=600,
+        )
+        eager_max, _ = dataset_two_phase(
+            SecondarySetup(strategy="eager", scale=512),
+            testing_duration=2400,
+            running_duration=600,
+        )
+        assert lazy_max > eager_max
+
+    def test_eager_latency_exceeds_lazy_at_95(self):
+        lazy_max, lazy_run = dataset_two_phase(
+            SecondarySetup(strategy="lazy", scale=512),
+            testing_duration=2400,
+            running_duration=3600,
+        )
+        eager_max, eager_run = dataset_two_phase(
+            SecondarySetup(strategy="eager", scale=512),
+            testing_duration=2400,
+            running_duration=3600,
+        )
+        lazy_p99 = lazy_run.write_latency_profile((99.0,))[99.0]
+        eager_p99 = eager_run.write_latency_profile((99.0,))[99.0]
+        assert eager_p99 > lazy_p99
+
+    def test_lower_utilization_tames_eager_latency(self):
+        setup = SecondarySetup(strategy="eager", scale=512)
+        eager_max, _ = dataset_two_phase(
+            setup, testing_duration=2400, running_duration=600
+        )
+        high = simulate_dataset(
+            setup, ConstantArrivals(0.95 * eager_max), duration=3600
+        )
+        low = simulate_dataset(
+            setup, ConstantArrivals(0.6 * eager_max), duration=3600
+        )
+        assert (
+            low.write_latency_profile((99.0,))[99.0]
+            <= high.write_latency_profile((99.0,))[99.0]
+        )
+
+    def test_closed_dataset_denies_latency(self):
+        result = simulate_dataset(
+            SecondarySetup(scale=512), ClosedArrivals(), duration=600
+        )
+        with pytest.raises(ConfigurationError):
+            result.write_latencies()
+
+    def test_throughput_series_is_min_of_trees(self):
+        result = simulate_dataset(
+            SecondarySetup(scale=512), ConstantArrivals(10.0), duration=600
+        )
+        series = result.throughput_series()
+        p = result.primary.throughput_series()[: series.size]
+        s = result.secondary.throughput_series()[: series.size]
+        assert (series <= p + 1e-9).all()
+        assert (series <= s + 1e-9).all()

@@ -1,0 +1,125 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def fast(monkeypatch):
+    """Shrink phase durations so CLI tests stay quick."""
+    import repro.harness.spec as spec_module
+
+    monkeypatch.setattr(spec_module, "TESTING_DURATION", 1800.0)
+    monkeypatch.setattr(spec_module, "RUNNING_DURATION", 1800.0)
+    monkeypatch.setattr(spec_module, "WARMUP", 300.0)
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_two_phase_defaults(self):
+        args = build_parser().parse_args(["two-phase"])
+        assert args.policy == "tiering"
+        assert args.scheduler == "greedy"
+        assert args.utilization == 0.95
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["two-phase", "--policy", "btree"])
+
+    def test_sweep_axes(self):
+        args = build_parser().parse_args(["sweep", "size-ratio"])
+        assert args.axis == "size-ratio"
+
+
+class TestCommands:
+    def test_two_phase_runs(self, fast, capsys):
+        code = main(["two-phase", "--policy", "tiering", "--scale", "512"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max write throughput" in out
+        assert "sustainable" in out
+
+    def test_two_phase_lazy_leveling(self, fast, capsys):
+        code = main(["two-phase", "--policy", "lazy-leveling",
+                     "--scale", "512"])
+        assert code == 0
+        assert "lazy-leveling" in capsys.readouterr().out
+
+    def test_compare_runs(self, fast, capsys):
+        code = main([
+            "compare", "--policy", "tiering", "--scale", "512",
+            "--schedulers", "fair,greedy",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fair" in out and "greedy" in out
+
+    def test_sweep_utilization(self, fast, capsys):
+        code = main([
+            "sweep", "utilization", "--policy", "tiering", "--scale", "512",
+            "--points", "0.6,0.9",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.600" in out and "0.900" in out
+
+    def test_sweep_size_ratio(self, fast, capsys):
+        code = main([
+            "sweep", "size-ratio", "--policy", "tiering", "--scale", "512",
+            "--ratios", "2,3",
+        ])
+        assert code == 0
+        assert "max_throughput" in capsys.readouterr().out
+
+    def test_sweep_partition_size(self, fast, capsys):
+        code = main([
+            "sweep", "partition-size", "--scale", "512",
+            "--files-mib", "64,512",
+        ])
+        assert code == 0
+        assert "file_mib" in capsys.readouterr().out
+
+    def test_testing_fix_flag(self, fast, capsys):
+        code = main([
+            "two-phase", "--policy", "size-tiered", "--testing-fix",
+            "--scale", "512",
+        ])
+        assert code == 0
+        assert "sustainable: yes" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        from repro.engine import LSMStore, StoreOptions
+
+        with LSMStore.open(
+            str(tmp_path / "db"), StoreOptions(memtable_bytes=16 * 1024)
+        ) as store:
+            for i in range(500):
+                store.put(f"k{i:05d}".encode(), b"v")
+        assert main(["verify", str(tmp_path / "db")]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_corrupt_store_exits_nonzero(self, tmp_path, capsys):
+        import os
+
+        from repro.engine import LSMStore, StoreOptions
+
+        with LSMStore.open(
+            str(tmp_path / "db"), StoreOptions(memtable_bytes=16 * 1024)
+        ) as store:
+            for i in range(2000):
+                store.put(f"k{i:05d}".encode(), b"v" * 64)
+        runs = [
+            f for f in os.listdir(tmp_path / "db") if f.endswith(".run")
+        ]
+        victim = tmp_path / "db" / runs[0]
+        blob = bytearray(victim.read_bytes())
+        blob[30] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        assert main(["verify", str(tmp_path / "db")]) == 1
+        assert "PROBLEM" in capsys.readouterr().out

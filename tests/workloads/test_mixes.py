@@ -1,0 +1,109 @@
+"""Tests for YCSB mixes and operation traces."""
+
+import pytest
+
+from repro.engine import LSMStore, StoreOptions
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    TraceOp,
+    YCSBWorkload,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+
+
+class TestYCSBWorkload:
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            YCSBWorkload("Z")
+
+    def test_mix_letter_case_insensitive(self):
+        assert YCSBWorkload("a").mix == "A"
+
+    @pytest.mark.parametrize("mix", ["A", "B", "C", "D", "E", "F"])
+    def test_operation_fractions_match_profile(self, mix):
+        workload = YCSBWorkload(mix, keyspace=1000, seed=1)
+        ops = list(workload.operations(2000))
+        counts = {}
+        for op in ops:
+            counts[op.op] = counts.get(op.op, 0) + 1
+        from repro.workloads import YCSB_MIXES
+
+        for name, fraction in YCSB_MIXES[mix].items():
+            if name == "distribution":
+                continue
+            assert counts.get(name, 0) / 2000 == pytest.approx(
+                fraction, abs=0.05
+            )
+
+    def test_streams_deterministic_by_seed(self):
+        first = [op.key for op in YCSBWorkload("A", seed=5).operations(100)]
+        second = [op.key for op in YCSBWorkload("A", seed=5).operations(100)]
+        assert first == second
+
+    def test_inserts_extend_the_keyspace(self):
+        workload = YCSBWorkload("D", keyspace=100, seed=2)
+        inserted = [op for op in workload.operations(500) if op.op == "insert"]
+        assert inserted
+        keys = {op.key for op in inserted}
+        assert len(keys) == len(inserted)  # each insert is a fresh key
+
+    def test_load_operations_cover_keyspace(self):
+        workload = YCSBWorkload("A", keyspace=50)
+        load = list(workload.load_operations())
+        assert len(load) == 50
+        assert all(op.op == "insert" for op in load)
+
+    def test_scan_ops_carry_length(self):
+        workload = YCSBWorkload("E", keyspace=100, scan_length=25, seed=3)
+        scans = [op for op in workload.operations(100) if op.op == "scan"]
+        assert scans and all(op.scan_length == 25 for op in scans)
+
+
+class TestTraceRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        workload = YCSBWorkload("A", keyspace=100, seed=4)
+        ops = list(workload.operations(50))
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(path, iter(ops)) == 50
+        restored = list(load_trace(path))
+        assert restored == ops
+
+    def test_bad_operation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceOp.from_json(
+                '{"op": "drop-table", "key": "k", "value_size": 0, '
+                '"scan_length": 0}'
+            )
+
+
+class TestReplay:
+    def test_replay_against_engine(self, tmp_path):
+        options = StoreOptions(memtable_bytes=32 * 1024, levels=3)
+        workload = YCSBWorkload("A", keyspace=200, value_size=64, seed=6)
+        with LSMStore.open(str(tmp_path / "db"), options) as store:
+            replay_trace(store, workload.load_operations())
+            counts = replay_trace(store, workload.operations(500))
+            assert counts["read"] + counts["update"] == 500
+            assert counts["read_miss"] == 0  # keyspace fully loaded
+
+    def test_replay_counts_missing_reads(self, tmp_path):
+        options = StoreOptions(memtable_bytes=32 * 1024, levels=3)
+        with LSMStore.open(str(tmp_path / "db"), options) as store:
+            counts = replay_trace(
+                store,
+                iter([TraceOp("read", b"user000000000nope")]),
+            )
+            assert counts["read_miss"] == 1
+
+    def test_identical_traces_give_identical_stores(self, tmp_path):
+        options = StoreOptions(memtable_bytes=32 * 1024, levels=3)
+        workload = YCSBWorkload("F", keyspace=100, value_size=32, seed=7)
+        trace = list(workload.load_operations()) + list(workload.operations(300))
+        contents = []
+        for name in ("one", "two"):
+            with LSMStore.open(str(tmp_path / name), options) as store:
+                replay_trace(store, iter(trace))
+                contents.append(dict(store.scan()))
+        assert contents[0] == contents[1]
