@@ -7,6 +7,8 @@
     python -m repro sweep size-ratio --policy tiering --ratios 2,4,6,10
     python -m repro sweep utilization --policy tiering --points 0.5,0.8,0.95
     python -m repro sweep partition-size --files-mib 8,64,512
+    python -m repro serve /tmp/db --admission gradual
+    python -m repro loadgen --port 7379 --mode two-phase
 
 Every command builds the corresponding :class:`~repro.harness.ExperimentSpec`,
 runs the two-phase evaluation on the scaled simulated testbed, and prints
@@ -120,6 +122,115 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _admission_from(args: argparse.Namespace):
+    from .server import build_admission
+
+    mode = args.admission
+    if mode == "stop":
+        return build_admission(
+            "stop", retry_after=args.retry_after_ms / 1000.0
+        )
+    if mode == "limit":
+        return build_admission(
+            "limit",
+            rate_bytes_per_s=args.rate_mib * 2**20,
+            retry_after=args.retry_after_ms / 1000.0,
+        )
+    if mode == "gradual":
+        return build_admission(
+            "gradual",
+            max_delay=args.max_delay_ms / 1000.0,
+            threshold=args.threshold,
+        )
+    return build_admission("none")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .engine import LSMStore, StoreOptions
+    from .server import KVServer
+
+    options = StoreOptions(
+        memtable_bytes=int(args.memtable_mib * 2**20),
+        policy=args.engine_policy,
+        stall_mode=args.stall_mode,
+        background_maintenance=args.background,
+    )
+
+    async def run() -> None:
+        with LSMStore.open(args.directory, options) as store:
+            server = KVServer(
+                store, _admission_from(args), host=args.host, port=args.port
+            )
+            async with server:
+                host, port = server.address
+                print(
+                    f"serving {args.directory} on {host}:{port} "
+                    f"(admission: {args.admission}, "
+                    f"stall mode: {args.stall_mode})"
+                )
+                await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    except OSError as error:
+        print(f"error: cannot serve on {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import closed_loop, open_loop, two_phase as net_two_phase
+
+    common = dict(
+        value_bytes=args.value_bytes,
+        keyspace=args.keyspace,
+        seed=args.seed,
+    )
+
+    async def run():
+        if args.mode == "closed":
+            return await closed_loop(
+                args.host,
+                args.port,
+                clients=args.clients,
+                ops_per_client=args.ops // max(1, args.clients),
+                **common,
+            )
+        if args.mode == "open":
+            return await open_loop(
+                args.host,
+                args.port,
+                rate_ops_per_s=args.rate,
+                total_ops=args.ops,
+                **common,
+            )
+        return await net_two_phase(
+            args.host,
+            args.port,
+            utilization=args.utilization,
+            clients=args.clients,
+            testing_ops_per_client=args.ops // max(1, args.clients),
+            running_ops=args.ops,
+            **common,
+        )
+
+    result = asyncio.run(run())
+    print(result.summary())
+    completed = (
+        result.running.op_count
+        if hasattr(result, "running")
+        else result.op_count
+    )
+    return 0 if completed else 1
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .engine import verify_store
 
@@ -202,6 +313,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_cmd.add_argument("directory", help="LSMStore data directory")
     verify_cmd.set_defaults(handler=_cmd_verify)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="serve an LSMStore over TCP with admission control"
+    )
+    serve_cmd.add_argument("directory", help="LSMStore data directory")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=7379)
+    serve_cmd.add_argument(
+        "--admission", choices=("none", "stop", "limit", "gradual"),
+        default="none",
+        help="write admission mode (default: none)",
+    )
+    serve_cmd.add_argument(
+        "--rate-mib", type=float, default=64.0,
+        help="limit mode: admitted write budget in MiB/s (default: 64)",
+    )
+    serve_cmd.add_argument(
+        "--retry-after-ms", type=float, default=50.0,
+        help="stop/limit modes: client backoff hint (default: 50ms)",
+    )
+    serve_cmd.add_argument(
+        "--max-delay-ms", type=float, default=20.0,
+        help="gradual mode: delay at full pressure (default: 20ms)",
+    )
+    serve_cmd.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="gradual mode: pressure where delays start (default: 0.5)",
+    )
+    serve_cmd.add_argument(
+        "--memtable-mib", type=float, default=4.0,
+        help="engine memory component budget (default: 4 MiB)",
+    )
+    serve_cmd.add_argument(
+        "--engine-policy", choices=("tiering", "leveling", "size-tiered"),
+        default="tiering", help="engine merge policy (default: tiering)",
+    )
+    serve_cmd.add_argument(
+        "--stall-mode", choices=("block", "reject"), default="reject",
+        help="engine stall gate behaviour (default: reject — the "
+             "admission layer, not the engine, absorbs stalls)",
+    )
+    serve_cmd.add_argument(
+        "--background", action="store_true",
+        help="run engine maintenance on a background thread",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    loadgen_cmd = commands.add_parser(
+        "loadgen", help="drive a running server with network load"
+    )
+    loadgen_cmd.add_argument("--host", default="127.0.0.1")
+    loadgen_cmd.add_argument("--port", type=int, default=7379)
+    loadgen_cmd.add_argument(
+        "--mode", choices=("closed", "open", "two-phase"),
+        default="two-phase",
+        help="load shape (default: the paper's two-phase methodology)",
+    )
+    loadgen_cmd.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent closed-loop clients (default: 4)",
+    )
+    loadgen_cmd.add_argument(
+        "--ops", type=int, default=2000,
+        help="total operations per phase (default: 2000)",
+    )
+    loadgen_cmd.add_argument(
+        "--rate", type=float, default=500.0,
+        help="open mode: arrivals per second (default: 500)",
+    )
+    loadgen_cmd.add_argument(
+        "--utilization", type=float, default=0.95,
+        help="two-phase mode: running-phase fraction of the measured "
+             "max (default: 0.95, the paper's setting)",
+    )
+    loadgen_cmd.add_argument("--value-bytes", type=int, default=100)
+    loadgen_cmd.add_argument("--keyspace", type=int, default=4096)
+    loadgen_cmd.add_argument("--seed", type=int, default=0)
+    loadgen_cmd.set_defaults(handler=_cmd_loadgen)
 
     return parser
 

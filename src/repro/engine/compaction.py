@@ -154,9 +154,10 @@ class MergeJob:
 class CompactionManager:
     """Owns the live run set and drives flushes and merges."""
 
-    #: Input bytes processed per scheduler consultation. Small enough that
-    #: the greedy scheduler can redirect quickly, large enough to amortize
-    #: Python-level overhead.
+    #: Default input bytes processed per scheduler consultation. Small
+    #: enough that the greedy scheduler can redirect quickly, large
+    #: enough to amortize Python-level overhead. Overridden per store by
+    #: ``options.merge_chunk_bytes``.
     CHUNK_BYTES = 1 << 20
 
     def __init__(
@@ -168,6 +169,7 @@ class CompactionManager:
     ) -> None:
         self._directory = directory
         self._options = options
+        self.chunk_bytes = options.merge_chunk_bytes or self.CHUNK_BYTES
         self._manifest = manifest
         self._policy = build_policy(options)
         self._scheduler = build_scheduler(options)
@@ -253,6 +255,19 @@ class CompactionManager:
     def is_write_stalled(self) -> bool:
         """True when the component constraint forbids new flushes."""
         return self._constraint.is_violated(self.snapshot())
+
+    @property
+    def constraint_limit(self) -> int:
+        """The global component-count budget writes are gated on."""
+        return self._constraint.limit
+
+    def write_headroom(self) -> float:
+        """Remaining component budget as a fraction (0 = stalled).
+
+        Graceful write-slowdown controls (the serving tier's ``gradual``
+        admission mode) key their delays off this signal, bLSM-style.
+        """
+        return self._constraint.headroom(self.snapshot())
 
     # -- flush -----------------------------------------------------------
 
@@ -377,7 +392,7 @@ class CompactionManager:
             return False
         chosen_uid = max(allocation, key=allocation.get)
         job = self._jobs[chosen_uid]
-        if job.advance(self.CHUNK_BYTES):
+        if job.advance(self.chunk_bytes):
             self._finish_job(job)
         return True
 

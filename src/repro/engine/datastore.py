@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -39,18 +40,44 @@ from .wal import WriteAheadLog
 
 @dataclass(frozen=True)
 class StoreStats:
-    """A point-in-time summary of the store's state."""
+    """A point-in-time summary of the store's state.
+
+    ``write_stalls`` counts *writes* that observed a stalled tree (once
+    per stalled write, not per polling iteration) and
+    ``stall_seconds_total`` accumulates the wall-clock time those writes
+    spent blocked in the headroom gate. ``write_stalled`` and
+    ``write_headroom`` are instantaneous backpressure signals for
+    admission controllers: headroom is the remaining fraction of the
+    component budget (0.0 = stalled right now).
+    """
 
     memtable_entries: int
     memtable_bytes: int
     sealed_memtables: int
+    num_memtables: int
     disk_components: int
     components_per_level: dict[int, int]
     merges_completed: int
     write_stalls: int
+    stall_seconds_total: float
+    wal_bytes: int
+    write_stalled: bool
+    write_headroom: float
     throttle_sleep_seconds: float
     block_cache_hit_rate: float
     block_cache_used_bytes: int
+
+    @property
+    def memory_fill(self) -> float:
+        """Sealed-memtable queue occupancy in [0, 1].
+
+        1.0 means every spare memory component is waiting on a flush —
+        the next rotation forces the writer into inline maintenance (a
+        flush stall). The memory-pressure companion to
+        ``write_headroom``; graceful admission keys off both.
+        """
+        slots = max(1, self.num_memtables - 1)
+        return min(1.0, self.sealed_memtables / slots)
 
 
 class LSMStore:
@@ -72,6 +99,7 @@ class LSMStore:
         self._memtable_seed = 1
         self._closed = False
         self._stall_count = 0
+        self._stall_seconds = 0.0
         self._lock = threading.RLock()
         self._work_available = threading.Condition(self._lock)
         self._replay_wal()
@@ -162,14 +190,25 @@ class LSMStore:
             self._maybe_rotate()
 
     def _wait_for_headroom(self) -> None:
-        """The write-stall gate: the paper's stop interaction mode."""
-        while self._compaction.is_write_stalled():
-            self._stall_count += 1
-            if self._options.stall_mode == "reject":
-                raise WriteStalledError(
-                    "component constraint violated; merges must catch up"
-                )
-            self._advance_maintenance(blocking=True)
+        """The write-stall gate: the paper's stop interaction mode.
+
+        A stall is counted once per write that observed a stalled tree
+        (not once per polling iteration), and the time a blocking writer
+        spends here accumulates into ``stall_seconds_total``.
+        """
+        if not self._compaction.is_write_stalled():
+            return
+        self._stall_count += 1
+        if self._options.stall_mode == "reject":
+            raise WriteStalledError(
+                "component constraint violated; merges must catch up"
+            )
+        started = time.monotonic()
+        try:
+            while self._compaction.is_write_stalled():
+                self._advance_maintenance(blocking=True)
+        finally:
+            self._stall_seconds += time.monotonic() - started
 
     def _maybe_rotate(self) -> None:
         if self._active.approximate_bytes < self._options.memtable_bytes:
@@ -223,9 +262,9 @@ class LSMStore:
         if self._sealed:
             self._flush_oldest_sealed()
             progressed = True
-        budget = max(
+        budget = self._options.maintenance_chunks_per_rotation or max(
             2,
-            int(8 * self._options.memtable_bytes // self._compaction.CHUNK_BYTES)
+            int(8 * self._options.memtable_bytes // self._compaction.chunk_bytes)
             + 1,
         )
         for _ in range(budget):
@@ -260,6 +299,21 @@ class LSMStore:
             while self._sealed:
                 self._flush_oldest_sealed()
             self._compaction.drain(max_steps)
+
+    def advance_maintenance(self) -> bool:
+        """One bounded maintenance pump: the serving layer's stall hook.
+
+        With ``stall_mode="reject"`` and inline maintenance nothing
+        advances flushes or merges while writes are being bounced, so a
+        front-end that rejects (or absorbs) stalled writes must push
+        maintenance forward itself between attempts. Returns True while
+        the write gate is still closed afterwards.
+        """
+        with self._lock:
+            self._check_open()
+            if self._sealed or self._compaction.has_work():
+                self._advance_maintenance(blocking=False)
+            return self._compaction.is_write_stalled()
 
     def flush(self) -> None:
         """Seal and flush the active memtable."""
@@ -381,16 +435,32 @@ class LSMStore:
                 memtable_entries=len(self._active),
                 memtable_bytes=self._active.approximate_bytes,
                 sealed_memtables=len(self._sealed),
+                num_memtables=self._options.num_memtables,
                 disk_components=self._compaction.component_count,
                 components_per_level=self._compaction.levels(),
                 merges_completed=self._compaction.merges_completed,
                 write_stalls=self._stall_count,
+                stall_seconds_total=self._stall_seconds,
+                wal_bytes=self._wal.size_bytes,
+                write_stalled=self._compaction.is_write_stalled(),
+                write_headroom=self._compaction.write_headroom(),
                 throttle_sleep_seconds=(
                     self._compaction.rate_limiter.total_sleep_seconds
                 ),
                 block_cache_hit_rate=self._compaction.block_cache.hit_rate(),
                 block_cache_used_bytes=self._compaction.block_cache.used_bytes,
             )
+
+    @property
+    def write_stalled(self) -> bool:
+        """Instantaneous backpressure bit: is the write gate closed now?"""
+        with self._lock:
+            return self._compaction.is_write_stalled()
+
+    def write_headroom(self) -> float:
+        """Remaining component budget as a fraction (0.0 = stalled)."""
+        with self._lock:
+            return self._compaction.write_headroom()
 
     @property
     def options(self) -> StoreOptions:

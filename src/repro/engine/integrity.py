@@ -27,6 +27,8 @@ class IntegrityReport:
     entries_checked: int = 0
     problems: list[str] = field(default_factory=list)
     orphan_files: list[str] = field(default_factory=list)
+    wal_bytes: int = 0
+    components_per_level: dict[int, int] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -37,9 +39,14 @@ class IntegrityReport:
     def summary(self) -> str:
         """One-paragraph human-readable result."""
         state = "CLEAN" if self.clean else f"{len(self.problems)} PROBLEM(S)"
+        shape = ", ".join(
+            f"L{level}:{count}"
+            for level, count in sorted(self.components_per_level.items())
+        ) or "empty"
         lines = [
             f"integrity: {state} — {self.runs_checked} runs, "
-            f"{self.entries_checked} entries checked"
+            f"{self.entries_checked} entries checked",
+            f"  tree: {shape}; wal: {self.wal_bytes} bytes",
         ]
         lines += [f"  problem: {problem}" for problem in self.problems]
         lines += [f"  orphan:  {name}" for name in self.orphan_files]
@@ -87,6 +94,9 @@ def _verify_run(reader: SSTableReader, report: IntegrityReport, name: str) -> No
 def verify_store(directory: str) -> IntegrityReport:
     """Audit every live run referenced by the store's manifest."""
     report = IntegrityReport()
+    wal_path = os.path.join(directory, "wal.log")
+    if os.path.exists(wal_path):
+        report.wal_bytes = os.path.getsize(wal_path)
     manifest = Manifest(directory)
     try:
         live = manifest.live_runs()
@@ -96,6 +106,9 @@ def verify_store(directory: str) -> IntegrityReport:
                 report.orphan_files.append(name)
         by_level: dict[int, list] = {}
         for record in live:
+            report.components_per_level[record.level] = (
+                report.components_per_level.get(record.level, 0) + 1
+            )
             path = os.path.join(directory, record.filename)
             if not os.path.exists(path):
                 report.problems.append(

@@ -43,6 +43,18 @@ class StoreOptions:
         Bloom filter sizing; 10 bits/key gives the paper's ~1% FPR.
     bytes_per_sync:
         Force data to disk every this many written bytes (paper: 16 MB).
+    merge_chunk_bytes:
+        Merge input bytes processed per scheduler consultation (0 =
+        the compaction manager's 1 MB default). Smaller chunks make
+        merge progress finer-grained — and merge lag, hence write
+        stalls, realistic at small scales.
+    maintenance_chunks_per_rotation:
+        Merge chunks the inline maintenance pump advances per memtable
+        rotation (0 = auto: enough to keep merges paced with
+        ingestion). Setting this *below* the auto pacing models a merge
+        bandwidth deficit, so ingestion outruns compaction and the
+        component constraint produces genuine transient write stalls —
+        the regime the paper studies. Ignored by background mode.
     rate_limit_bytes_per_s:
         Flush/merge write throttle (paper: 100 MB/s); 0 disables.
     block_cache_bytes:
@@ -68,6 +80,8 @@ class StoreOptions:
     block_bytes: int = 4096
     bloom_bits_per_key: int = 10
     bytes_per_sync: int = 16 * 2**20
+    merge_chunk_bytes: int = 0
+    maintenance_chunks_per_rotation: int = 0
     rate_limit_bytes_per_s: int = 0
     block_cache_bytes: int = 8 * 2**20
     stall_mode: str = "block"
@@ -93,6 +107,12 @@ class StoreOptions:
             raise ConfigurationError("bloom filter needs at least 1 bit/key")
         if self.bytes_per_sync < self.block_bytes:
             raise ConfigurationError("bytes_per_sync must cover a block")
+        if self.merge_chunk_bytes < 0:
+            raise ConfigurationError("merge chunk size cannot be negative")
+        if self.maintenance_chunks_per_rotation < 0:
+            raise ConfigurationError(
+                "maintenance chunks per rotation cannot be negative"
+            )
         if self.rate_limit_bytes_per_s < 0:
             raise ConfigurationError("rate limit cannot be negative")
         if self.block_cache_bytes < 0:

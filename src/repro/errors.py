@@ -48,3 +48,29 @@ class WriteStalledError(StorageError):
 
 class ClosedError(StorageError):
     """An operation was attempted on a closed datastore or iterator."""
+
+
+class ServerError(ReproError):
+    """Base class for failures in the network layer (``repro.server``)."""
+
+
+class ProtocolError(ServerError):
+    """A malformed frame or message was sent or received."""
+
+
+class RequestFailedError(ServerError):
+    """The server answered a request with an error response.
+
+    ``code`` carries the protocol error code (for example ``"STALLED"``
+    or ``"BAD_REQUEST"``); ``retry_after`` is the server's backoff hint
+    in seconds when the failure is transient, else 0.
+    """
+
+    def __init__(self, code: str, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.retry_after = retry_after
+
+
+class RetriesExhaustedError(ServerError):
+    """A client request failed every attempt in its retry budget."""

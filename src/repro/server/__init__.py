@@ -1,0 +1,55 @@
+"""A stall-aware network KV service over :mod:`repro.engine`.
+
+The serving tier the paper's write-interaction taxonomy matters for in
+production: an asyncio TCP front-end (:class:`KVServer`) speaking a
+length-prefixed JSON protocol, a pooled retrying client
+(:class:`KVClient`), an admission controller mapping engine
+backpressure onto the paper's stop / limit / gradual interaction modes,
+and a closed/open-loop load generator implementing the two-phase
+methodology over the wire.
+"""
+
+from .admission import (
+    ADMIT,
+    DELAY,
+    MODES,
+    REJECT,
+    AdmissionController,
+    AdmissionDecision,
+    GradualAdmission,
+    LimitAdmission,
+    StopAdmission,
+    build_admission,
+)
+from .client import ClientMetrics, KVClient
+from .loadgen import (
+    LoadResult,
+    TwoPhaseNetworkResult,
+    closed_loop,
+    open_loop,
+    two_phase,
+)
+from .service import KVServer, ServerMetrics, serve
+
+__all__ = [
+    "ADMIT",
+    "DELAY",
+    "REJECT",
+    "MODES",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ClientMetrics",
+    "GradualAdmission",
+    "KVClient",
+    "KVServer",
+    "LimitAdmission",
+    "LoadResult",
+    "ServerMetrics",
+    "StopAdmission",
+    "TwoPhaseNetworkResult",
+    "build_admission",
+    "closed_loop",
+    "open_loop",
+    "serve",
+    "two_phase",
+]

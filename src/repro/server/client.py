@@ -1,0 +1,253 @@
+"""Async client for the network KV service.
+
+:class:`KVClient` keeps a small pool of TCP connections, applies a
+per-request timeout, and retries transient failures — connection drops,
+timeouts, and ``STALLED`` rejections — with exponential backoff. When
+the server supplies a ``retry_after`` hint (the stop admission mode's
+RETRY_AFTER), the client honours whichever is longer: the hint or its
+own backoff schedule. The sleep function is injectable so tests can
+verify the backoff schedule without wall-clock waits.
+
+Because the store is a last-writer-wins KV map, every verb here is
+idempotent and therefore safe to retry blindly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..errors import (
+    ConfigurationError,
+    ProtocolError,
+    RequestFailedError,
+    RetriesExhaustedError,
+)
+from . import protocol
+
+
+@dataclass
+class ClientMetrics:
+    """Cumulative client-side counters (retry visibility for loadgen)."""
+
+    requests_total: int = 0
+    retries_total: int = 0
+    stalled_responses: int = 0
+    timeouts: int = 0
+    reconnects: int = 0
+    backoff_seconds_total: float = 0.0
+
+
+class _Connection:
+    """One pooled TCP connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.broken = False
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except Exception:  # noqa: BLE001 — already tearing down
+            pass
+
+
+class KVClient:
+    """Pooled, retrying async client for :class:`~repro.server.KVServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 2,
+        timeout: float = 5.0,
+        max_retries: int = 4,
+        backoff_base: float = 0.05,
+        backoff_multiplier: float = 2.0,
+        backoff_max: float = 1.0,
+        sleep=None,
+    ) -> None:
+        if pool_size < 1:
+            raise ConfigurationError("pool needs at least one connection")
+        if timeout <= 0:
+            raise ConfigurationError("timeout must be positive")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries cannot be negative")
+        if backoff_base <= 0 or backoff_multiplier < 1 or backoff_max <= 0:
+            raise ConfigurationError("invalid backoff schedule")
+        self._host = host
+        self._port = port
+        self._pool_size = pool_size
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff_base = backoff_base
+        self._backoff_multiplier = backoff_multiplier
+        self._backoff_max = backoff_max
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._idle: asyncio.Queue[_Connection] = asyncio.Queue()
+        self._open_count = 0
+        self._closed = False
+        self.metrics = ClientMetrics()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def __aenter__(self) -> "KVClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Close every pooled connection."""
+        self._closed = True
+        while not self._idle.empty():
+            connection = self._idle.get_nowait()
+            self._open_count -= 1
+            await connection.close()
+
+    # -- pooling ---------------------------------------------------------
+
+    async def _acquire(self) -> _Connection:
+        if self._closed:
+            raise ConfigurationError("client is closed")
+        if not self._idle.empty():
+            return self._idle.get_nowait()
+        if self._open_count < self._pool_size:
+            self._open_count += 1
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self._host, self._port),
+                    self._timeout,
+                )
+            except BaseException:
+                self._open_count -= 1
+                raise
+            return _Connection(reader, writer)
+        return await self._idle.get()
+
+    async def _release(self, connection: _Connection) -> None:
+        if connection.broken or self._closed:
+            self._open_count -= 1
+            await connection.close()
+        else:
+            self._idle.put_nowait(connection)
+
+    # -- request machinery -----------------------------------------------
+
+    def backoff_delay(self, attempt: int) -> float:
+        """The backoff pause before retry number ``attempt`` (1-based)."""
+        delay = self._backoff_base * (
+            self._backoff_multiplier ** (attempt - 1)
+        )
+        return min(delay, self._backoff_max)
+
+    async def _round_trip(self, message: dict) -> dict:
+        connection = await self._acquire()
+        try:
+            await protocol.write_message(connection.writer, message)
+            response = await asyncio.wait_for(
+                protocol.read_message(connection.reader), self._timeout
+            )
+            if response is None:
+                # Clean EOF mid-request: the connection is dead and must
+                # not go back into the pool looking healthy.
+                raise ProtocolError(
+                    "server closed the connection mid-request"
+                )
+        except BaseException:
+            connection.broken = True
+            raise
+        finally:
+            await self._release(connection)
+        return response
+
+    async def request(self, message: dict) -> dict:
+        """Send one request, retrying transient failures with backoff."""
+        self.metrics.requests_total += 1
+        last_error: Exception | None = None
+        for attempt in range(self._max_retries + 1):
+            if attempt > 0:
+                self.metrics.retries_total += 1
+                pause = self.backoff_delay(attempt)
+                if isinstance(last_error, RequestFailedError):
+                    pause = max(pause, last_error.retry_after)
+                self.metrics.backoff_seconds_total += pause
+                await self._sleep(pause)
+            try:
+                response = await self._round_trip(message)
+            except asyncio.TimeoutError as error:
+                self.metrics.timeouts += 1
+                last_error = error
+                continue
+            except (ConnectionError, ProtocolError, OSError) as error:
+                self.metrics.reconnects += 1
+                last_error = error
+                continue
+            if response.get("ok"):
+                return response
+            code = response.get("code", protocol.CODE_INTERNAL)
+            failure = RequestFailedError(
+                code,
+                response.get("error", "request failed"),
+                retry_after=float(response.get("retry_after", 0.0)),
+            )
+            if code != protocol.CODE_STALLED:
+                raise failure  # non-transient: surface immediately
+            self.metrics.stalled_responses += 1
+            last_error = failure
+        raise RetriesExhaustedError(
+            f"request failed after {self._max_retries + 1} attempts: "
+            f"{last_error}"
+        )
+
+    # -- verbs -----------------------------------------------------------
+
+    async def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update one key."""
+        await self.request(protocol.put_request(key, value))
+
+    async def get(self, key: bytes) -> bytes | None:
+        """Point lookup; None when absent."""
+        response = await self.request(protocol.get_request(key))
+        value = response.get("value")
+        return None if value is None else protocol.b64decode(value)
+
+    async def delete(self, key: bytes) -> None:
+        """Delete one key."""
+        await self.request(protocol.delete_request(key))
+
+    async def batch(self, ops: list[tuple[bytes, bytes | None]]) -> int:
+        """Atomically apply a list of (key, value-or-None) operations."""
+        response = await self.request(protocol.batch_request(ops))
+        return int(response.get("count", len(ops)))
+
+    async def scan(
+        self,
+        lo: bytes | None = None,
+        hi: bytes | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        """Ordered range scan over ``[lo, hi)``."""
+        response = await self.request(protocol.scan_request(lo, hi, limit))
+        return [
+            (protocol.b64decode(key), protocol.b64decode(value))
+            for key, value in response.get("items", [])
+        ]
+
+    async def stats(self) -> dict:
+        """Engine + server counters, as the STATS verb returns them."""
+        response = await self.request(protocol.stats_request())
+        return {
+            "engine": response.get("engine", {}),
+            "server": response.get("server", {}),
+            "admission_mode": response.get("admission_mode"),
+        }
+
+    async def ping(self) -> bool:
+        """Liveness probe."""
+        response = await self.request(protocol.ping_request())
+        return bool(response.get("pong"))

@@ -1,0 +1,274 @@
+"""Network load generation: the two-phase methodology over the wire.
+
+The paper evaluates write stalls with a two-phase experiment: a *testing
+phase* measures the maximum sustainable write throughput with a closed
+system, then a *running phase* replays an open (constant-arrival) load
+at a fraction of that maximum — 95% throughout the paper — and reports
+percentile latencies. This module reproduces that methodology against a
+live :class:`~repro.server.KVServer` with real TCP clients:
+
+* :func:`closed_loop` — N concurrent clients issuing back-to-back
+  writes; measures service capacity (the testing phase), and doubles as
+  an overload generator for admission-mode experiments.
+* :func:`open_loop` — ops dispatched on a fixed arrival schedule;
+  latency is measured from *scheduled arrival* to completion, so queueing
+  delay during stalls shows up in the tail exactly as the paper's
+  Figure 1 latency spikes do.
+* :func:`two_phase` — the full pipeline: closed-loop testing phase, then
+  an open-loop running phase at ``utilization`` times the measured max.
+
+Latencies include client-side retries and backoff: they are what a real
+application would observe, which is the entire point of the serving
+layer's admission control.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, ServerError
+from ..metrics.percentiles import percentile_profile
+from .client import KVClient
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load-generation run."""
+
+    label: str
+    op_count: int
+    error_count: int
+    duration_seconds: float
+    latencies: list[float] = field(default_factory=list, repr=False)
+    retries: int = 0
+    stalled_responses: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per second."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.op_count / self.duration_seconds
+
+    def latency_profile(
+        self, levels: tuple[float, ...] = (50.0, 90.0, 99.0)
+    ) -> dict[float, float]:
+        """Percentile client latencies in seconds."""
+        return percentile_profile(self.latencies, levels)
+
+    def percentile(self, q: float) -> float:
+        """One percentile of the observed client latencies."""
+        return self.latency_profile((q,))[q]
+
+    @property
+    def max_latency(self) -> float:
+        """Worst observed client latency."""
+        return max(self.latencies) if self.latencies else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        if not self.latencies:
+            return f"{self.label}: no completed operations"
+        profile = self.latency_profile()
+        return (
+            f"{self.label}: {self.op_count} ops in "
+            f"{self.duration_seconds:.2f}s ({self.throughput:.0f} op/s), "
+            f"latency p50 {profile[50.0] * 1e3:.1f}ms "
+            f"p99 {profile[99.0] * 1e3:.1f}ms "
+            f"max {self.max_latency * 1e3:.1f}ms, "
+            f"{self.retries} retries, {self.error_count} errors"
+        )
+
+
+def _operation_stream(seed: int, keyspace: int, value_bytes: int):
+    """Deterministic (key, value) generator shared by both loop shapes."""
+    rng = random.Random(seed)
+    while True:
+        key = f"key-{rng.randrange(keyspace):010d}".encode("ascii")
+        yield key, rng.randbytes(value_bytes)
+
+
+async def closed_loop(
+    host: str,
+    port: int,
+    clients: int = 4,
+    ops_per_client: int = 200,
+    value_bytes: int = 100,
+    keyspace: int = 4096,
+    seed: int = 0,
+    label: str = "closed-loop",
+    client_options: dict | None = None,
+) -> LoadResult:
+    """Closed system: each client issues its next write on completion."""
+    if clients < 1 or ops_per_client < 1:
+        raise ConfigurationError("need at least one client and one op")
+    options = dict(client_options or {})
+    options.setdefault("pool_size", clients)
+    latencies: list[float] = []
+    errors = 0
+
+    async with KVClient(host, port, **options) as client:
+
+        async def worker(worker_id: int) -> None:
+            nonlocal errors
+            stream = _operation_stream(
+                seed + worker_id, keyspace, value_bytes
+            )
+            for _ in range(ops_per_client):
+                key, value = next(stream)
+                started = time.monotonic()
+                try:
+                    await client.put(key, value)
+                except ServerError:
+                    errors += 1
+                    continue
+                latencies.append(time.monotonic() - started)
+
+        started = time.monotonic()
+        await asyncio.gather(
+            *(worker(worker_id) for worker_id in range(clients))
+        )
+        duration = time.monotonic() - started
+        return LoadResult(
+            label=label,
+            op_count=len(latencies),
+            error_count=errors,
+            duration_seconds=duration,
+            latencies=latencies,
+            retries=client.metrics.retries_total,
+            stalled_responses=client.metrics.stalled_responses,
+        )
+
+
+async def open_loop(
+    host: str,
+    port: int,
+    rate_ops_per_s: float,
+    total_ops: int,
+    value_bytes: int = 100,
+    keyspace: int = 4096,
+    seed: int = 0,
+    label: str = "open-loop",
+    client_options: dict | None = None,
+) -> LoadResult:
+    """Open system: ops arrive on a fixed schedule regardless of progress.
+
+    Latency counts from each op's *scheduled* arrival, so an op delayed
+    behind a stall accrues its queueing time — the open-system latency
+    the paper's running phase reports.
+    """
+    if rate_ops_per_s <= 0 or total_ops < 1:
+        raise ConfigurationError("need a positive rate and op count")
+    options = dict(client_options or {})
+    options.setdefault("pool_size", 8)
+    latencies: list[float] = []
+    errors = 0
+
+    async with KVClient(host, port, **options) as client:
+        stream = _operation_stream(seed, keyspace, value_bytes)
+        operations = [next(stream) for _ in range(total_ops)]
+        epoch = time.monotonic()
+
+        async def fire(index: int, key: bytes, value: bytes) -> None:
+            nonlocal errors
+            scheduled = epoch + index / rate_ops_per_s
+            pause = scheduled - time.monotonic()
+            if pause > 0:
+                await asyncio.sleep(pause)
+            try:
+                await client.put(key, value)
+            except ServerError:
+                errors += 1
+                return
+            latencies.append(time.monotonic() - scheduled)
+
+        await asyncio.gather(
+            *(
+                fire(index, key, value)
+                for index, (key, value) in enumerate(operations)
+            )
+        )
+        duration = time.monotonic() - epoch
+        return LoadResult(
+            label=label,
+            op_count=len(latencies),
+            error_count=errors,
+            duration_seconds=duration,
+            latencies=latencies,
+            retries=client.metrics.retries_total,
+            stalled_responses=client.metrics.stalled_responses,
+        )
+
+
+@dataclass
+class TwoPhaseNetworkResult:
+    """Testing phase + running phase, measured over the wire."""
+
+    testing: LoadResult
+    running: LoadResult
+    max_throughput: float
+    arrival_rate: float
+    utilization: float
+
+    def summary(self) -> str:
+        """Multi-line report mirroring the simulator harness output."""
+        return "\n".join(
+            [
+                f"testing phase:  max write throughput = "
+                f"{self.max_throughput:.1f} ops/s",
+                f"running phase:  arrivals = {self.arrival_rate:.1f} ops/s "
+                f"({self.utilization:.0%} utilization)",
+                "  " + self.testing.summary(),
+                "  " + self.running.summary(),
+            ]
+        )
+
+
+async def two_phase(
+    host: str,
+    port: int,
+    utilization: float = 0.95,
+    clients: int = 4,
+    testing_ops_per_client: int = 200,
+    running_ops: int = 500,
+    value_bytes: int = 100,
+    keyspace: int = 4096,
+    seed: int = 0,
+    client_options: dict | None = None,
+) -> TwoPhaseNetworkResult:
+    """The paper's methodology end-to-end over TCP."""
+    if not 0.0 < utilization <= 1.0:
+        raise ConfigurationError("utilization must be in (0, 1]")
+    testing = await closed_loop(
+        host,
+        port,
+        clients=clients,
+        ops_per_client=testing_ops_per_client,
+        value_bytes=value_bytes,
+        keyspace=keyspace,
+        seed=seed,
+        label="testing",
+        client_options=client_options,
+    )
+    arrival_rate = max(1.0, testing.throughput * utilization)
+    running = await open_loop(
+        host,
+        port,
+        rate_ops_per_s=arrival_rate,
+        total_ops=running_ops,
+        value_bytes=value_bytes,
+        keyspace=keyspace,
+        seed=seed + 1,
+        label="running",
+        client_options=client_options,
+    )
+    return TwoPhaseNetworkResult(
+        testing=testing,
+        running=running,
+        max_throughput=testing.throughput,
+        arrival_rate=arrival_rate,
+        utilization=utilization,
+    )

@@ -1,0 +1,244 @@
+"""The wire protocol for the network KV service.
+
+Every message — request or response — is one *frame*: a 4-byte
+big-endian payload length followed by a UTF-8 JSON object. Binary keys
+and values travel base64-encoded inside the JSON. The verb set mirrors
+the storage engine's public API plus service plumbing::
+
+    PUT   {"op": "PUT", "key": b64, "value": b64}
+    GET   {"op": "GET", "key": b64}
+    DEL   {"op": "DEL", "key": b64}
+    BATCH {"op": "BATCH", "ops": [["put", b64, b64], ["del", b64]]}
+    SCAN  {"op": "SCAN", "lo": b64|null, "hi": b64|null, "limit": int|null}
+    STATS {"op": "STATS"}
+    PING  {"op": "PING"}
+
+Responses carry ``{"ok": true, ...}`` on success or
+``{"ok": false, "code": ..., "error": ..., "retry_after": ...}`` on
+failure. The ``STALLED`` code is the serving-layer face of the paper's
+write-stall taxonomy: the admission controller rejected (stop mode) or
+timed out (gradual mode) a write, and ``retry_after`` tells the client
+how long to back off before retrying.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from asyncio import IncompleteReadError, StreamReader, StreamWriter
+
+from ..errors import ProtocolError
+
+#: Frames larger than this are rejected before allocation (DoS guard and
+#: sanity check; a 16 MiB batch is far beyond any sane request here).
+MAX_FRAME_BYTES = 16 * 2**20
+
+_LENGTH = struct.Struct(">I")
+
+#: Every verb the service understands.
+VERBS = frozenset({"PUT", "GET", "DEL", "BATCH", "SCAN", "STATS", "PING"})
+
+#: Error codes a response may carry.
+CODE_STALLED = "STALLED"
+CODE_BAD_REQUEST = "BAD_REQUEST"
+CODE_CLOSED = "CLOSED"
+CODE_INTERNAL = "INTERNAL"
+
+
+def b64encode(raw: bytes) -> str:
+    """Binary-to-wire encoding for keys and values."""
+    return base64.b64encode(raw).decode("ascii")
+
+
+def b64decode(text: str) -> bytes:
+    """Wire-to-binary decoding; raises :class:`ProtocolError` on junk."""
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, AttributeError) as error:
+        raise ProtocolError(f"invalid base64 field: {error}") from error
+
+
+# -- framing -------------------------------------------------------------
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(frame: bytes) -> dict:
+    """Parse one complete frame back into a message (tests/tools)."""
+    if len(frame) < _LENGTH.size:
+        raise ProtocolError("frame shorter than its length prefix")
+    (length,) = _LENGTH.unpack_from(frame)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"declared payload of {length} bytes too large")
+    payload = frame[_LENGTH.size : _LENGTH.size + length]
+    if len(payload) < length:
+        raise ProtocolError("truncated frame")
+    return _parse_payload(payload)
+
+
+def _parse_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"frame payload is not JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+async def read_message(reader: StreamReader) -> dict | None:
+    """Read one framed message; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid-frame") from error
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"declared payload of {length} bytes too large")
+    try:
+        payload = await reader.readexactly(length)
+    except IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame") from error
+    return _parse_payload(payload)
+
+
+async def write_message(writer: StreamWriter, message: dict) -> None:
+    """Frame and send one message."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- request builders ----------------------------------------------------
+
+
+def put_request(key: bytes, value: bytes) -> dict:
+    return {"op": "PUT", "key": b64encode(key), "value": b64encode(value)}
+
+
+def get_request(key: bytes) -> dict:
+    return {"op": "GET", "key": b64encode(key)}
+
+
+def delete_request(key: bytes) -> dict:
+    return {"op": "DEL", "key": b64encode(key)}
+
+
+def batch_request(ops: list[tuple[bytes, bytes | None]]) -> dict:
+    encoded = []
+    for key, value in ops:
+        if value is None:
+            encoded.append(["del", b64encode(key)])
+        else:
+            encoded.append(["put", b64encode(key), b64encode(value)])
+    return {"op": "BATCH", "ops": encoded}
+
+
+def scan_request(
+    lo: bytes | None = None,
+    hi: bytes | None = None,
+    limit: int | None = None,
+) -> dict:
+    return {
+        "op": "SCAN",
+        "lo": None if lo is None else b64encode(lo),
+        "hi": None if hi is None else b64encode(hi),
+        "limit": limit,
+    }
+
+
+def stats_request() -> dict:
+    return {"op": "STATS"}
+
+
+def ping_request() -> dict:
+    return {"op": "PING"}
+
+
+# -- response builders ---------------------------------------------------
+
+
+def ok_response(**fields) -> dict:
+    response = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(
+    code: str, message: str, retry_after: float | None = None
+) -> dict:
+    response = {"ok": False, "code": code, "error": message}
+    if retry_after is not None:
+        response["retry_after"] = retry_after
+    return response
+
+
+# -- server-side request accessors ---------------------------------------
+
+
+def request_verb(message: dict) -> str:
+    """Extract and validate the verb of an incoming request."""
+    verb = message.get("op")
+    if not isinstance(verb, str) or verb.upper() not in VERBS:
+        raise ProtocolError(f"unknown op {verb!r}")
+    return verb.upper()
+
+
+def request_key(message: dict) -> bytes:
+    """Extract the (required) key field of a request."""
+    key = message.get("key")
+    if not isinstance(key, str):
+        raise ProtocolError("request is missing its key")
+    return b64decode(key)
+
+
+def request_value(message: dict) -> bytes:
+    """Extract the (required) value field of a request."""
+    value = message.get("value")
+    if not isinstance(value, str):
+        raise ProtocolError("request is missing its value")
+    return b64decode(value)
+
+
+def batch_ops(message: dict) -> list[tuple[bytes, bytes | None]]:
+    """Decode a BATCH request's operation list."""
+    raw = message.get("ops")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("BATCH needs a non-empty ops list")
+    ops: list[tuple[bytes, bytes | None]] = []
+    for entry in raw:
+        if not isinstance(entry, list) or not entry:
+            raise ProtocolError("malformed batch entry")
+        kind = entry[0]
+        if kind == "put" and len(entry) == 3:
+            ops.append((b64decode(entry[1]), b64decode(entry[2])))
+        elif kind == "del" and len(entry) == 2:
+            ops.append((b64decode(entry[1]), None))
+        else:
+            raise ProtocolError(f"malformed batch entry {entry!r}")
+    return ops
+
+
+def scan_bounds(
+    message: dict,
+) -> tuple[bytes | None, bytes | None, int | None]:
+    """Decode a SCAN request's bounds and limit."""
+    lo, hi, limit = message.get("lo"), message.get("hi"), message.get("limit")
+    if limit is not None and (not isinstance(limit, int) or limit < 0):
+        raise ProtocolError("scan limit must be a non-negative integer")
+    return (
+        None if lo is None else b64decode(lo),
+        None if hi is None else b64decode(hi),
+        limit,
+    )

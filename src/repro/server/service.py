@@ -1,0 +1,328 @@
+"""The asyncio TCP key-value service over :class:`~repro.engine.LSMStore`.
+
+One :class:`KVServer` owns a listening socket and serves the framed JSON
+protocol (:mod:`repro.server.protocol`) from a store the caller opened.
+Engine calls run in worker threads (``asyncio.to_thread``) so a write
+blocked inside the engine's stall gate never freezes the event loop, and
+every write first passes the admission controller
+(:mod:`repro.server.admission`):
+
+* ``admit`` — the write proceeds immediately;
+* ``delay`` — the service sleeps the prescribed pause first (graceful
+  slow-down: latency is added *before* the stall can happen);
+* ``reject`` — the client gets a ``STALLED`` error with a
+  ``retry_after`` hint (the paper's stop interaction, surfaced).
+
+If the engine itself raises :class:`~repro.errors.WriteStalledError`
+(store opened with ``stall_mode="reject"``), a controller that
+``absorbs_stalls`` makes the service pause-and-retry internally until
+``write_deadline`` — slow down, never stop — while other controllers
+propagate the stall as a rejection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import asdict, dataclass, field
+
+from ..engine.datastore import LSMStore
+from ..errors import (
+    ClosedError,
+    ConfigurationError,
+    ProtocolError,
+    WriteStalledError,
+)
+from . import protocol
+from .admission import REJECT, AdmissionController
+
+#: Default bound on how long one admitted write may be absorbed/delayed.
+DEFAULT_WRITE_DEADLINE = 5.0
+
+
+@dataclass
+class ServerMetrics:
+    """Cumulative serving-layer counters, exported via ``STATS``."""
+
+    requests_total: int = 0
+    reads_total: int = 0
+    writes_admitted: int = 0
+    writes_delayed: int = 0
+    writes_rejected: int = 0
+    stalls_absorbed: int = 0
+    delay_seconds_total: float = 0.0
+    protocol_errors: int = 0
+    connections_total: int = 0
+    connections_open: int = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for the STATS response."""
+        return asdict(self)
+
+
+@dataclass
+class _WriteOutcome:
+    """Internal result of the admission + execution pipeline."""
+
+    response: dict
+    admitted: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+class KVServer:
+    """Serve one LSM store over TCP with stall-aware admission."""
+
+    def __init__(
+        self,
+        store: LSMStore,
+        admission: AdmissionController | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        write_deadline: float = DEFAULT_WRITE_DEADLINE,
+    ) -> None:
+        if write_deadline <= 0:
+            raise ConfigurationError("write_deadline must be positive")
+        self._store = store
+        self._admission = admission or AdmissionController()
+        self._host = host
+        self._port = port
+        self._write_deadline = write_deadline
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self.metrics = ServerMetrics()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        if self._server is not None:
+            raise ConfigurationError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._host, self._port = self._server.sockets[0].getsockname()[:2]
+        return self._host, self._port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        return self._host, self._port
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting connections, drop open ones, release the socket.
+
+        Closing each open transport lets in-flight handlers see EOF and
+        exit, which matters on Python 3.12+ where ``wait_closed`` waits
+        for connection handlers, not just the listening socket.
+        """
+        if self._server is None:
+            return
+        self._server.close()
+        for writer in list(self._connections):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "KVServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections_total += 1
+        self.metrics.connections_open += 1
+        self._connections.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            while True:
+                try:
+                    message = await protocol.read_message(reader)
+                except ProtocolError:
+                    self.metrics.protocol_errors += 1
+                    break  # framing is lost; drop the connection
+                if message is None:
+                    break
+                response = await self._dispatch(message)
+                await protocol.write_message(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.metrics.connections_open -= 1
+            self._connections.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, message: dict) -> dict:
+        self.metrics.requests_total += 1
+        try:
+            verb = protocol.request_verb(message)
+            handler = getattr(self, f"_op_{verb.lower()}")
+            return await handler(message)
+        except ProtocolError as error:
+            self.metrics.protocol_errors += 1
+            return protocol.error_response(
+                protocol.CODE_BAD_REQUEST, str(error)
+            )
+        except ClosedError as error:
+            return protocol.error_response(protocol.CODE_CLOSED, str(error))
+        except Exception as error:  # noqa: BLE001 — a request must answer
+            return protocol.error_response(
+                protocol.CODE_INTERNAL, f"{type(error).__name__}: {error}"
+            )
+
+    # -- the admission + write pipeline ----------------------------------
+
+    async def _admitted_write(self, nbytes: int, apply) -> dict:
+        """Run one write through admission, delays, and stall absorption."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self._write_deadline
+        while True:
+            decision = self._admission.decide(self._store.stats(), nbytes)
+            if decision.action == REJECT:
+                # Shedding load must not also starve maintenance: with
+                # inline stores nothing else advances merges while every
+                # write is bounced, so the stall would never clear.
+                await asyncio.to_thread(self._store.advance_maintenance)
+                self.metrics.writes_rejected += 1
+                return protocol.error_response(
+                    protocol.CODE_STALLED,
+                    decision.reason or "write rejected by admission",
+                    retry_after=decision.retry_after,
+                )
+            if decision.delay_seconds > 0.0:
+                self.metrics.writes_delayed += 1
+                self.metrics.delay_seconds_total += decision.delay_seconds
+                await asyncio.to_thread(self._store.advance_maintenance)
+                await asyncio.sleep(decision.delay_seconds)
+            try:
+                await asyncio.to_thread(apply)
+            except WriteStalledError as error:
+                # Rejected writes make no maintenance progress in inline
+                # mode, so the serving layer pumps merges forward — the
+                # stall would otherwise never clear while clients back
+                # off (merge-coupled serving, bLSM-style).
+                await asyncio.to_thread(self._store.advance_maintenance)
+                if (
+                    self._admission.absorbs_stalls
+                    and loop.time() < deadline
+                ):
+                    self.metrics.stalls_absorbed += 1
+                    pause = self._admission.stall_pause or 0.001
+                    self.metrics.delay_seconds_total += pause
+                    await asyncio.sleep(pause)
+                    continue  # slow down, don't stop
+                self.metrics.writes_rejected += 1
+                return protocol.error_response(
+                    protocol.CODE_STALLED,
+                    str(error),
+                    retry_after=self._admission.stall_pause or 0.05,
+                )
+            self.metrics.writes_admitted += 1
+            return protocol.ok_response()
+
+    # -- verbs -----------------------------------------------------------
+
+    async def _op_put(self, message: dict) -> dict:
+        key = protocol.request_key(message)
+        value = protocol.request_value(message)
+        return await self._admitted_write(
+            len(key) + len(value), lambda: self._store.put(key, value)
+        )
+
+    async def _op_del(self, message: dict) -> dict:
+        key = protocol.request_key(message)
+        return await self._admitted_write(
+            len(key), lambda: self._store.delete(key)
+        )
+
+    async def _op_batch(self, message: dict) -> dict:
+        ops = protocol.batch_ops(message)
+        nbytes = sum(
+            len(key) + (0 if value is None else len(value))
+            for key, value in ops
+        )
+        response = await self._admitted_write(
+            nbytes, lambda: self._store.write_batch(ops)
+        )
+        if response.get("ok"):
+            response["count"] = len(ops)
+        return response
+
+    async def _op_get(self, message: dict) -> dict:
+        key = protocol.request_key(message)
+        self.metrics.reads_total += 1
+        value = await asyncio.to_thread(self._store.get, key)
+        return protocol.ok_response(
+            value=None if value is None else protocol.b64encode(value)
+        )
+
+    async def _op_scan(self, message: dict) -> dict:
+        lo, hi, limit = protocol.scan_bounds(message)
+        self.metrics.reads_total += 1
+        items = await asyncio.to_thread(
+            lambda: list(self._store.scan(lo, hi, limit))
+        )
+        return protocol.ok_response(
+            items=[
+                [protocol.b64encode(key), protocol.b64encode(value)]
+                for key, value in items
+            ]
+        )
+
+    async def _op_stats(self, message: dict) -> dict:
+        stats = await asyncio.to_thread(self._store.stats)
+        engine = asdict(stats)
+        engine["components_per_level"] = {
+            str(level): count
+            for level, count in stats.components_per_level.items()
+        }
+        return protocol.ok_response(
+            engine=engine,
+            server=self.metrics.snapshot(),
+            admission_mode=self._admission.mode,
+        )
+
+    async def _op_ping(self, message: dict) -> dict:
+        return protocol.ok_response(pong=True)
+
+
+async def serve(
+    store: LSMStore,
+    admission: AdmissionController | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: asyncio.Event | None = None,
+) -> None:
+    """Convenience runner: start a server and serve until cancelled."""
+    server = KVServer(store, admission, host, port)
+    await server.start()
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        raise
+    finally:
+        await server.aclose()

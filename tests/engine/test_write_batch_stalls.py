@@ -1,0 +1,147 @@
+"""``write_batch`` under write stalls: atomicity and stall accounting.
+
+The stall gate runs *before* the WAL append, so a batch rejected by
+``stall_mode="reject"`` must leave no trace — not in the memtable, not
+in the WAL, and therefore not after a crash-recovery reopen. In
+``stall_mode="block"`` the same pressure is absorbed by inline
+maintenance and the batch lands atomically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import LSMStore, StoreOptions
+from repro.errors import WriteStalledError
+
+#: A tree this tight stalls after a handful of memtable rotations:
+#: limit 5 >= 2 * levels + 1, so every stall has mergeable work and is
+#: transient, while the starved maintenance budget guarantees the
+#: constraint actually trips.
+STALL_OPTIONS = StoreOptions(
+    memtable_bytes=4096,
+    num_memtables=2,
+    policy="tiering",
+    size_ratio=3,
+    levels=2,
+    constraint_limit=5,
+    merge_chunk_bytes=1024,
+    maintenance_chunks_per_rotation=2,
+    stall_mode="reject",
+    background_maintenance=False,
+    block_cache_bytes=0,
+)
+
+
+def fill_until_stalled(store: LSMStore, tag: bytes) -> int:
+    """Write until the gate closes; returns how many puts landed."""
+    landed = 0
+    for index in range(100_000):
+        key = b"fill-%s-%06d" % (tag, index)
+        try:
+            store.put(key, b"x" * 256)
+        except WriteStalledError:
+            assert store.write_stalled
+            return landed
+        landed += 1
+    raise AssertionError("store never stalled under fill load")
+
+
+def drain_stall(store: LSMStore) -> None:
+    """Pump maintenance until the write gate reopens."""
+    for _ in range(10_000):
+        if not store.advance_maintenance():
+            return
+    raise AssertionError("stall did not clear under maintenance pumping")
+
+
+def test_rejected_batch_is_atomic_no_partial_state(tmp_path):
+    batch = [
+        (b"batch-put-a", b"1"),
+        (b"fill-seed-000000", None),  # delete of a landed key
+        (b"batch-put-b", b"2"),
+    ]
+    with LSMStore.open(str(tmp_path), STALL_OPTIONS) as store:
+        landed = fill_until_stalled(store, b"seed")
+        assert landed > 0
+        stalls_before = store.stats().write_stalls
+
+        with pytest.raises(WriteStalledError):
+            store.write_batch(batch)
+
+        # The rejection is counted as one stalled write...
+        assert store.stats().write_stalls == stalls_before + 1
+        # ...and left no partial effects: puts absent, delete not applied.
+        assert store.get(b"batch-put-a") is None
+        assert store.get(b"batch-put-b") is None
+        assert store.get(b"fill-seed-000000") == b"x" * 256
+
+
+def test_rejected_batch_leaves_no_wal_trace_across_reopen(tmp_path):
+    batch = [(b"batch-ghost", b"boo"), (b"fill-seed-000001", None)]
+    with LSMStore.open(str(tmp_path), STALL_OPTIONS) as store:
+        landed = fill_until_stalled(store, b"seed")
+        wal_before = store.stats().wal_bytes
+        with pytest.raises(WriteStalledError):
+            store.write_batch(batch)
+        # The gate fired before the WAL append: nothing was logged.
+        assert store.stats().wal_bytes == wal_before
+
+    with LSMStore.open(str(tmp_path), STALL_OPTIONS) as reopened:
+        assert reopened.get(b"batch-ghost") is None
+        assert reopened.get(b"fill-seed-000001") == b"x" * 256
+        assert reopened.get(b"fill-seed-%06d" % (landed - 1)) == b"x" * 256
+
+
+def test_batch_lands_atomically_once_stall_clears(tmp_path):
+    batch = [
+        (b"batch-put-a", b"1"),
+        (b"fill-seed-000000", None),
+        (b"batch-put-b", b"2"),
+    ]
+    with LSMStore.open(str(tmp_path), STALL_OPTIONS) as store:
+        fill_until_stalled(store, b"seed")
+        with pytest.raises(WriteStalledError):
+            store.write_batch(batch)
+
+        drain_stall(store)
+        store.write_batch(batch)  # same batch, now admitted
+
+        assert store.get(b"batch-put-a") == b"1"
+        assert store.get(b"batch-put-b") == b"2"
+        assert store.get(b"fill-seed-000000") is None  # tombstone applied
+
+
+def test_blocking_mode_absorbs_the_stall_and_applies_the_batch(tmp_path):
+    options = STALL_OPTIONS.with_(stall_mode="block")
+    with LSMStore.open(str(tmp_path), options) as store:
+        # Apply the same pressure; in block mode puts never raise — the
+        # writer rides out stalls inside the gate.
+        for index in range(400):
+            store.put(b"fill-%06d" % index, b"x" * 256)
+
+        batch = [(b"k-%03d" % i, b"v-%03d" % i) for i in range(50)]
+        batch += [(b"fill-%06d" % i, None) for i in range(10)]
+        store.write_batch(batch)
+
+        for i in range(50):
+            assert store.get(b"k-%03d" % i) == b"v-%03d" % i
+        for i in range(10):
+            assert store.get(b"fill-%06d" % i) is None
+        stats = store.stats()
+        # Blocking stalls were observed and their time accounted.
+        assert stats.write_stalls > 0
+        assert stats.stall_seconds_total >= 0.0
+
+
+def test_mixed_batch_round_trips_through_wal_recovery(tmp_path):
+    options = STALL_OPTIONS.with_(stall_mode="block", constraint_limit=0)
+    batch = [(b"a", b"1"), (b"b", b"2"), (b"a", None), (b"c", b"3")]
+    with LSMStore.open(str(tmp_path), options) as store:
+        store.write_batch(batch)
+        assert store.get(b"a") is None  # later delete wins inside the batch
+
+    with LSMStore.open(str(tmp_path), options) as reopened:
+        assert reopened.get(b"a") is None
+        assert reopened.get(b"b") == b"2"
+        assert reopened.get(b"c") == b"3"

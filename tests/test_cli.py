@@ -123,3 +123,88 @@ class TestVerifyCommand:
         victim.write_bytes(bytes(blob))
         assert main(["verify", str(tmp_path / "db")]) == 1
         assert "PROBLEM" in capsys.readouterr().out
+
+
+class TestServeAndLoadgenParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "/tmp/db"])
+        assert args.admission == "none"
+        assert args.port == 7379
+        assert args.stall_mode == "reject"
+        assert not args.background
+
+    def test_serve_admission_modes(self):
+        for mode in ("none", "stop", "limit", "gradual"):
+            args = build_parser().parse_args(
+                ["serve", "/tmp/db", "--admission", mode]
+            )
+            assert args.admission == mode
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "/tmp/db", "--admission", "panic"]
+            )
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.mode == "two-phase"
+        assert args.utilization == 0.95
+
+    def test_admission_factory_wiring(self):
+        from repro.cli import _admission_from
+
+        args = build_parser().parse_args(
+            ["serve", "/tmp/db", "--admission", "gradual",
+             "--max-delay-ms", "30", "--threshold", "0.6"]
+        )
+        controller = _admission_from(args)
+        assert controller.mode == "gradual"
+        assert controller.stall_pause == pytest.approx(0.03)
+
+    def test_loadgen_against_live_server(self, tmp_path, capsys):
+        import asyncio
+        import threading
+
+        from repro.engine import LSMStore, StoreOptions
+        from repro.server import KVServer
+
+        store = LSMStore.open(
+            str(tmp_path / "db"),
+            StoreOptions(memtable_bytes=16 * 1024,
+                         background_maintenance=False),
+        )
+        loop = asyncio.new_event_loop()
+        server = KVServer(store)
+        started = threading.Event()
+        shared = {}
+
+        async def boot():
+            shared["hp"] = await server.start()
+            shared["task"] = asyncio.current_task()
+            started.set()
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.aclose()
+
+        thread = threading.Thread(
+            target=lambda: loop.run_until_complete(boot()), daemon=True
+        )
+        thread.start()
+        assert started.wait(5.0)
+        host, port = shared["hp"]
+        try:
+            code = main([
+                "loadgen", "--host", host, "--port", str(port),
+                "--mode", "closed", "--clients", "2", "--ops", "60",
+                "--value-bytes", "32",
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "60 ops" in out and "0 errors" in out
+        finally:
+            loop.call_soon_threadsafe(shared["task"].cancel)
+            thread.join(5.0)
+            loop.close()
+            store.close()

@@ -1,0 +1,175 @@
+"""Admission-controller tests over synthetic engine snapshots.
+
+Controllers are pure decision functions, so every mode is exercised with
+hand-built :class:`StoreStats` and (for ``limit``) an injected clock —
+no server, no sleeping, no wall-clock dependence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.datastore import StoreStats
+from repro.errors import ConfigurationError
+from repro.server.admission import (
+    ADMIT,
+    DELAY,
+    REJECT,
+    AdmissionController,
+    GradualAdmission,
+    LimitAdmission,
+    StopAdmission,
+    build_admission,
+)
+
+
+def make_stats(**overrides) -> StoreStats:
+    """A healthy engine snapshot, with selected fields overridden."""
+    fields = dict(
+        memtable_entries=0,
+        memtable_bytes=0,
+        sealed_memtables=0,
+        num_memtables=2,
+        disk_components=0,
+        components_per_level={},
+        merges_completed=0,
+        write_stalls=0,
+        stall_seconds_total=0.0,
+        wal_bytes=0,
+        write_stalled=False,
+        write_headroom=1.0,
+        throttle_sleep_seconds=0.0,
+        block_cache_hit_rate=0.0,
+        block_cache_used_bytes=0,
+    )
+    fields.update(overrides)
+    return StoreStats(**fields)
+
+
+# -- mode none ------------------------------------------------------------
+
+
+def test_none_admits_even_a_stalled_engine():
+    controller = AdmissionController()
+    decision = controller.decide(make_stats(write_stalled=True), 4096)
+    assert decision.action == ADMIT
+    assert not controller.absorbs_stalls
+
+
+# -- mode stop ------------------------------------------------------------
+
+
+def test_stop_admits_healthy_engine():
+    assert StopAdmission().decide(make_stats(), 100).action == ADMIT
+
+
+def test_stop_rejects_stalled_engine_with_retry_hint():
+    controller = StopAdmission(retry_after=0.2)
+    decision = controller.decide(make_stats(write_stalled=True), 100)
+    assert decision.action == REJECT
+    assert decision.retry_after == 0.2
+    assert not controller.absorbs_stalls
+
+
+def test_stop_rejects_when_all_memtables_are_flushing():
+    stats = make_stats(sealed_memtables=1, num_memtables=2)
+    assert stats.memory_fill == 1.0
+    assert StopAdmission().decide(stats, 100).action == REJECT
+
+
+def test_stop_validates_retry_after():
+    with pytest.raises(ConfigurationError):
+        StopAdmission(retry_after=0.0)
+
+
+# -- mode limit -----------------------------------------------------------
+
+
+def test_limit_passes_writes_inside_the_burst():
+    clock = lambda: 0.0  # noqa: E731 — frozen clock, no refill
+    controller = LimitAdmission(100.0, clock=clock)
+    assert controller.decide(make_stats(), 100).action == ADMIT
+
+
+def test_limit_delays_writes_beyond_the_rate():
+    clock = lambda: 0.0  # noqa: E731
+    controller = LimitAdmission(100.0, clock=clock)
+    controller.decide(make_stats(), 100)  # drains the one-second burst
+    decision = controller.decide(make_stats(), 50)
+    assert decision.action == DELAY
+    # deficit of 50 bytes at 100 B/s: exactly half a second
+    assert decision.delay_seconds == pytest.approx(0.5)
+
+
+def test_limit_falls_back_to_reject_when_engine_saturates():
+    controller = LimitAdmission(100.0, retry_after=0.1, clock=lambda: 0.0)
+    decision = controller.decide(make_stats(write_stalled=True), 10)
+    assert decision.action == REJECT
+    assert decision.retry_after == 0.1
+
+
+def test_limit_requires_positive_rate():
+    with pytest.raises(ConfigurationError):
+        LimitAdmission(0.0)
+
+
+# -- mode gradual ---------------------------------------------------------
+
+
+def test_gradual_admits_below_the_pressure_threshold():
+    controller = GradualAdmission(max_delay=0.02, threshold=0.5)
+    decision = controller.decide(make_stats(write_headroom=0.6), 100)
+    assert decision.action == ADMIT
+
+
+def test_gradual_delay_ramps_linearly_with_merge_backlog():
+    controller = GradualAdmission(max_delay=0.02, threshold=0.5)
+    # headroom 0.25 -> pressure 0.75 -> halfway up the ramp
+    halfway = controller.decide(make_stats(write_headroom=0.25), 100)
+    assert halfway.action == DELAY
+    assert halfway.delay_seconds == pytest.approx(0.01)
+    # headroom 0 -> full pressure -> max_delay
+    full = controller.decide(make_stats(write_headroom=0.0), 100)
+    assert full.delay_seconds == pytest.approx(0.02)
+
+
+def test_gradual_uses_the_worse_of_merge_and_flush_backlogs():
+    controller = GradualAdmission(max_delay=0.02, threshold=0.5)
+    stats = make_stats(
+        write_headroom=1.0, sealed_memtables=3, num_memtables=4
+    )
+    assert stats.memory_fill == pytest.approx(1.0)
+    assert controller.decide(stats, 100).delay_seconds == pytest.approx(0.02)
+
+
+def test_gradual_never_rejects_only_slows():
+    controller = GradualAdmission(max_delay=0.02)
+    decision = controller.decide(make_stats(write_stalled=True), 100)
+    assert decision.action == DELAY
+    assert decision.delay_seconds == pytest.approx(0.02)
+    assert controller.absorbs_stalls
+    assert controller.stall_pause == pytest.approx(0.02)
+
+
+def test_gradual_validates_parameters():
+    with pytest.raises(ConfigurationError):
+        GradualAdmission(max_delay=0.0)
+    with pytest.raises(ConfigurationError):
+        GradualAdmission(threshold=1.0)
+
+
+# -- factory --------------------------------------------------------------
+
+
+def test_build_admission_maps_modes():
+    assert build_admission("none").mode == "none"
+    assert build_admission("stop", retry_after=0.1).mode == "stop"
+    assert build_admission("limit", rate_bytes_per_s=1e6).mode == "limit"
+    assert build_admission("gradual", max_delay=0.05).mode == "gradual"
+
+
+def test_build_admission_rejects_unknown_mode_and_stray_params():
+    with pytest.raises(ConfigurationError):
+        build_admission("panic")
+    with pytest.raises(ConfigurationError):
+        build_admission("none", retry_after=0.1)
