@@ -122,27 +122,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _admission_from(args: argparse.Namespace):
-    from .server import build_admission
+def _check_port(port: int) -> int:
+    if not 1 <= port <= 65535:
+        raise ReproError(
+            f"port {port} is outside the valid TCP range 1-65535"
+        )
+    return port
 
+
+def _admission_params(args: argparse.Namespace) -> dict:
+    """Map CLI flags onto :func:`build_admission` keyword arguments."""
     mode = args.admission
     if mode == "stop":
-        return build_admission(
-            "stop", retry_after=args.retry_after_ms / 1000.0
-        )
+        return dict(retry_after=args.retry_after_ms / 1000.0)
     if mode == "limit":
-        return build_admission(
-            "limit",
+        return dict(
             rate_bytes_per_s=args.rate_mib * 2**20,
             retry_after=args.retry_after_ms / 1000.0,
         )
     if mode == "gradual":
-        return build_admission(
-            "gradual",
+        return dict(
             max_delay=args.max_delay_ms / 1000.0,
             threshold=args.threshold,
         )
-    return build_admission("none")
+    return {}
+
+
+def _admission_from(args: argparse.Namespace):
+    from .server import build_admission
+
+    return build_admission(args.admission, **_admission_params(args))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -151,6 +160,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .engine import LSMStore, StoreOptions
     from .server import KVServer
 
+    _check_port(args.port)
     options = StoreOptions(
         memtable_bytes=int(args.memtable_mib * 2**20),
         policy=args.engine_policy,
@@ -188,10 +198,23 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from .server import closed_loop, open_loop, two_phase as net_two_phase
 
+    _check_port(args.port)
+    if args.mode == "open" and args.rate <= 0:
+        raise ReproError(
+            f"--rate must be a positive arrival rate, got {args.rate}"
+        )
+    if args.clients < 1:
+        raise ReproError(
+            f"--clients must be at least 1, got {args.clients}"
+        )
+    if args.ops < 1:
+        raise ReproError(f"--ops must be at least 1, got {args.ops}")
     common = dict(
         value_bytes=args.value_bytes,
         keyspace=args.keyspace,
         seed=args.seed,
+        distribution=getattr(args, "distribution", "uniform"),
+        theta=getattr(args, "theta", 0.99),
     )
 
     async def run():
@@ -229,6 +252,58 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         else result.op_count
     )
     return 0 if completed else 1
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cluster import LocalCluster, build_cluster_admission
+    from .engine import StoreOptions
+
+    _check_port(args.port)
+    if args.shards < 1:
+        raise ReproError(
+            f"--shards must be at least 1, got {args.shards}"
+        )
+    options = StoreOptions(
+        memtable_bytes=int(args.memtable_mib * 2**20),
+        policy=args.engine_policy,
+        stall_mode=args.stall_mode,
+        background_maintenance=args.background,
+    )
+    admission = build_cluster_admission(
+        args.scope, args.admission, args.shards, **_admission_params(args)
+    )
+
+    async def run() -> None:
+        cluster = LocalCluster(
+            args.directory,
+            num_shards=args.shards,
+            options=options,
+            admission=admission,
+            arbiter=args.arbiter,
+            pump_budget=args.pump_budget,
+            host=args.host,
+            port=args.port,
+        )
+        async with cluster:
+            host, port = cluster.address
+            print(
+                f"serving {args.shards}-shard cluster from "
+                f"{args.directory} on {host}:{port} "
+                f"(admission: {admission.mode}, arbiter: {args.arbiter})"
+            )
+            await cluster.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    except OSError as error:
+        print(f"error: cannot serve on {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -270,6 +345,92 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="apply the paper's testing-phase determinism fix "
              "(size-tiered / partitioned policies)",
     )
+
+
+def _add_admission_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--admission", choices=("none", "stop", "limit", "gradual"),
+        default="none",
+        help="write admission mode (default: none)",
+    )
+    parser.add_argument(
+        "--rate-mib", type=float, default=64.0,
+        help="limit mode: admitted write budget in MiB/s (default: 64)",
+    )
+    parser.add_argument(
+        "--retry-after-ms", type=float, default=50.0,
+        help="stop/limit modes: client backoff hint (default: 50ms)",
+    )
+    parser.add_argument(
+        "--max-delay-ms", type=float, default=20.0,
+        help="gradual mode: delay at full pressure (default: 20ms)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="gradual mode: pressure where delays start (default: 0.5)",
+    )
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memtable-mib", type=float, default=4.0,
+        help="engine memory component budget (default: 4 MiB)",
+    )
+    parser.add_argument(
+        "--engine-policy", choices=("tiering", "leveling", "size-tiered"),
+        default="tiering", help="engine merge policy (default: tiering)",
+    )
+    parser.add_argument(
+        "--stall-mode", choices=("block", "reject"), default="reject",
+        help="engine stall gate behaviour (default: reject — the "
+             "admission layer, not the engine, absorbs stalls)",
+    )
+    parser.add_argument(
+        "--background", action="store_true",
+        help="run engine maintenance on a background thread",
+    )
+
+
+def _add_loadgen_args(
+    parser: argparse.ArgumentParser, default_distribution: str = "uniform"
+) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7379)
+    parser.add_argument(
+        "--mode", choices=("closed", "open", "two-phase"),
+        default="two-phase",
+        help="load shape (default: the paper's two-phase methodology)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent closed-loop clients (default: 4)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=2000,
+        help="total operations per phase (default: 2000)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=500.0,
+        help="open mode: arrivals per second (default: 500)",
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.95,
+        help="two-phase mode: running-phase fraction of the measured "
+             "max (default: 0.95, the paper's setting)",
+    )
+    parser.add_argument(
+        "--distribution", choices=("uniform", "zipf"),
+        default=default_distribution,
+        help="key popularity (default: %(default)s); zipf concentrates "
+             "traffic onto hot keys and therefore hot shards",
+    )
+    parser.add_argument(
+        "--theta", type=float, default=0.99,
+        help="zipf skew parameter (default: 0.99, the YCSB setting)",
+    )
+    parser.add_argument("--value-bytes", type=int, default=100)
+    parser.add_argument("--keyspace", type=int, default=4096)
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -320,77 +481,55 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("directory", help="LSMStore data directory")
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=7379)
-    serve_cmd.add_argument(
-        "--admission", choices=("none", "stop", "limit", "gradual"),
-        default="none",
-        help="write admission mode (default: none)",
-    )
-    serve_cmd.add_argument(
-        "--rate-mib", type=float, default=64.0,
-        help="limit mode: admitted write budget in MiB/s (default: 64)",
-    )
-    serve_cmd.add_argument(
-        "--retry-after-ms", type=float, default=50.0,
-        help="stop/limit modes: client backoff hint (default: 50ms)",
-    )
-    serve_cmd.add_argument(
-        "--max-delay-ms", type=float, default=20.0,
-        help="gradual mode: delay at full pressure (default: 20ms)",
-    )
-    serve_cmd.add_argument(
-        "--threshold", type=float, default=0.5,
-        help="gradual mode: pressure where delays start (default: 0.5)",
-    )
-    serve_cmd.add_argument(
-        "--memtable-mib", type=float, default=4.0,
-        help="engine memory component budget (default: 4 MiB)",
-    )
-    serve_cmd.add_argument(
-        "--engine-policy", choices=("tiering", "leveling", "size-tiered"),
-        default="tiering", help="engine merge policy (default: tiering)",
-    )
-    serve_cmd.add_argument(
-        "--stall-mode", choices=("block", "reject"), default="reject",
-        help="engine stall gate behaviour (default: reject — the "
-             "admission layer, not the engine, absorbs stalls)",
-    )
-    serve_cmd.add_argument(
-        "--background", action="store_true",
-        help="run engine maintenance on a background thread",
-    )
+    _add_admission_args(serve_cmd)
+    _add_engine_args(serve_cmd)
     serve_cmd.set_defaults(handler=_cmd_serve)
+
+    cluster_serve_cmd = commands.add_parser(
+        "cluster-serve",
+        help="serve a sharded multi-engine cluster behind one router",
+    )
+    cluster_serve_cmd.add_argument(
+        "directory", help="cluster root directory (one subdir per shard)"
+    )
+    cluster_serve_cmd.add_argument("--host", default="127.0.0.1")
+    cluster_serve_cmd.add_argument("--port", type=int, default=7379)
+    cluster_serve_cmd.add_argument(
+        "--shards", type=int, default=4,
+        help="number of shard engines (default: 4)",
+    )
+    cluster_serve_cmd.add_argument(
+        "--scope", choices=("global", "local"), default="local",
+        help="admission scope: does one stalled shard backpressure "
+             "every write (global) or only its own key range (local)? "
+             "(default: local)",
+    )
+    cluster_serve_cmd.add_argument(
+        "--arbiter", choices=("fair", "greedy"), default="fair",
+        help="shared maintenance-budget arbiter across shards "
+             "(default: fair)",
+    )
+    cluster_serve_cmd.add_argument(
+        "--pump-budget", type=int, default=None,
+        help="maintenance pump calls shared per round "
+             "(default: one per shard)",
+    )
+    _add_admission_args(cluster_serve_cmd)
+    _add_engine_args(cluster_serve_cmd)
+    cluster_serve_cmd.set_defaults(handler=_cmd_cluster_serve)
 
     loadgen_cmd = commands.add_parser(
         "loadgen", help="drive a running server with network load"
     )
-    loadgen_cmd.add_argument("--host", default="127.0.0.1")
-    loadgen_cmd.add_argument("--port", type=int, default=7379)
-    loadgen_cmd.add_argument(
-        "--mode", choices=("closed", "open", "two-phase"),
-        default="two-phase",
-        help="load shape (default: the paper's two-phase methodology)",
-    )
-    loadgen_cmd.add_argument(
-        "--clients", type=int, default=4,
-        help="concurrent closed-loop clients (default: 4)",
-    )
-    loadgen_cmd.add_argument(
-        "--ops", type=int, default=2000,
-        help="total operations per phase (default: 2000)",
-    )
-    loadgen_cmd.add_argument(
-        "--rate", type=float, default=500.0,
-        help="open mode: arrivals per second (default: 500)",
-    )
-    loadgen_cmd.add_argument(
-        "--utilization", type=float, default=0.95,
-        help="two-phase mode: running-phase fraction of the measured "
-             "max (default: 0.95, the paper's setting)",
-    )
-    loadgen_cmd.add_argument("--value-bytes", type=int, default=100)
-    loadgen_cmd.add_argument("--keyspace", type=int, default=4096)
-    loadgen_cmd.add_argument("--seed", type=int, default=0)
+    _add_loadgen_args(loadgen_cmd)
     loadgen_cmd.set_defaults(handler=_cmd_loadgen)
+
+    cluster_loadgen_cmd = commands.add_parser(
+        "cluster-loadgen",
+        help="drive a cluster router with (optionally skewed) load",
+    )
+    _add_loadgen_args(cluster_loadgen_cmd, default_distribution="zipf")
+    cluster_loadgen_cmd.set_defaults(handler=_cmd_loadgen)
 
     return parser
 

@@ -1,0 +1,492 @@
+"""The cluster front-end: one framed-JSON endpoint over N shard servers.
+
+:class:`ClusterRouter` speaks the same wire protocol as a single
+:class:`~repro.server.KVServer` (clients cannot tell the difference) and
+fans requests out to per-shard backends through pooled, retrying
+:class:`~repro.server.KVClient` connections:
+
+* ``PUT`` / ``DEL`` route by the consistent-hash ring; every write first
+  passes the cluster admission layer
+  (:class:`~repro.cluster.admission.ClusterAdmission`), which decides
+  whether one stalled shard backpressures the whole cluster (``global``)
+  or only its own key range (``local``).
+* ``BATCH`` splits into per-shard sub-batches applied concurrently —
+  atomic within a shard, not across shards.
+* ``SCAN`` scatter-gathers every shard (hash partitioning gives each a
+  slice of any range) and heap-merges the ordered, disjoint streams.
+* ``STATS`` aggregates per-shard engine snapshots into the cluster
+  rollup plus the router's own counters.
+
+Per-shard transport failures and backend ``STALLED`` responses are
+retried by the shard clients with exponential backoff, so transient
+backend stalls are absorbed inside the router rather than surfaced.
+Whenever admission rejects or delays a write the router pumps the
+cluster maintenance hook (the sharded store's shared-budget arbiter) —
+shedding load must not starve the merges that would clear the stall.
+
+:class:`LocalCluster` is the in-process deployment used by the CLI,
+tests, and examples: one :class:`~repro.cluster.sharded.ShardedStore`,
+one backend :class:`KVServer` per shard engine, and a router wired with
+direct (deterministic) stats and maintenance hooks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from dataclasses import dataclass, field
+from operator import itemgetter
+from typing import Callable, Sequence
+
+from ..engine.datastore import StoreStats
+from ..engine.options import StoreOptions
+from ..errors import ConfigurationError, RequestFailedError, ServerError
+from ..server import protocol
+from ..server.admission import REJECT
+from ..server.client import KVClient
+from ..server.service import FramedServer, KVServer
+from .admission import ClusterAdmission, build_cluster_admission
+from .ring import HashRing
+from .sharded import ShardedStore
+from .stats import aggregate_stats
+
+#: How stale a polled stats snapshot may be before a fresh STATS poll.
+DEFAULT_STATS_MAX_AGE = 0.05
+
+#: Default per-shard client tuning: patient enough to absorb transient
+#: backend stalls, fast enough that retries stay cheaper than the stall.
+DEFAULT_SHARD_CLIENT_OPTIONS = dict(
+    pool_size=2,
+    timeout=5.0,
+    max_retries=8,
+    backoff_base=0.02,
+    backoff_max=0.2,
+)
+
+
+@dataclass
+class ClusterMetrics:
+    """Cumulative router counters, exported via ``STATS``."""
+
+    requests_total: int = 0
+    reads_total: int = 0
+    scans_total: int = 0
+    writes_admitted: int = 0
+    writes_delayed: int = 0
+    writes_rejected: int = 0
+    delay_seconds_total: float = 0.0
+    protocol_errors: int = 0
+    connections_total: int = 0
+    connections_open: int = 0
+    writes_admitted_per_shard: dict[int, int] = field(default_factory=dict)
+    writes_rejected_per_shard: dict[int, int] = field(default_factory=dict)
+    writes_delayed_per_shard: dict[int, int] = field(default_factory=dict)
+
+    def _bump(self, counters: dict[int, int], shard: int) -> None:
+        counters[shard] = counters.get(shard, 0) + 1
+
+    def record_admitted(self, shard: int) -> None:
+        """Count one write forwarded to ``shard``."""
+        self.writes_admitted += 1
+        self._bump(self.writes_admitted_per_shard, shard)
+
+    def record_rejected(self, shard: int) -> None:
+        """Count one write bounced for ``shard``."""
+        self.writes_rejected += 1
+        self._bump(self.writes_rejected_per_shard, shard)
+
+    def record_delayed(self, shard: int, seconds: float) -> None:
+        """Count one write delayed before forwarding to ``shard``."""
+        self.writes_delayed += 1
+        self.delay_seconds_total += seconds
+        self._bump(self.writes_delayed_per_shard, shard)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for the STATS response."""
+        return {
+            "requests_total": self.requests_total,
+            "reads_total": self.reads_total,
+            "scans_total": self.scans_total,
+            "writes_admitted": self.writes_admitted,
+            "writes_delayed": self.writes_delayed,
+            "writes_rejected": self.writes_rejected,
+            "delay_seconds_total": self.delay_seconds_total,
+            "protocol_errors": self.protocol_errors,
+            "connections_total": self.connections_total,
+            "connections_open": self.connections_open,
+            "writes_admitted_per_shard": {
+                str(shard): count
+                for shard, count in sorted(
+                    self.writes_admitted_per_shard.items()
+                )
+            },
+            "writes_rejected_per_shard": {
+                str(shard): count
+                for shard, count in sorted(
+                    self.writes_rejected_per_shard.items()
+                )
+            },
+            "writes_delayed_per_shard": {
+                str(shard): count
+                for shard, count in sorted(
+                    self.writes_delayed_per_shard.items()
+                )
+            },
+        }
+
+
+def _stats_from_wire(engine: dict) -> StoreStats:
+    """Rebuild a :class:`StoreStats` from a backend STATS response."""
+    fields_dict = dict(engine)
+    fields_dict["components_per_level"] = {
+        int(level): count
+        for level, count in fields_dict.get(
+            "components_per_level", {}
+        ).items()
+    }
+    return StoreStats(**fields_dict)
+
+
+class ClusterRouter(FramedServer):
+    """Route the framed-JSON protocol across per-shard KV backends."""
+
+    def __init__(
+        self,
+        backends: Sequence[tuple[str, int]],
+        ring: HashRing | None = None,
+        admission: ClusterAdmission | None = None,
+        stats_fn: Callable[[], Sequence[StoreStats]] | None = None,
+        maintenance_fn: Callable[[], object] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_client_options: dict | None = None,
+        stats_max_age: float = DEFAULT_STATS_MAX_AGE,
+    ) -> None:
+        if not backends:
+            raise ConfigurationError("a cluster needs at least one backend")
+        if stats_max_age < 0:
+            raise ConfigurationError("stats_max_age cannot be negative")
+        super().__init__(host, port)
+        self._backends = list(backends)
+        self._ring = ring or HashRing(len(backends))
+        if self._ring.num_shards != len(backends):
+            raise ConfigurationError(
+                f"ring routes to {self._ring.num_shards} shards but "
+                f"{len(backends)} backends were given"
+            )
+        self._admission = admission or build_cluster_admission(
+            "local", "none", len(backends)
+        )
+        self._stats_fn = stats_fn
+        self._maintenance_fn = maintenance_fn
+        options = dict(
+            DEFAULT_SHARD_CLIENT_OPTIONS, **(shard_client_options or {})
+        )
+        self._clients = [
+            KVClient(backend_host, backend_port, **options)
+            for backend_host, backend_port in self._backends
+        ]
+        self._stats_max_age = stats_max_age
+        self._stats_cache: list[StoreStats] | None = None
+        self._stats_stamp = 0.0
+        self.metrics = ClusterMetrics()
+
+    @property
+    def num_shards(self) -> int:
+        """How many shard backends the router fans out to."""
+        return len(self._backends)
+
+    @property
+    def ring(self) -> HashRing:
+        """The key-routing ring (shared with the sharded store)."""
+        return self._ring
+
+    @property
+    def admission(self) -> ClusterAdmission:
+        """The cluster admission layer."""
+        return self._admission
+
+    def shard_retries(self) -> int:
+        """Total backend retries absorbed inside the router."""
+        return sum(client.metrics.retries_total for client in self._clients)
+
+    async def aclose(self) -> None:
+        """Stop serving and close every shard client."""
+        await super().aclose()
+        for client in self._clients:
+            await client.aclose()
+
+    # -- cluster state ----------------------------------------------------
+
+    async def _snapshots(self, force: bool = False) -> list[StoreStats]:
+        """Per-shard engine snapshots, direct or polled with a TTL."""
+        if self._stats_fn is not None:
+            return list(await asyncio.to_thread(self._stats_fn))
+        now = time.monotonic()
+        if (
+            not force
+            and self._stats_cache is not None
+            and now - self._stats_stamp <= self._stats_max_age
+        ):
+            return self._stats_cache
+        responses = await asyncio.gather(
+            *(
+                client.request(protocol.stats_request())
+                for client in self._clients
+            )
+        )
+        self._stats_cache = [
+            _stats_from_wire(response.get("engine", {}))
+            for response in responses
+        ]
+        self._stats_stamp = now
+        return self._stats_cache
+
+    async def _pump(self) -> None:
+        """Advance the cluster's shared-budget maintenance, if wired."""
+        if self._maintenance_fn is not None:
+            await asyncio.to_thread(self._maintenance_fn)
+
+    # -- the admission + forwarding pipeline ------------------------------
+
+    async def _admitted_forward(
+        self,
+        nbytes_by_shard: dict[int, int],
+        forward,
+    ) -> dict:
+        """Run one write through cluster admission, then forward it.
+
+        ``forward`` is an async callable performing the actual backend
+        request(s) once the write is admitted. Backend ``STALLED``
+        responses that outlive the shard client's retry budget surface
+        to the caller as a ``STALLED`` rejection.
+        """
+        snapshots = await self._snapshots()
+        decision = self._admission.decide_many(nbytes_by_shard, snapshots)
+        if decision.action == REJECT:
+            # Shedding load must not starve the maintenance that would
+            # clear the stall: pump the shared budget before bouncing.
+            await self._pump()
+            for shard in nbytes_by_shard:
+                self.metrics.record_rejected(shard)
+            return protocol.error_response(
+                protocol.CODE_STALLED,
+                decision.reason or "write rejected by cluster admission",
+                retry_after=decision.retry_after,
+            )
+        if decision.delay_seconds > 0.0:
+            for shard in nbytes_by_shard:
+                self.metrics.record_delayed(shard, decision.delay_seconds)
+            await self._pump()
+            await asyncio.sleep(decision.delay_seconds)
+        try:
+            response = await forward()
+        except RequestFailedError as error:
+            for shard in nbytes_by_shard:
+                self.metrics.record_rejected(shard)
+            return protocol.error_response(
+                error.code, str(error), retry_after=error.retry_after
+            )
+        except ServerError as error:
+            for shard in nbytes_by_shard:
+                self.metrics.record_rejected(shard)
+            return protocol.error_response(
+                protocol.CODE_STALLED,
+                f"shard retries exhausted: {error}",
+                retry_after=self._admission.stall_pause or 0.05,
+            )
+        for shard in nbytes_by_shard:
+            self.metrics.record_admitted(shard)
+        # Successful writes co-fund cluster maintenance: under local
+        # admission, traffic on healthy shards keeps paying the shared
+        # budget that drains a stalled sibling's backlog.
+        await self._pump()
+        return response
+
+    # -- verbs ------------------------------------------------------------
+
+    async def _op_put(self, message: dict) -> dict:
+        key = protocol.request_key(message)
+        value = protocol.request_value(message)
+        shard = self._ring.shard_for(key)
+
+        async def forward() -> dict:
+            return await self._clients[shard].request(message)
+
+        return await self._admitted_forward(
+            {shard: len(key) + len(value)}, forward
+        )
+
+    async def _op_del(self, message: dict) -> dict:
+        key = protocol.request_key(message)
+        shard = self._ring.shard_for(key)
+
+        async def forward() -> dict:
+            return await self._clients[shard].request(message)
+
+        return await self._admitted_forward({shard: len(key)}, forward)
+
+    async def _op_batch(self, message: dict) -> dict:
+        ops = protocol.batch_ops(message)
+        groups: dict[int, list[tuple[bytes, bytes | None]]] = {}
+        nbytes_by_shard: dict[int, int] = {}
+        for key, value in ops:
+            shard = self._ring.shard_for(key)
+            groups.setdefault(shard, []).append((key, value))
+            nbytes_by_shard[shard] = nbytes_by_shard.get(shard, 0) + (
+                len(key) + (0 if value is None else len(value))
+            )
+
+        async def forward() -> dict:
+            await asyncio.gather(
+                *(
+                    self._clients[shard].request(
+                        protocol.batch_request(groups[shard])
+                    )
+                    for shard in sorted(groups)
+                )
+            )
+            return protocol.ok_response(count=len(ops))
+
+        return await self._admitted_forward(nbytes_by_shard, forward)
+
+    async def _op_get(self, message: dict) -> dict:
+        key = protocol.request_key(message)
+        self.metrics.reads_total += 1
+        try:
+            return await self._clients[self._ring.shard_for(key)].request(
+                message
+            )
+        except RequestFailedError as error:
+            return protocol.error_response(
+                error.code, str(error), retry_after=error.retry_after
+            )
+
+    async def _op_scan(self, message: dict) -> dict:
+        lo, hi, limit = protocol.scan_bounds(message)
+        self.metrics.reads_total += 1
+        self.metrics.scans_total += 1
+        per_shard = await asyncio.gather(
+            *(client.scan(lo, hi, limit) for client in self._clients)
+        )
+        items: list[tuple[bytes, bytes]] = []
+        for item in heapq.merge(*per_shard, key=itemgetter(0)):
+            items.append(item)
+            if limit is not None and len(items) >= limit:
+                break
+        return protocol.ok_response(
+            items=[
+                [protocol.b64encode(key), protocol.b64encode(value)]
+                for key, value in items
+            ]
+        )
+
+    async def _op_stats(self, message: dict) -> dict:
+        snapshots = await self._snapshots(force=True)
+        cluster = aggregate_stats(snapshots)
+        return protocol.ok_response(
+            cluster=cluster.snapshot(),
+            router=self.metrics.snapshot(),
+            admission_mode=self._admission.mode,
+        )
+
+
+class LocalCluster:
+    """One process, full cluster: sharded store + backends + router.
+
+    The deployment shape behind ``python -m repro cluster-serve``, the
+    hot-shard example, and the integration tests: every shard engine is
+    served by an in-process :class:`KVServer` on an ephemeral port, and
+    the router gets *direct* stats/maintenance hooks into the sharded
+    store (fresh snapshots, deterministic pumping) instead of polling
+    its own backends over TCP.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        num_shards: int = 4,
+        options: StoreOptions | None = None,
+        admission: ClusterAdmission | None = None,
+        ring: HashRing | None = None,
+        arbiter: str = "fair",
+        pump_budget: int | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_client_options: dict | None = None,
+        write_deadline: float = 10.0,
+    ) -> None:
+        self.store = ShardedStore(
+            directory,
+            num_shards,
+            options,
+            ring=ring,
+            arbiter=arbiter,
+            pump_budget=pump_budget,
+        )
+        self._admission = admission
+        self._host = host
+        self._port = port
+        self._shard_client_options = shard_client_options
+        self._write_deadline = write_deadline
+        self.backends: list[KVServer] = []
+        self.router: ClusterRouter | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Boot backends and router; returns the router's address."""
+        try:
+            for engine in self.store.engines():
+                backend = KVServer(
+                    engine,
+                    host=self._host,
+                    port=0,
+                    write_deadline=self._write_deadline,
+                )
+                await backend.start()
+                self.backends.append(backend)
+            self.router = ClusterRouter(
+                backends=[backend.address for backend in self.backends],
+                ring=self.store.ring,
+                admission=self._admission,
+                stats_fn=self.store.stats_list,
+                maintenance_fn=self.store.pump,
+                host=self._host,
+                port=self._port,
+                shard_client_options=self._shard_client_options,
+            )
+            return await self.router.start()
+        except BaseException:
+            await self.aclose()
+            raise
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The router's bound (host, port); valid after :meth:`start`."""
+        if self.router is None:
+            raise ConfigurationError("cluster is not started")
+        return self.router.address
+
+    async def serve_forever(self) -> None:
+        """Serve through the router until cancelled."""
+        if self.router is None:
+            await self.start()
+        assert self.router is not None
+        await self.router.serve_forever()
+
+    async def aclose(self) -> None:
+        """Tear the whole stack down: router, backends, engines."""
+        if self.router is not None:
+            await self.router.aclose()
+            self.router = None
+        for backend in self.backends:
+            await backend.aclose()
+        self.backends = []
+        self.store.close()
+
+    async def __aenter__(self) -> "LocalCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -8,7 +8,7 @@ schedulers are named with the same strings as the simulation harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError
 

@@ -11,7 +11,7 @@ paper's experimental setups (Sections 4-7) with their exact defaults.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from ..core import model

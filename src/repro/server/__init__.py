@@ -7,8 +7,20 @@ length-prefixed JSON protocol, a pooled retrying client
 backpressure onto the paper's stop / limit / gradual interaction modes,
 and a closed/open-loop load generator implementing the two-phase
 methodology over the wire.
+
+The error types a caller of this package must be able to catch —
+:class:`~repro.errors.RequestFailedError` for non-transient server
+errors, :class:`~repro.errors.RetriesExhaustedError` when the retry
+budget runs out, and their bases — are re-exported here so client code
+does not have to know they live in :mod:`repro.errors`.
 """
 
+from ..errors import (
+    ProtocolError,
+    RequestFailedError,
+    RetriesExhaustedError,
+    ServerError,
+)
 from .admission import (
     ADMIT,
     DELAY,
@@ -23,27 +35,41 @@ from .admission import (
 )
 from .client import ClientMetrics, KVClient
 from .loadgen import (
+    DISTRIBUTIONS,
     LoadResult,
     TwoPhaseNetworkResult,
     closed_loop,
     open_loop,
     two_phase,
 )
-from .service import KVServer, ServerMetrics, serve
+from .service import (
+    DEFAULT_WRITE_DEADLINE,
+    FramedServer,
+    KVServer,
+    ServerMetrics,
+    serve,
+)
 
 __all__ = [
     "ADMIT",
     "DELAY",
-    "REJECT",
+    "DEFAULT_WRITE_DEADLINE",
+    "DISTRIBUTIONS",
     "MODES",
+    "REJECT",
     "AdmissionController",
     "AdmissionDecision",
     "ClientMetrics",
+    "FramedServer",
     "GradualAdmission",
     "KVClient",
     "KVServer",
     "LimitAdmission",
     "LoadResult",
+    "ProtocolError",
+    "RequestFailedError",
+    "RetriesExhaustedError",
+    "ServerError",
     "ServerMetrics",
     "StopAdmission",
     "TwoPhaseNetworkResult",

@@ -239,12 +239,15 @@ class KVClient:
         ]
 
     async def stats(self) -> dict:
-        """Engine + server counters, as the STATS verb returns them."""
+        """Counters as the STATS verb returns them.
+
+        A single server answers with ``engine`` + ``server`` sections; a
+        cluster router answers with ``cluster`` + ``router``. Both pass
+        through untouched, plus ``admission_mode``.
+        """
         response = await self.request(protocol.stats_request())
         return {
-            "engine": response.get("engine", {}),
-            "server": response.get("server", {}),
-            "admission_mode": response.get("admission_mode"),
+            key: value for key, value in response.items() if key != "ok"
         }
 
     async def ping(self) -> bool:

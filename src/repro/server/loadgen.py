@@ -29,9 +29,18 @@ import random
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import ConfigurationError, ServerError
 from ..metrics.percentiles import percentile_profile
+from ..workloads.distributions import ZipfianKeys
 from .client import KVClient
+
+#: Key-popularity distributions the generators understand.
+DISTRIBUTIONS = ("uniform", "zipf")
+
+#: Zipf samples drawn per numpy call; amortises vectorised sampling.
+_ZIPF_BATCH = 512
 
 
 @dataclass
@@ -56,7 +65,18 @@ class LoadResult:
     def latency_profile(
         self, levels: tuple[float, ...] = (50.0, 90.0, 99.0)
     ) -> dict[float, float]:
-        """Percentile client latencies in seconds."""
+        """Percentile client latencies in seconds.
+
+        Raises :class:`ValueError` when no operation completed — a run
+        where everything errored has no latency distribution, and a
+        silent 0.0 would read as an impossibly fast server.
+        """
+        if not self.latencies:
+            raise ValueError(
+                f"{self.label}: no latency samples — all "
+                f"{self.error_count} operations failed or the run was "
+                "empty; there is no percentile to report"
+            )
         return percentile_profile(self.latencies, levels)
 
     def percentile(self, q: float) -> float:
@@ -83,12 +103,38 @@ class LoadResult:
         )
 
 
-def _operation_stream(seed: int, keyspace: int, value_bytes: int):
-    """Deterministic (key, value) generator shared by both loop shapes."""
+def _operation_stream(
+    seed: int,
+    keyspace: int,
+    value_bytes: int,
+    distribution: str = "uniform",
+    theta: float = 0.99,
+):
+    """Deterministic (key, value) generator shared by both loop shapes.
+
+    ``uniform`` draws keys uniformly from the keyspace; ``zipf`` draws
+    them from the YCSB scrambled-Zipfian popularity model
+    (:class:`~repro.workloads.distributions.ZipfianKeys`), which is what
+    makes a *hot shard* emerge when the stream is routed through a
+    cluster's hash ring.
+    """
+    if distribution not in DISTRIBUTIONS:
+        raise ConfigurationError(
+            f"unknown distribution {distribution!r}; "
+            f"choose from {DISTRIBUTIONS}"
+        )
     rng = random.Random(seed)
-    while True:
-        key = f"key-{rng.randrange(keyspace):010d}".encode("ascii")
-        yield key, rng.randbytes(value_bytes)
+    if distribution == "zipf":
+        zipf = ZipfianKeys(keyspace, theta=theta)
+        np_rng = np.random.default_rng(seed)
+        while True:
+            for index in zipf.sample(np_rng, _ZIPF_BATCH).tolist():
+                key = f"key-{index:010d}".encode("ascii")
+                yield key, rng.randbytes(value_bytes)
+    else:
+        while True:
+            key = f"key-{rng.randrange(keyspace):010d}".encode("ascii")
+            yield key, rng.randbytes(value_bytes)
 
 
 async def closed_loop(
@@ -101,6 +147,8 @@ async def closed_loop(
     seed: int = 0,
     label: str = "closed-loop",
     client_options: dict | None = None,
+    distribution: str = "uniform",
+    theta: float = 0.99,
 ) -> LoadResult:
     """Closed system: each client issues its next write on completion."""
     if clients < 1 or ops_per_client < 1:
@@ -115,7 +163,11 @@ async def closed_loop(
         async def worker(worker_id: int) -> None:
             nonlocal errors
             stream = _operation_stream(
-                seed + worker_id, keyspace, value_bytes
+                seed + worker_id,
+                keyspace,
+                value_bytes,
+                distribution=distribution,
+                theta=theta,
             )
             for _ in range(ops_per_client):
                 key, value = next(stream)
@@ -153,6 +205,8 @@ async def open_loop(
     seed: int = 0,
     label: str = "open-loop",
     client_options: dict | None = None,
+    distribution: str = "uniform",
+    theta: float = 0.99,
 ) -> LoadResult:
     """Open system: ops arrive on a fixed schedule regardless of progress.
 
@@ -168,7 +222,9 @@ async def open_loop(
     errors = 0
 
     async with KVClient(host, port, **options) as client:
-        stream = _operation_stream(seed, keyspace, value_bytes)
+        stream = _operation_stream(
+            seed, keyspace, value_bytes, distribution=distribution, theta=theta
+        )
         operations = [next(stream) for _ in range(total_ops)]
         epoch = time.monotonic()
 
@@ -238,6 +294,8 @@ async def two_phase(
     keyspace: int = 4096,
     seed: int = 0,
     client_options: dict | None = None,
+    distribution: str = "uniform",
+    theta: float = 0.99,
 ) -> TwoPhaseNetworkResult:
     """The paper's methodology end-to-end over TCP."""
     if not 0.0 < utilization <= 1.0:
@@ -252,6 +310,8 @@ async def two_phase(
         seed=seed,
         label="testing",
         client_options=client_options,
+        distribution=distribution,
+        theta=theta,
     )
     arrival_rate = max(1.0, testing.throughput * utilization)
     running = await open_loop(
@@ -264,6 +324,8 @@ async def two_phase(
         seed=seed + 1,
         label="running",
         client_options=client_options,
+        distribution=distribution,
+        theta=theta,
     )
     return TwoPhaseNetworkResult(
         testing=testing,

@@ -69,28 +69,24 @@ class _WriteOutcome:
     extra: dict = field(default_factory=dict)
 
 
-class KVServer:
-    """Serve one LSM store over TCP with stall-aware admission."""
+class FramedServer:
+    """Connection machinery shared by every framed-JSON TCP front-end.
 
-    def __init__(
-        self,
-        store: LSMStore,
-        admission: AdmissionController | None = None,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        write_deadline: float = DEFAULT_WRITE_DEADLINE,
-    ) -> None:
-        if write_deadline <= 0:
-            raise ConfigurationError("write_deadline must be positive")
-        self._store = store
-        self._admission = admission or AdmissionController()
+    Owns the listening socket, the per-connection read loop, and verb
+    dispatch to ``_op_<verb>`` coroutine methods. Subclasses —
+    :class:`KVServer` over one engine, the cluster's
+    :class:`~repro.cluster.router.ClusterRouter` over many — provide the
+    verb handlers and a ``metrics`` object with ``requests_total``,
+    ``protocol_errors``, ``connections_total``, and ``connections_open``
+    counters.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
         self._host = host
         self._port = port
-        self._write_deadline = write_deadline
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._handlers: set[asyncio.Task] = set()
-        self.metrics = ServerMetrics()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -134,7 +130,7 @@ class KVServer:
         await self._server.wait_closed()
         self._server = None
 
-    async def __aenter__(self) -> "KVServer":
+    async def __aenter__(self) -> "FramedServer":
         await self.start()
         return self
 
@@ -191,6 +187,29 @@ class KVServer:
             return protocol.error_response(
                 protocol.CODE_INTERNAL, f"{type(error).__name__}: {error}"
             )
+
+    async def _op_ping(self, message: dict) -> dict:
+        return protocol.ok_response(pong=True)
+
+
+class KVServer(FramedServer):
+    """Serve one LSM store over TCP with stall-aware admission."""
+
+    def __init__(
+        self,
+        store: LSMStore,
+        admission: AdmissionController | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        write_deadline: float = DEFAULT_WRITE_DEADLINE,
+    ) -> None:
+        if write_deadline <= 0:
+            raise ConfigurationError("write_deadline must be positive")
+        super().__init__(host, port)
+        self._store = store
+        self._admission = admission or AdmissionController()
+        self._write_deadline = write_deadline
+        self.metrics = ServerMetrics()
 
     # -- the admission + write pipeline ----------------------------------
 
@@ -303,9 +322,6 @@ class KVServer:
             server=self.metrics.snapshot(),
             admission_mode=self._admission.mode,
         )
-
-    async def _op_ping(self, message: dict) -> dict:
-        return protocol.ok_response(pong=True)
 
 
 async def serve(

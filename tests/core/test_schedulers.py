@@ -1,6 +1,5 @@
 """Tests for merge schedulers, including a property-test of Theorem 2."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Component, FairScheduler, GreedyScheduler, MergeDescriptor
-from repro.metrics import CumulativeCurve, fifo_latencies
+from repro.metrics import CumulativeCurve
 
 
 class TestTheorem1:

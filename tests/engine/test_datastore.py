@@ -1,6 +1,5 @@
 """Integration-grade tests for the LSMStore public API."""
 
-import os
 import threading
 
 import pytest

@@ -1,7 +1,6 @@
 """Tests for the harness' name-based factories (schedulers, constraints,
 controls) and spec edge cases not covered by the two-phase tests."""
 
-import math
 
 import pytest
 

@@ -8,9 +8,8 @@ emergent quantities that do not depend on wall-clock time to agree:
 write amplification, merge counts, and the final tree shape.
 """
 
-import pytest
 
-from repro.core import TieringPolicy, UidAllocator, model
+from repro.core import TieringPolicy
 from repro.engine import LSMStore, StoreOptions
 from repro.sim import SimConfig, SimulatedLSMTree
 from repro.workloads import (
@@ -107,15 +106,11 @@ class TestEngineVsSimulator:
     def test_flush_counts_agree(self, tmp_path):
         stats, _ = run_engine(tmp_path)
         config, tree, result = simulate()
-        # flushes = ingested raw entries / memtable entries, same for both
-        sim_flushes = sum(
-            1 for p in result.components.points()
-        )  # change points overcount; use merge-log-independent estimate
+        # flushes = ingested raw entries / memtable entries, same for both;
+        # the engine does not expose its flush count directly, so check
+        # merge counts via the policy's arithmetic instead: tiering merges
+        # once per size_ratio flushes per level
         expected = TOTAL_WRITES / MEMTABLE_ENTRIES
-        engine_flushes = stats.merges_completed + stats.disk_components
-        # engine flush count is not directly exposed; check merge counts
-        # instead via the policy's arithmetic: tiering merges once per
-        # size_ratio flushes per level
         assert stats.merges_completed >= expected / SIZE_RATIO * 0.5
 
     def test_tree_shapes_agree(self, tmp_path):

@@ -16,7 +16,7 @@ from repro.harness import (
 )
 from repro.harness import testing_phase as measure_max
 from repro.metrics import stall_windows
-from repro.workloads import BurstPhase, BurstyArrivals, ConstantArrivals
+from repro.workloads import BurstPhase, BurstyArrivals
 
 SCALE = 512.0
 FAST = dict(testing_duration=3600.0, running_duration=3600.0, warmup=600.0)

@@ -1,6 +1,5 @@
 """Tests for windowed counters and step series."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

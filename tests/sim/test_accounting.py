@@ -6,7 +6,6 @@ entry counts versus the keyspace bound, force events versus completions —
 catching any future drift between the simulator's bookkeeping paths.
 """
 
-import numpy as np
 import pytest
 
 from repro.harness import ExperimentSpec, build_tree
@@ -79,9 +78,6 @@ class TestForceAccounting:
         spec = spec.with_(config=spec.config.with_(force_at_end_only=True))
         tree = build_tree(spec, ClosedArrivals(), testing=True)
         result = tree.run(1200.0)
-        flushes = sum(
-            1 for c in result.components.points()
-        )  # not exact; use merge log + force count relation instead
         assert len(result.force_events) >= len(result.merge_log)
         for event in result.force_events:
             assert event.bytes > 0

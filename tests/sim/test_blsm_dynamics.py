@@ -7,7 +7,6 @@ stalls despite running flat out), and the progress coupling (the
 spring's admission rate tracks the level-1 merge's bandwidth share).
 """
 
-import numpy as np
 import pytest
 
 from repro.harness import ExperimentSpec, build_tree

@@ -233,11 +233,6 @@ class TestInvariants:
     def test_unique_entries_bounded_by_keyspace(self, config, uniform_keyspace):
         tree = tiering_tree(config, uniform_keyspace)
         tree.run(1800)
-        total = sum(
-            c.entry_count
-            for components in tree.levels_view().values()
-            for c in components
-        )
         # obsolete versions may coexist across components, but no single
         # component exceeds the keyspace
         for components in tree.levels_view().values():

@@ -1,6 +1,5 @@
 """Tests for the query cost model and query co-simulation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

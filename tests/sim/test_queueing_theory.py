@@ -12,7 +12,6 @@ import pytest
 
 from repro.harness import ExperimentSpec, build_tree, running_phase
 from repro.harness import testing_phase as measure_max
-from repro.workloads import ConstantArrivals
 
 
 @pytest.fixture(scope="module")
@@ -22,7 +21,6 @@ def spec_and_max():
     )
     max_throughput, _ = measure_max(spec)
     return spec, max_throughput
-
 
 class TestLittlesLaw:
     def test_mean_latency_times_rate_equals_mean_queue(self, spec_and_max):
@@ -38,7 +36,6 @@ class TestLittlesLaw:
         queue = result.arrivals.value_at(grid) - result.departures.value_at(grid)
         mean_queue = float(np.clip(queue, 0.0, None).mean())
         assert rate * mean_latency == pytest.approx(mean_queue, rel=0.15, abs=1.0)
-
 
 class TestUtilizationMonotonicity:
     def test_latency_rises_with_utilization(self, spec_and_max):
@@ -59,7 +56,6 @@ class TestUtilizationMonotonicity:
         assert result.final_queue_length > 0.1 * (
             1.5 * max_throughput * spec.running_duration
         )
-
 
 class TestWorkConservation:
     def test_served_work_equals_arrivals_minus_queue(self, spec_and_max):

@@ -1,6 +1,5 @@
 """Tests for SimResult's reporting surface."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

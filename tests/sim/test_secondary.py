@@ -2,10 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.core import GlobalComponentConstraint, TreeSnapshot
+from repro.core import GlobalComponentConstraint
 from repro.errors import ConfigurationError
 from repro.sim import (
     EagerLookupControl,

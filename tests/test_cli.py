@@ -208,3 +208,75 @@ class TestServeAndLoadgenParsers:
             thread.join(5.0)
             loop.close()
             store.close()
+
+
+class TestClusterParsersAndValidation:
+    def test_cluster_serve_defaults(self):
+        args = build_parser().parse_args(["cluster-serve", "/tmp/db"])
+        assert args.port == 7379
+        assert args.shards == 4
+        assert args.scope == "local"
+        assert args.arbiter == "fair"
+        assert args.admission == "none"
+        assert args.pump_budget is None
+
+    def test_cluster_loadgen_defaults_to_zipf(self):
+        args = build_parser().parse_args(["cluster-loadgen"])
+        assert args.distribution == "zipf"
+        assert args.theta == 0.99
+
+    def test_loadgen_defaults_to_uniform(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.distribution == "uniform"
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster-serve", "/tmp/db", "--scope", "galactic"]
+            )
+
+    def test_unknown_arbiter_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster-serve", "/tmp/db", "--arbiter", "roulette"]
+            )
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["loadgen", "--distribution", "pareto"]
+            )
+
+    def test_serve_bad_port_exits_with_message(self, capsys):
+        code = main(["serve", "/tmp/db", "--port", "70000"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "70000" in err
+
+    def test_cluster_serve_bad_port_exits_with_message(self, capsys):
+        code = main(["cluster-serve", "/tmp/db", "--port", "0"])
+        assert code == 2
+        assert "valid TCP range" in capsys.readouterr().err
+
+    def test_cluster_serve_bad_shards_exits_with_message(self, capsys):
+        code = main(["cluster-serve", "/tmp/db", "--shards", "0"])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_loadgen_negative_rate_exits_with_message(self, capsys):
+        code = main([
+            "loadgen", "--mode", "open", "--rate", "-5",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--rate" in err
+
+    def test_loadgen_zero_clients_exits_with_message(self, capsys):
+        code = main(["loadgen", "--mode", "closed", "--clients", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_loadgen_zero_ops_exits_with_message(self, capsys):
+        code = main(["loadgen", "--mode", "closed", "--ops", "0"])
+        assert code == 2
+        assert "--ops" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""Tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.cluster import HashRing
+from repro.errors import ConfigurationError
+
+KEYS = [f"key-{i:010d}".encode() for i in range(2000)]
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        one, two = HashRing(4), HashRing(4)
+        assert [one.shard_for(k) for k in KEYS] == [
+            two.shard_for(k) for k in KEYS
+        ]
+
+    def test_every_shard_receives_traffic(self):
+        ring = HashRing(4)
+        shares = ring.traffic_shares(KEYS)
+        assert set(shares) == {0, 1, 2, 3}
+        assert all(share > 0.0 for share in shares.values())
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_vnodes_keep_placement_roughly_even(self):
+        # With 64 vnodes/shard the placement imbalance alone should stay
+        # well under 2x between the biggest and smallest shard.
+        shares = HashRing(4).traffic_shares(KEYS)
+        assert max(shares.values()) < 2 * min(shares.values())
+
+    def test_shard_for_in_range(self):
+        ring = HashRing(3)
+        for key in KEYS[:200]:
+            assert 0 <= ring.shard_for(key) < 3
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert all(ring.shard_for(k) == 0 for k in KEYS[:100])
+
+    def test_partition_preserves_order_and_membership(self):
+        ring = HashRing(4)
+        groups = ring.partition(KEYS)
+        # every key lands in exactly one group, in its original order
+        assert sorted(k for g in groups.values() for k in g) == sorted(KEYS)
+        for shard, keys in groups.items():
+            assert keys == [k for k in KEYS if ring.shard_for(k) == shard]
+
+    def test_traffic_shares_empty(self):
+        assert HashRing(2).traffic_shares([]) == {0: 0.0, 1: 0.0}
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(0)
+
+    def test_rejects_zero_vnodes(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(2, vnodes=0)
+
+    def test_len_and_repr(self):
+        ring = HashRing(5)
+        assert len(ring) == 5
+        assert "num_shards=5" in repr(ring)
