@@ -314,6 +314,50 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_crashsim(args: argparse.Namespace) -> int:
+    from .faults import run_crash_harness
+
+    if args.ops < 2:
+        raise ReproError(f"--ops must be at least 2, got {args.ops}")
+    report = run_crash_harness(
+        args.directory, num_ops=args.ops, seed=args.seed
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .faults import run_chaos
+
+    if args.shards < 2:
+        raise ReproError(
+            f"--shards must be at least 2 (one to kill, one to "
+            f"survive), got {args.shards}"
+        )
+    if not 0 <= args.kill_shard < args.shards:
+        raise ReproError(
+            f"--kill-shard {args.kill_shard} is outside "
+            f"[0, {args.shards})"
+        )
+    report = asyncio.run(
+        run_chaos(
+            args.directory,
+            num_shards=args.shards,
+            ops=args.ops,
+            kill_shard=args.kill_shard,
+            kill_at=args.kill_at,
+            restore_at=args.restore_at,
+            seed=args.seed,
+            cooldown=args.cooldown_ms / 1000.0,
+            op_interval=args.op_interval_ms / 1000.0,
+        )
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--policy", choices=_POLICIES, default="tiering",
@@ -474,6 +518,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_cmd.add_argument("directory", help="LSMStore data directory")
     verify_cmd.set_defaults(handler=_cmd_verify)
+
+    crashsim_cmd = commands.add_parser(
+        "crashsim",
+        help="crash-recovery harness: WAL truncation sweep + "
+             "injected-fault scenarios",
+    )
+    crashsim_cmd.add_argument(
+        "directory", help="scratch directory for crash images"
+    )
+    crashsim_cmd.add_argument(
+        "--ops", type=int, default=500,
+        help="workload length for the WAL sweep (default: 500)",
+    )
+    crashsim_cmd.add_argument("--seed", type=int, default=0)
+    crashsim_cmd.set_defaults(handler=_cmd_crashsim)
+
+    chaos_cmd = commands.add_parser(
+        "chaos",
+        help="kill a shard mid-load against a local cluster and "
+             "score degradation + recovery",
+    )
+    chaos_cmd.add_argument(
+        "directory", help="scratch directory for the cluster"
+    )
+    chaos_cmd.add_argument(
+        "--shards", type=int, default=3,
+        help="number of shard engines (default: 3)",
+    )
+    chaos_cmd.add_argument(
+        "--ops", type=int, default=300,
+        help="writes in the main load phase (default: 300)",
+    )
+    chaos_cmd.add_argument(
+        "--kill-shard", type=int, default=0,
+        help="which shard's backend dies (default: 0)",
+    )
+    chaos_cmd.add_argument(
+        "--kill-at", type=float, default=0.25,
+        help="kill point as a fraction of --ops (default: 0.25)",
+    )
+    chaos_cmd.add_argument(
+        "--restore-at", type=float, default=0.6,
+        help="restore point as a fraction of --ops (default: 0.6)",
+    )
+    chaos_cmd.add_argument("--seed", type=int, default=0)
+    chaos_cmd.add_argument(
+        "--cooldown-ms", type=float, default=250.0,
+        help="circuit-breaker open→half-open cooldown (default: 250)",
+    )
+    chaos_cmd.add_argument(
+        "--op-interval-ms", type=float, default=2.0,
+        help="pacing sleep between ops (default: 2)",
+    )
+    chaos_cmd.set_defaults(handler=_cmd_chaos)
 
     serve_cmd = commands.add_parser(
         "serve", help="serve an LSMStore over TCP with admission control"

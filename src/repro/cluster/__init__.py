@@ -13,6 +13,8 @@ scans and online shard migration under live writes.
 """
 
 from .admission import SCOPES, ClusterAdmission, build_cluster_admission
+from .breaker import STATES as BREAKER_STATES
+from .breaker import CircuitBreaker
 from .rebalance import MigrationReport, migrate_shard
 from .ring import HashRing
 from .router import ClusterMetrics, ClusterRouter, LocalCluster
@@ -21,7 +23,9 @@ from .stats import ClusterStats, aggregate_stats, worst_case_stats
 
 __all__ = [
     "ARBITERS",
+    "BREAKER_STATES",
     "SCOPES",
+    "CircuitBreaker",
     "ClusterAdmission",
     "ClusterMetrics",
     "ClusterRouter",

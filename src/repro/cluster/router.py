@@ -41,12 +41,19 @@ from typing import Callable, Sequence
 
 from ..engine.datastore import StoreStats
 from ..engine.options import StoreOptions
-from ..errors import ConfigurationError, RequestFailedError, ServerError
+from ..errors import (
+    ConfigurationError,
+    RequestFailedError,
+    RetriesExhaustedError,
+    ServerError,
+    ShardDownError,
+)
 from ..server import protocol
 from ..server.admission import REJECT
 from ..server.client import KVClient
 from ..server.service import FramedServer, KVServer
 from .admission import ClusterAdmission, build_cluster_admission
+from .breaker import OPEN, CircuitBreaker
 from .ring import HashRing
 from .sharded import ShardedStore
 from .stats import aggregate_stats
@@ -79,6 +86,8 @@ class ClusterMetrics:
     protocol_errors: int = 0
     connections_total: int = 0
     connections_open: int = 0
+    shard_down_rejections: int = 0
+    degraded_scans: int = 0
     writes_admitted_per_shard: dict[int, int] = field(default_factory=dict)
     writes_rejected_per_shard: dict[int, int] = field(default_factory=dict)
     writes_delayed_per_shard: dict[int, int] = field(default_factory=dict)
@@ -115,6 +124,8 @@ class ClusterMetrics:
             "protocol_errors": self.protocol_errors,
             "connections_total": self.connections_total,
             "connections_open": self.connections_open,
+            "shard_down_rejections": self.shard_down_rejections,
+            "degraded_scans": self.degraded_scans,
             "writes_admitted_per_shard": {
                 str(shard): count
                 for shard, count in sorted(
@@ -134,6 +145,27 @@ class ClusterMetrics:
                 )
             },
         }
+
+
+#: Stand-in snapshot for a shard that has never answered a stats poll:
+#: healthy-looking, so admission does not backpressure the survivors.
+_NEUTRAL_STATS = StoreStats(
+    memtable_entries=0,
+    memtable_bytes=0,
+    sealed_memtables=0,
+    num_memtables=2,
+    disk_components=0,
+    components_per_level={},
+    merges_completed=0,
+    write_stalls=0,
+    stall_seconds_total=0.0,
+    wal_bytes=0,
+    write_stalled=False,
+    write_headroom=1.0,
+    throttle_sleep_seconds=0.0,
+    block_cache_hit_rate=0.0,
+    block_cache_used_bytes=0,
+)
 
 
 def _stats_from_wire(engine: dict) -> StoreStats:
@@ -162,6 +194,7 @@ class ClusterRouter(FramedServer):
         port: int = 0,
         shard_client_options: dict | None = None,
         stats_max_age: float = DEFAULT_STATS_MAX_AGE,
+        breaker_options: dict | None = None,
     ) -> None:
         if not backends:
             raise ConfigurationError("a cluster needs at least one backend")
@@ -183,9 +216,21 @@ class ClusterRouter(FramedServer):
         options = dict(
             DEFAULT_SHARD_CLIENT_OPTIONS, **(shard_client_options or {})
         )
-        self._clients = [
-            KVClient(backend_host, backend_port, **options)
-            for backend_host, backend_port in self._backends
+        self._clients = []
+        for index, (backend_host, backend_port) in enumerate(
+            self._backends
+        ):
+            per_shard = dict(options)
+            # Deterministic but distinct jitter streams per shard: the
+            # whole point of jitter is that the pools don't retry in
+            # lock-step against a recovering backend.
+            per_shard.setdefault("jitter_seed", index)
+            self._clients.append(
+                KVClient(backend_host, backend_port, **per_shard)
+            )
+        self.breakers = [
+            CircuitBreaker(**(breaker_options or {}))
+            for _ in self._backends
         ]
         self._stats_max_age = stats_max_age
         self._stats_cache: list[StoreStats] | None = None
@@ -232,14 +277,28 @@ class ClusterRouter(FramedServer):
             return self._stats_cache
         responses = await asyncio.gather(
             *(
-                client.request(protocol.stats_request())
-                for client in self._clients
-            )
+                self._shard_request(shard, protocol.stats_request())
+                for shard in range(len(self._clients))
+            ),
+            return_exceptions=True,
         )
-        self._stats_cache = [
-            _stats_from_wire(response.get("engine", {}))
-            for response in responses
-        ]
+        snapshots: list[StoreStats] = []
+        for shard, response in enumerate(responses):
+            if isinstance(response, BaseException):
+                if not isinstance(response, ServerError):
+                    raise response
+                # A dead shard must not take stats (and with them every
+                # admission decision) down: fall back to its last known
+                # snapshot, or a neutral one before any poll succeeded.
+                if self._stats_cache is not None:
+                    snapshots.append(self._stats_cache[shard])
+                else:
+                    snapshots.append(_NEUTRAL_STATS)
+            else:
+                snapshots.append(
+                    _stats_from_wire(response.get("engine", {}))
+                )
+        self._stats_cache = snapshots
         self._stats_stamp = now
         return self._stats_cache
 
@@ -247,6 +306,58 @@ class ClusterRouter(FramedServer):
         """Advance the cluster's shared-budget maintenance, if wired."""
         if self._maintenance_fn is not None:
             await asyncio.to_thread(self._maintenance_fn)
+
+    # -- shard health -----------------------------------------------------
+
+    def shard_health(self) -> dict[str, str]:
+        """Per-shard breaker state (``closed``/``open``/``half_open``)."""
+        return {
+            str(shard): breaker.state
+            for shard, breaker in enumerate(self.breakers)
+        }
+
+    async def _shard_request(self, shard: int, message: dict) -> dict:
+        """One backend request, guarded and scored by the shard breaker.
+
+        Raises :class:`~repro.errors.ShardDownError` without touching
+        the network when the breaker is open. Transport-dead outcomes
+        (the shard client exhausted its retries against an unreachable
+        backend) count as breaker failures; an answering backend —
+        including one answering ``STALLED`` — counts as alive.
+        """
+        breaker = self.breakers[shard]
+        if not breaker.allow():
+            raise ShardDownError(
+                shard,
+                "circuit breaker open",
+                retry_after=breaker.retry_after() or 0.05,
+            )
+        try:
+            response = await self._clients[shard].request(message)
+        except RequestFailedError:
+            # The backend answered, just unhappily: it is alive.
+            breaker.record_success()
+            raise
+        except RetriesExhaustedError as error:
+            if isinstance(error.last_error, RequestFailedError):
+                # Every attempt got a STALLED response — slow, not dead.
+                breaker.record_success()
+                raise
+            breaker.record_failure()
+            raise ShardDownError(
+                shard,
+                f"unreachable: {error.last_error or error}",
+                retry_after=breaker.retry_after() or 0.05,
+            ) from error
+        except (ConnectionError, OSError, asyncio.TimeoutError) as error:
+            breaker.record_failure()
+            raise ShardDownError(
+                shard,
+                f"unreachable: {error}",
+                retry_after=breaker.retry_after() or 0.05,
+            ) from error
+        breaker.record_success()
+        return response
 
     # -- the admission + forwarding pipeline ------------------------------
 
@@ -282,6 +393,17 @@ class ClusterRouter(FramedServer):
             await asyncio.sleep(decision.delay_seconds)
         try:
             response = await forward()
+        except ShardDownError as error:
+            # Fail fast with an honest cooldown hint instead of hanging
+            # the write through N doomed transport retries.
+            self.metrics.shard_down_rejections += 1
+            for shard in nbytes_by_shard:
+                self.metrics.record_rejected(shard)
+            return protocol.error_response(
+                protocol.CODE_SHARD_DOWN,
+                str(error),
+                retry_after=error.retry_after,
+            )
         except RequestFailedError as error:
             for shard in nbytes_by_shard:
                 self.metrics.record_rejected(shard)
@@ -312,7 +434,7 @@ class ClusterRouter(FramedServer):
         shard = self._ring.shard_for(key)
 
         async def forward() -> dict:
-            return await self._clients[shard].request(message)
+            return await self._shard_request(shard, message)
 
         return await self._admitted_forward(
             {shard: len(key) + len(value)}, forward
@@ -323,7 +445,7 @@ class ClusterRouter(FramedServer):
         shard = self._ring.shard_for(key)
 
         async def forward() -> dict:
-            return await self._clients[shard].request(message)
+            return await self._shard_request(shard, message)
 
         return await self._admitted_forward({shard: len(key)}, forward)
 
@@ -339,10 +461,21 @@ class ClusterRouter(FramedServer):
             )
 
         async def forward() -> dict:
+            # A shard already cooling down fails the whole batch before
+            # any sub-batch is sent, so a breaker-open shard cannot
+            # cause avoidable partial application.
+            for shard in sorted(groups):
+                breaker = self.breakers[shard]
+                if breaker.state == OPEN:
+                    raise ShardDownError(
+                        shard,
+                        "circuit breaker open",
+                        retry_after=breaker.retry_after() or 0.05,
+                    )
             await asyncio.gather(
                 *(
-                    self._clients[shard].request(
-                        protocol.batch_request(groups[shard])
+                    self._shard_request(
+                        shard, protocol.batch_request(groups[shard])
                     )
                     for shard in sorted(groups)
                 )
@@ -355,21 +488,65 @@ class ClusterRouter(FramedServer):
         key = protocol.request_key(message)
         self.metrics.reads_total += 1
         try:
-            return await self._clients[self._ring.shard_for(key)].request(
-                message
+            return await self._shard_request(
+                self._ring.shard_for(key), message
+            )
+        except ShardDownError as error:
+            self.metrics.shard_down_rejections += 1
+            return protocol.error_response(
+                protocol.CODE_SHARD_DOWN,
+                str(error),
+                retry_after=error.retry_after,
             )
         except RequestFailedError as error:
             return protocol.error_response(
                 error.code, str(error), retry_after=error.retry_after
             )
+        except ServerError as error:
+            return protocol.error_response(
+                protocol.CODE_INTERNAL, f"shard read failed: {error}"
+            )
+
+    async def _scan_shard(
+        self,
+        shard: int,
+        lo: bytes | None,
+        hi: bytes | None,
+        limit: int | None,
+    ) -> list[tuple[bytes, bytes]]:
+        response = await self._shard_request(
+            shard, protocol.scan_request(lo, hi, limit)
+        )
+        return [
+            (protocol.b64decode(key), protocol.b64decode(value))
+            for key, value in response.get("items", [])
+        ]
 
     async def _op_scan(self, message: dict) -> dict:
         lo, hi, limit = protocol.scan_bounds(message)
         self.metrics.reads_total += 1
         self.metrics.scans_total += 1
-        per_shard = await asyncio.gather(
-            *(client.scan(lo, hi, limit) for client in self._clients)
+        results = await asyncio.gather(
+            *(
+                self._scan_shard(shard, lo, hi, limit)
+                for shard in range(len(self._clients))
+            ),
+            return_exceptions=True,
         )
+        per_shard: list[list[tuple[bytes, bytes]]] = []
+        missing: list[int] = []
+        for shard, result in enumerate(results):
+            if isinstance(result, BaseException):
+                if not isinstance(result, ServerError):
+                    raise result  # programming error, not a dead shard
+                missing.append(shard)
+            else:
+                per_shard.append(result)
+        if missing:
+            # Partial answer over the surviving shards, honestly
+            # labelled, instead of failing every range read because one
+            # hash slice is dark.
+            self.metrics.degraded_scans += 1
         items: list[tuple[bytes, bytes]] = []
         for item in heapq.merge(*per_shard, key=itemgetter(0)):
             items.append(item)
@@ -379,15 +556,22 @@ class ClusterRouter(FramedServer):
             items=[
                 [protocol.b64encode(key), protocol.b64encode(value)]
                 for key, value in items
-            ]
+            ],
+            degraded=bool(missing),
+            missing_shards=missing,
         )
 
     async def _op_stats(self, message: dict) -> dict:
         snapshots = await self._snapshots(force=True)
         cluster = aggregate_stats(snapshots)
+        router_view = self.metrics.snapshot()
+        router_view["shard_health"] = self.shard_health()
+        router_view["breaker_trips"] = sum(
+            breaker.trips for breaker in self.breakers
+        )
         return protocol.ok_response(
             cluster=cluster.snapshot(),
-            router=self.metrics.snapshot(),
+            router=router_view,
             admission_mode=self._admission.mode,
         )
 
@@ -416,6 +600,7 @@ class LocalCluster:
         port: int = 0,
         shard_client_options: dict | None = None,
         write_deadline: float = 10.0,
+        breaker_options: dict | None = None,
     ) -> None:
         self.store = ShardedStore(
             directory,
@@ -430,6 +615,7 @@ class LocalCluster:
         self._port = port
         self._shard_client_options = shard_client_options
         self._write_deadline = write_deadline
+        self._breaker_options = breaker_options
         self.backends: list[KVServer] = []
         self.router: ClusterRouter | None = None
 
@@ -454,6 +640,7 @@ class LocalCluster:
                 host=self._host,
                 port=self._port,
                 shard_client_options=self._shard_client_options,
+                breaker_options=self._breaker_options,
             )
             return await self.router.start()
         except BaseException:
@@ -473,6 +660,35 @@ class LocalCluster:
             await self.start()
         assert self.router is not None
         await self.router.serve_forever()
+
+    # -- chaos hooks ------------------------------------------------------
+
+    async def kill_shard(self, shard: int) -> None:
+        """Stop one shard's backend server (the engine stays intact).
+
+        Models a crashed/partitioned serving process: in-flight and
+        future connections to the shard fail at the transport level
+        until :meth:`restore_shard` rebinds the same address. Already-
+        acked data is safe — the engine underneath is untouched.
+        """
+        if not 0 <= shard < len(self.backends):
+            raise ConfigurationError(f"no such shard {shard}")
+        await self.backends[shard].aclose()
+
+    async def restore_shard(self, shard: int) -> None:
+        """Bring a killed shard's backend server back on its old port."""
+        if not 0 <= shard < len(self.backends):
+            raise ConfigurationError(f"no such shard {shard}")
+        old = self.backends[shard]
+        host, port = old.address
+        backend = KVServer(
+            self.store.engine(shard),
+            host=host,
+            port=port,
+            write_deadline=self._write_deadline,
+        )
+        await backend.start()
+        self.backends[shard] = backend
 
     async def aclose(self) -> None:
         """Tear the whole stack down: router, backends, engines."""

@@ -114,6 +114,7 @@ class MergeJob:
             expected_keys=sum(r.entry_count for r in readers),
             rate_limiter=rate_limiter,
             sync_policy=SyncPolicy(options.bytes_per_sync),
+            fault_plan=options.fault_plan,
         )
         self._output_path = output_path
         self._total_input = sum(r.data_bytes for r in readers)
@@ -284,6 +285,7 @@ class CompactionManager:
             expected_keys=entry_hint,
             rate_limiter=self._rate_limiter,
             sync_policy=SyncPolicy(self._options.bytes_per_sync),
+            fault_plan=self._options.fault_plan,
         )
         for key, value in items:
             writer.add(key, value)

@@ -87,12 +87,16 @@ class LSMStore:
         self._options = options or StoreOptions()
         self._directory = directory
         os.makedirs(directory, exist_ok=True)
-        self._manifest = Manifest(directory)
+        self._manifest = Manifest(
+            directory, fault_plan=self._options.fault_plan
+        )
         self._compaction = CompactionManager(
             directory, self._options, self._manifest
         )
         self._wal = WriteAheadLog(
-            os.path.join(directory, "wal.log"), sync=self._options.sync_writes
+            os.path.join(directory, "wal.log"),
+            sync=self._options.sync_writes,
+            fault_plan=self._options.fault_plan,
         )
         self._active = MemTable(seed=0)
         self._sealed: list[MemTable] = []
@@ -139,6 +143,34 @@ class LSMStore:
             self._compaction.close()
             self._wal.close()
             self._manifest.close()
+
+    def crash(self) -> None:
+        """Simulate power loss: release file handles, persist *nothing*.
+
+        Unlike :meth:`close`, no memtable is flushed, the WAL is not
+        truncated, and the manifest is not compacted — the directory is
+        left exactly as the last completed I/O left it, which is the
+        state a real crash would recover from. Used by the
+        fault-injection harness (:mod:`repro.faults.crashsim`); the
+        store is unusable afterwards.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._work_available.notify_all()
+        if self._background is not None:
+            self._background.join(timeout=30.0)
+        with self._lock:
+            for release in (
+                self._compaction.close,
+                self._wal.close,
+                self._manifest.close,
+            ):
+                try:
+                    release()
+                except Exception:  # noqa: BLE001 — dying anyway
+                    pass
 
     def _check_open(self) -> None:
         if self._closed:

@@ -15,6 +15,7 @@ import os
 from dataclasses import dataclass
 
 from ..errors import CorruptionError
+from .wal import fsync_dir, fsync_file
 
 
 @dataclass(frozen=True)
@@ -30,19 +31,33 @@ class RunRecord:
 class Manifest:
     """Versioned, crash-safe component bookkeeping."""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, fault_plan=None) -> None:
         self._directory = directory
         self._path = os.path.join(directory, "MANIFEST")
+        self._fault_plan = fault_plan
         self._runs: dict[int, RunRecord] = {}
         self._next_run_id = 1
         self._next_sequence = 1
         self._file = None
-        if os.path.exists(self._path):
+        existed = os.path.exists(self._path)
+        if existed:
             self._recover()
-        self._file = open(self._path, "a", encoding="utf-8")
+        self._file = self._wrap(open(self._path, "a", encoding="utf-8"))
+        if not existed:
+            fsync_dir(directory)
+
+    def _wrap(self, file):
+        if self._fault_plan is None:
+            return file
+        return self._fault_plan.wrap(file, "manifest")
 
     def _recover(self) -> None:
-        with open(self._path, "r", encoding="utf-8") as manifest:
+        # errors="replace": bit-rotted bytes decode to U+FFFD instead of
+        # aborting recovery; the mangled line then fails JSON parsing
+        # below and takes the torn-tail exit.
+        with open(
+            self._path, "r", encoding="utf-8", errors="replace"
+        ) as manifest:
             for line_no, line in enumerate(manifest, start=1):
                 line = line.strip()
                 if not line:
@@ -86,8 +101,7 @@ class Manifest:
 
     def _append(self, edit: dict) -> None:
         self._file.write(json.dumps(edit, sort_keys=True) + "\n")
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        fsync_file(self._file)
 
     # -- public API ----------------------------------------------------
 
@@ -182,7 +196,8 @@ class Manifest:
             os.fsync(fresh.fileno())
         self._file.close()
         os.replace(fresh_path, self._path)
-        self._file = open(self._path, "a", encoding="utf-8")
+        fsync_dir(self._directory)
+        self._file = self._wrap(open(self._path, "a", encoding="utf-8"))
 
     def close(self) -> None:
         """Close the manifest file."""

@@ -68,6 +68,11 @@ class StoreOptions:
         inline inside ``put`` (deterministic, the default for tests).
     sync_writes:
         fsync the WAL on every commit batch (durability over speed).
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` (duck-typed on a
+        ``wrap(file, site)`` method) injected into the WAL, manifest,
+        and SSTable writers for deterministic crash/corruption testing.
+        None (the default) adds no overhead to the I/O path.
     """
 
     memtable_bytes: int = 4 * 2**20
@@ -87,8 +92,15 @@ class StoreOptions:
     stall_mode: str = "block"
     background_maintenance: bool = False
     sync_writes: bool = False
+    fault_plan: object | None = None
 
     def __post_init__(self) -> None:
+        if self.fault_plan is not None and not callable(
+            getattr(self.fault_plan, "wrap", None)
+        ):
+            raise ConfigurationError(
+                "fault_plan must expose a wrap(file, site) method"
+            )
         if self.memtable_bytes < 4096:
             raise ConfigurationError("memtable budget is implausibly small")
         if self.num_memtables < 1:

@@ -34,6 +34,7 @@ from ..errors import ConfigurationError, CorruptionError
 from .bloom import BloomFilter
 from .options import TOMBSTONE
 from .ratelimiter import RateLimiter, SyncPolicy
+from .wal import fsync_file
 
 _LEN = struct.Struct("<I")
 _INDEX_ENTRY = struct.Struct("<QI")
@@ -80,12 +81,15 @@ class SSTableWriter:
         expected_keys: int = 0,
         rate_limiter: RateLimiter | None = None,
         sync_policy: SyncPolicy | None = None,
+        fault_plan=None,
     ) -> None:
         if block_bytes < 128:
             raise ConfigurationError("block size too small")
         self._path = path
         self._block_bytes = block_bytes
         self._file = open(path, "wb")
+        if fault_plan is not None:
+            self._file = fault_plan.wrap(self._file, "sstable")
         self._rate = rate_limiter or RateLimiter(0)
         self._sync = sync_policy or SyncPolicy(0)
         self._bloom = BloomFilter(max(expected_keys, 1024), bloom_bits_per_key)
@@ -105,8 +109,7 @@ class SSTableWriter:
         self._file.write(payload)
         self._offset += len(payload)
         if self._sync.note_write(len(payload)):
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            fsync_file(self._file)
 
     def _flush_block(self) -> None:
         if not self._block:
@@ -186,8 +189,7 @@ class SSTableWriter:
                 _MAGIC,
             )
         )
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        fsync_file(self._file)
         self._file.close()
         return RunStats(
             path=self._path,

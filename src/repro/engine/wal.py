@@ -24,14 +24,60 @@ _OP_PUT = 1
 _OP_DELETE = 2
 
 
+def fsync_file(file) -> None:
+    """Flush and fsync ``file``, honouring fault-injection wrappers.
+
+    A :class:`~repro.faults.FaultyFile` exposes its own ``fsync`` so the
+    fault plan can observe (and fail) the sync; plain files fall back to
+    ``os.fsync`` on the descriptor.
+    """
+    sync = getattr(file, "fsync", None)
+    if callable(sync):
+        sync()
+        return
+    file.flush()
+    os.fsync(file.fileno())
+
+
+def fsync_dir(directory: str) -> None:
+    """fsync a directory so file creations/renames inside it are durable.
+
+    POSIX only makes a new directory entry durable once the *directory*
+    is synced; without this, a freshly created (or truncated-and-
+    recreated) WAL can vanish wholesale on power loss. Platforms that
+    cannot open directories simply skip the sync.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class WriteAheadLog:
     """Append-only redo log of commit batches."""
 
-    def __init__(self, path: str, sync: bool = False) -> None:
+    def __init__(
+        self, path: str, sync: bool = False, fault_plan=None
+    ) -> None:
         self._path = path
         self._sync = sync
-        self._file = open(path, "ab")
+        self._fault_plan = fault_plan
+        existed = os.path.exists(path)
+        self._file = self._wrap(open(path, "ab"))
         self._bytes = os.path.getsize(path)
+        if not existed:
+            fsync_dir(os.path.dirname(path))
+
+    def _wrap(self, file):
+        if self._fault_plan is None:
+            return file
+        return self._fault_plan.wrap(file, "wal")
 
     @property
     def path(self) -> str:
@@ -59,7 +105,7 @@ class WriteAheadLog:
         self._file.write(frame + payload)
         self._file.flush()
         if self._sync:
-            os.fsync(self._file.fileno())
+            fsync_file(self._file)
         self._bytes += len(frame) + len(payload)
 
     def truncate(self) -> None:
@@ -67,8 +113,9 @@ class WriteAheadLog:
         self._file.close()
         self._file = open(self._path, "wb")
         self._file.close()
-        self._file = open(self._path, "ab")
+        self._file = self._wrap(open(self._path, "ab"))
         self._bytes = 0
+        fsync_dir(os.path.dirname(self._path))
 
     def close(self) -> None:
         """Close the log file."""

@@ -50,6 +50,17 @@ class ClosedError(StorageError):
     """An operation was attempted on a closed datastore or iterator."""
 
 
+class FaultInjectedError(StorageError):
+    """A deterministic fault-injection rule fired (``repro.faults``).
+
+    Raised by :class:`~repro.faults.FaultyFile` at the injected I/O
+    site. To the engine this looks like a real device failure: the
+    operation in flight must be treated as unacknowledged, and the
+    on-disk state at that instant is exactly the crash image the
+    crash-recovery harness recovers from.
+    """
+
+
 class ServerError(ReproError):
     """Base class for failures in the network layer (``repro.server``)."""
 
@@ -72,5 +83,33 @@ class RequestFailedError(ServerError):
         self.retry_after = retry_after
 
 
+class ShardDownError(ServerError):
+    """A cluster shard is unavailable and its circuit breaker is open.
+
+    Raised inside the router when a request targets a shard whose
+    breaker refuses traffic; surfaced on the wire as a ``SHARD_DOWN``
+    error response. ``retry_after`` is the breaker's remaining cooldown.
+    """
+
+    def __init__(
+        self, shard: int, message: str, retry_after: float = 0.0
+    ) -> None:
+        super().__init__(f"shard {shard}: {message}")
+        self.shard = shard
+        self.retry_after = retry_after
+
+
 class RetriesExhaustedError(ServerError):
-    """A client request failed every attempt in its retry budget."""
+    """A client request failed every attempt in its retry budget.
+
+    ``last_error`` preserves the final attempt's failure so callers can
+    distinguish a transport-dead backend (connection refused, timeout)
+    from a live-but-stalled one (a ``STALLED`` error response) — the
+    cluster router's circuit breakers key off exactly that distinction.
+    """
+
+    def __init__(
+        self, message: str, last_error: Exception | None = None
+    ) -> None:
+        super().__init__(message)
+        self.last_error = last_error

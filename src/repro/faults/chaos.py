@@ -1,0 +1,271 @@
+"""Cluster chaos runner: kill a shard mid-load, measure the blast radius.
+
+:func:`run_chaos` boots a :class:`~repro.cluster.LocalCluster`, drives a
+seeded write stream through the router, and at scheduled points kills
+and restores one shard's backend server. Throughout, it keeps score:
+
+* **error budget** — every op is classified as acked, failed fast with
+  ``SHARD_DOWN``, or failed otherwise; fail-fast latency on the dead
+  range and P99 latency on surviving ranges are tracked separately
+  (the survivors are supposed not to notice).
+* **degradation honesty** — a mid-outage scatter scan must come back
+  ``degraded`` naming exactly the killed shard.
+* **recovery** — after restore, the run measures the time until a write
+  to the killed range succeeds again, and records the shard breaker's
+  closed→open→half-open→closed transition trail.
+* **zero lost acked writes** — after the dust settles, every acked
+  key is read back and compared against the model.
+
+The run is seeded and scheduled by op index, so two runs with the same
+arguments kill the same shard at the same point in the same stream;
+wall-clock enters only through the breaker cooldown and pacing sleeps.
+``python -m repro chaos`` prints the report and exits non-zero unless
+:attr:`ChaosReport.ok`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..cluster.breaker import CLOSED
+from ..cluster.router import LocalCluster
+from ..engine.options import StoreOptions
+from ..errors import (
+    ConfigurationError,
+    RequestFailedError,
+    RetriesExhaustedError,
+    ServerError,
+)
+from ..server import protocol
+from ..server.client import KVClient
+
+
+@dataclass
+class ChaosReport:
+    """Scorecard of one chaos run."""
+
+    ops_total: int = 0
+    acked: int = 0
+    shard_down_fast_fails: int = 0
+    other_errors: int = 0
+    degraded_scan_seen: bool = False
+    degraded_scan_correct: bool = False
+    surviving_p99: float = 0.0
+    fail_fast_max: float = 0.0
+    recovery_seconds: float = -1.0
+    breaker_transitions: list[tuple[str, str]] = field(
+        default_factory=list
+    )
+    lost_acked: int = 0
+    final_health: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def recovered(self) -> bool:
+        """Did writes to the killed range succeed again post-restore?"""
+        return self.recovery_seconds >= 0.0
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance bar: degrade honestly, recover fully."""
+        return (
+            self.lost_acked == 0
+            and self.recovered
+            and self.degraded_scan_seen
+            and self.degraded_scan_correct
+            and self.other_errors == 0
+        )
+
+    def summary(self) -> str:
+        """Multi-line human summary for the CLI."""
+        lines = [
+            f"ops: {self.ops_total} total, {self.acked} acked, "
+            f"{self.shard_down_fast_fails} SHARD_DOWN fail-fasts, "
+            f"{self.other_errors} other errors",
+            f"surviving-range P99: {self.surviving_p99 * 1000:.2f} ms; "
+            f"slowest fail-fast: {self.fail_fast_max * 1000:.2f} ms",
+            "degraded scan: "
+            + (
+                "reported with correct missing shard"
+                if self.degraded_scan_seen and self.degraded_scan_correct
+                else (
+                    "reported with WRONG missing shards"
+                    if self.degraded_scan_seen
+                    else "NEVER REPORTED"
+                )
+            ),
+            "recovery after restore: "
+            + (
+                f"{self.recovery_seconds * 1000:.0f} ms"
+                if self.recovered
+                else "NOT RECOVERED"
+            ),
+            f"breaker transitions: {self.breaker_transitions}",
+            f"lost acked writes: {self.lost_acked}",
+            f"final shard health: {self.final_health}",
+            f"verdict: {'OK' if self.ok else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+
+def _percentile(samples: list[float], pct: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(
+        len(ordered) - 1, max(0, round(pct / 100 * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+async def run_chaos(
+    directory: str,
+    num_shards: int = 3,
+    ops: int = 300,
+    kill_shard: int = 0,
+    kill_at: float = 0.25,
+    restore_at: float = 0.6,
+    seed: int = 0,
+    keyspace: int = 256,
+    value_bytes: int = 32,
+    cooldown: float = 0.25,
+    op_interval: float = 0.002,
+    recovery_deadline: float = 10.0,
+) -> ChaosReport:
+    """Run the kill/restore schedule against a fresh LocalCluster."""
+    if not 0.0 < kill_at < restore_at < 1.0:
+        raise ConfigurationError("need 0 < kill_at < restore_at < 1")
+    report = ChaosReport()
+    rng = random.Random(seed)
+    kill_index = int(ops * kill_at)
+    restore_index = max(kill_index + 1, int(ops * restore_at))
+    scan_index = (kill_index + restore_index) // 2
+    model: dict[bytes, bytes] = {}
+    survivors: list[float] = []
+    restored_at = 0.0
+
+    cluster = LocalCluster(
+        directory,
+        num_shards=num_shards,
+        options=StoreOptions(block_cache_bytes=0),
+        # Fast transport failure detection: one retry, tight timeouts.
+        shard_client_options=dict(
+            max_retries=1,
+            timeout=1.0,
+            backoff_base=0.01,
+            backoff_max=0.05,
+        ),
+        breaker_options=dict(
+            failure_threshold=0.5,
+            window=8,
+            min_samples=2,
+            cooldown=cooldown,
+        ),
+    )
+    async with cluster:
+        host, port = cluster.address
+        assert cluster.router is not None
+        breaker = cluster.router.breakers[kill_shard]
+        # The driver surfaces every error instead of retrying through
+        # the outage: the error budget is the measurement.
+        client = KVClient(host, port, max_retries=0, timeout=5.0)
+        down = False
+        try:
+            for index in range(ops):
+                if index == kill_index:
+                    await cluster.kill_shard(kill_shard)
+                    down = True
+                if index == restore_index:
+                    await cluster.restore_shard(kill_shard)
+                    restored_at = time.monotonic()
+                    down = False
+                if index == scan_index and down:
+                    scan = await client.scan_detailed(limit=50)
+                    report.degraded_scan_seen = scan["degraded"]
+                    report.degraded_scan_correct = scan[
+                        "missing_shards"
+                    ] == [kill_shard]
+                key = f"key-{rng.randrange(keyspace):06d}".encode()
+                value = f"{index:08d}".encode() + bytes(
+                    rng.randrange(256)
+                    for _ in range(max(0, value_bytes - 8))
+                )
+                target = cluster.store.ring.shard_for(key)
+                report.ops_total += 1
+                started = time.monotonic()
+                try:
+                    await client.put(key, value)
+                except RetriesExhaustedError as error:
+                    elapsed = time.monotonic() - started
+                    cause = error.last_error
+                    if (
+                        isinstance(cause, RequestFailedError)
+                        and cause.code == protocol.CODE_SHARD_DOWN
+                    ):
+                        report.shard_down_fast_fails += 1
+                        report.fail_fast_max = max(
+                            report.fail_fast_max, elapsed
+                        )
+                    else:
+                        report.other_errors += 1
+                except ServerError:
+                    report.other_errors += 1
+                else:
+                    elapsed = time.monotonic() - started
+                    report.acked += 1
+                    model[key] = value
+                    if target != kill_shard:
+                        survivors.append(elapsed)
+                await asyncio.sleep(op_interval)
+
+            # Post-load: drive probe writes at the killed range until
+            # its breaker closes again (cooldown is wall-clock).
+            deadline = time.monotonic() + recovery_deadline
+            probe_keys = [
+                f"key-{candidate:06d}".encode()
+                for candidate in range(keyspace)
+                if cluster.store.ring.shard_for(
+                    f"key-{candidate:06d}".encode()
+                )
+                == kill_shard
+            ]
+            probe_turn = 0
+            while time.monotonic() < deadline:
+                key = probe_keys[probe_turn % len(probe_keys)]
+                probe_turn += 1
+                value = f"probe-{probe_turn:04d}".encode()
+                try:
+                    await client.put(key, value)
+                except ServerError:
+                    await asyncio.sleep(cooldown / 4)
+                    continue
+                model[key] = value
+                report.acked += 1
+                report.ops_total += 1
+                if report.recovery_seconds < 0.0:
+                    report.recovery_seconds = (
+                        time.monotonic() - restored_at
+                    )
+                if breaker.state == CLOSED:
+                    break
+
+            # The final audit: every acked write must read back.
+            verifier = KVClient(host, port, max_retries=6, timeout=5.0)
+            try:
+                for key, value in model.items():
+                    try:
+                        stored = await verifier.get(key)
+                    except ServerError:
+                        stored = None
+                    if stored != value:
+                        report.lost_acked += 1
+            finally:
+                await verifier.aclose()
+            report.breaker_transitions = list(breaker.transitions)
+            report.final_health = cluster.router.shard_health()
+        finally:
+            await client.aclose()
+    report.surviving_p99 = _percentile(survivors, 99.0)
+    return report

@@ -2,11 +2,16 @@
 
 :class:`KVClient` keeps a small pool of TCP connections, applies a
 per-request timeout, and retries transient failures — connection drops,
-timeouts, and ``STALLED`` rejections — with exponential backoff. When
-the server supplies a ``retry_after`` hint (the stop admission mode's
-RETRY_AFTER), the client honours whichever is longer: the hint or its
-own backoff schedule. The sleep function is injectable so tests can
-verify the backoff schedule without wall-clock waits.
+timeouts, and ``STALLED`` / ``SHARD_DOWN`` rejections — with *full
+jitter* exponential backoff: each pause is drawn uniformly from
+``[0, backoff_delay(attempt)]``, which de-synchronizes retry storms when
+many clients (for example the cluster router's per-shard pools) bounce
+off the same stalled backend together. When the server supplies a
+``retry_after`` hint (the stop admission mode's RETRY_AFTER, or a
+circuit breaker's cooldown), the hint is a floor under the jittered
+pause. The sleep function and the jitter RNG seed are injectable, and
+``jitter=False`` restores the deterministic schedule, so tests can
+verify backoff without wall-clock waits.
 
 Because the store is a last-writer-wins KV map, every verb here is
 idempotent and therefore safe to retry blindly.
@@ -15,6 +20,7 @@ idempotent and therefore safe to retry blindly.
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass
 
 from ..errors import (
@@ -25,6 +31,12 @@ from ..errors import (
 )
 from . import protocol
 
+#: Error codes worth retrying: both mean "try again shortly" — the
+#: backend is stalled, or its shard's circuit breaker is cooling down.
+_RETRYABLE_CODES = frozenset(
+    {protocol.CODE_STALLED, protocol.CODE_SHARD_DOWN}
+)
+
 
 @dataclass
 class ClientMetrics:
@@ -33,6 +45,7 @@ class ClientMetrics:
     requests_total: int = 0
     retries_total: int = 0
     stalled_responses: int = 0
+    shard_down_responses: int = 0
     timeouts: int = 0
     reconnects: int = 0
     backoff_seconds_total: float = 0.0
@@ -70,6 +83,8 @@ class KVClient:
         backoff_multiplier: float = 2.0,
         backoff_max: float = 1.0,
         sleep=None,
+        jitter: bool = True,
+        jitter_seed: int | None = None,
     ) -> None:
         if pool_size < 1:
             raise ConfigurationError("pool needs at least one connection")
@@ -88,6 +103,8 @@ class KVClient:
         self._backoff_multiplier = backoff_multiplier
         self._backoff_max = backoff_max
         self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._jitter = jitter
+        self._jitter_rng = random.Random(jitter_seed)
         self._idle: asyncio.Queue[_Connection] = asyncio.Queue()
         self._open_count = 0
         self._closed = False
@@ -139,11 +156,25 @@ class KVClient:
     # -- request machinery -----------------------------------------------
 
     def backoff_delay(self, attempt: int) -> float:
-        """The backoff pause before retry number ``attempt`` (1-based)."""
+        """Backoff *cap* before retry number ``attempt`` (1-based).
+
+        With jitter enabled the actual pause is drawn uniformly from
+        ``[0, backoff_delay(attempt)]`` (AWS-style full jitter); with
+        ``jitter=False`` the cap is the pause.
+        """
         delay = self._backoff_base * (
             self._backoff_multiplier ** (attempt - 1)
         )
         return min(delay, self._backoff_max)
+
+    def _pause_before(self, attempt: int, last_error) -> float:
+        pause = self.backoff_delay(attempt)
+        if self._jitter:
+            pause = self._jitter_rng.uniform(0.0, pause)
+        if isinstance(last_error, RequestFailedError):
+            # A server hint is a floor, never shortened by jitter.
+            pause = max(pause, last_error.retry_after)
+        return pause
 
     async def _round_trip(self, message: dict) -> dict:
         connection = await self._acquire()
@@ -172,9 +203,7 @@ class KVClient:
         for attempt in range(self._max_retries + 1):
             if attempt > 0:
                 self.metrics.retries_total += 1
-                pause = self.backoff_delay(attempt)
-                if isinstance(last_error, RequestFailedError):
-                    pause = max(pause, last_error.retry_after)
+                pause = self._pause_before(attempt, last_error)
                 self.metrics.backoff_seconds_total += pause
                 await self._sleep(pause)
             try:
@@ -195,13 +224,17 @@ class KVClient:
                 response.get("error", "request failed"),
                 retry_after=float(response.get("retry_after", 0.0)),
             )
-            if code != protocol.CODE_STALLED:
+            if code not in _RETRYABLE_CODES:
                 raise failure  # non-transient: surface immediately
-            self.metrics.stalled_responses += 1
+            if code == protocol.CODE_STALLED:
+                self.metrics.stalled_responses += 1
+            else:
+                self.metrics.shard_down_responses += 1
             last_error = failure
         raise RetriesExhaustedError(
             f"request failed after {self._max_retries + 1} attempts: "
-            f"{last_error}"
+            f"{last_error}",
+            last_error=last_error,
         )
 
     # -- verbs -----------------------------------------------------------
@@ -237,6 +270,32 @@ class KVClient:
             (protocol.b64decode(key), protocol.b64decode(value))
             for key, value in response.get("items", [])
         ]
+
+    async def scan_detailed(
+        self,
+        lo: bytes | None = None,
+        hi: bytes | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        """Range scan keeping the response metadata.
+
+        Returns ``{"items": [(key, value), ...], "degraded": bool,
+        "missing_shards": [int, ...]}``. Against a single server the
+        scan is never degraded; against a cluster router a dead shard
+        yields a partial result with ``degraded=True`` and the shard(s)
+        that did not answer.
+        """
+        response = await self.request(protocol.scan_request(lo, hi, limit))
+        return {
+            "items": [
+                (protocol.b64decode(key), protocol.b64decode(value))
+                for key, value in response.get("items", [])
+            ],
+            "degraded": bool(response.get("degraded", False)),
+            "missing_shards": [
+                int(shard) for shard in response.get("missing_shards", [])
+            ],
+        }
 
     async def stats(self) -> dict:
         """Counters as the STATS verb returns them.

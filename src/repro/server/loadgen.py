@@ -155,6 +155,7 @@ async def closed_loop(
         raise ConfigurationError("need at least one client and one op")
     options = dict(client_options or {})
     options.setdefault("pool_size", clients)
+    options.setdefault("jitter_seed", seed)
     latencies: list[float] = []
     errors = 0
 
@@ -218,6 +219,7 @@ async def open_loop(
         raise ConfigurationError("need a positive rate and op count")
     options = dict(client_options or {})
     options.setdefault("pool_size", 8)
+    options.setdefault("jitter_seed", seed)
     latencies: list[float] = []
     errors = 0
 

@@ -44,6 +44,9 @@ CODE_STALLED = "STALLED"
 CODE_BAD_REQUEST = "BAD_REQUEST"
 CODE_CLOSED = "CLOSED"
 CODE_INTERNAL = "INTERNAL"
+#: A cluster shard is unavailable (its circuit breaker is open); the
+#: ``retry_after`` hint carries the breaker's remaining cooldown.
+CODE_SHARD_DOWN = "SHARD_DOWN"
 
 
 def b64encode(raw: bytes) -> str:

@@ -1,0 +1,118 @@
+"""Crash-recovery acceptance tests (the robustness tentpole's bar).
+
+The headline test runs the full 500-operation harness — byte-granular
+WAL truncation sweep plus every injected-fault scenario — and demands
+zero failures. The smaller tests pin individual adversaries so a
+regression names the broken layer instead of just "the harness failed".
+"""
+
+import os
+
+import pytest
+
+from repro.engine import LSMStore, StoreOptions, verify_store
+from repro.faults import (
+    apply_ops,
+    build_workload,
+    fault_scenarios,
+    run_crash_harness,
+    wal_prefix_sweep,
+)
+
+SEED = 2024
+
+
+class TestWorkloadModel:
+    def test_workload_is_seeded(self):
+        assert build_workload(50, seed=3) == build_workload(50, seed=3)
+        assert build_workload(50, seed=3) != build_workload(50, seed=4)
+
+    def test_workload_mixes_deletes(self):
+        ops = build_workload(400, seed=1)
+        deletes = sum(1 for _, value in ops if value is None)
+        assert 0 < deletes < 400
+
+    def test_apply_ops_is_last_writer_wins(self):
+        state = apply_ops(
+            [(b"k", b"old"), (b"k", b"new"), (b"g", b"x"), (b"g", None)]
+        )
+        assert state == {b"k": b"new"}
+
+
+class TestWalPrefixSweep:
+    def test_byte_granular_tail_sweep_recovers_every_cut(self, tmp_path):
+        """Every torn-tail byte count must recover to a clean prefix."""
+        report = wal_prefix_sweep(str(tmp_path), num_ops=40, seed=SEED)
+        assert report.failures == []
+        # 41 boundaries plus one crash point per byte of the last frame
+        # (an 8-byte header + key + value makes that > 20).
+        assert report.crash_points > 60
+
+    def test_boundary_stride_subsamples(self, tmp_path):
+        full = wal_prefix_sweep(
+            str(tmp_path / "full"), num_ops=24, seed=SEED
+        )
+        strided = wal_prefix_sweep(
+            str(tmp_path / "strided"),
+            num_ops=24,
+            seed=SEED,
+            boundary_stride=8,
+        )
+        assert strided.failures == []
+        assert strided.crash_points < full.crash_points
+
+
+class TestFaultScenarios:
+    def test_every_scenario_fires_and_recovers(self, tmp_path):
+        report = fault_scenarios(str(tmp_path), seed=SEED)
+        assert report.failures == []
+        fired_names = {entry.split(":")[0] for entry in report.fired}
+        assert fired_names == {
+            "wal-write-fail",
+            "wal-torn-append",
+            "wal-fsync-fail",
+            "sstable-mid-flush",
+            "manifest-torn-add",
+        }
+
+
+class TestManifestCorruption:
+    """Recovery must shrug off garbage appended to the manifest log."""
+
+    def seeded_store(self, path):
+        ops = build_workload(80, seed=SEED, keyspace=4096, value_bytes=64)
+        options = StoreOptions(
+            memtable_bytes=4096, block_cache_bytes=0, sync_writes=True
+        )
+        with LSMStore.open(path, options) as store:
+            for key, value in ops:
+                if value is None:
+                    store.delete(key)
+                else:
+                    store.put(key, value)
+        return apply_ops(ops)
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"\x00\xff\x17 not json\n", b'{"type": "add-run", "id":'],
+        ids=["binary-noise", "torn-record"],
+    )
+    def test_garbage_manifest_tail_is_ignored(self, tmp_path, garbage):
+        expected = self.seeded_store(str(tmp_path))
+        manifest = os.path.join(str(tmp_path), "MANIFEST")
+        before = os.path.getsize(manifest)
+        assert before > 0
+        with open(manifest, "ab") as handle:
+            handle.write(garbage)
+        with LSMStore.open(str(tmp_path)) as store:
+            assert dict(store.scan()) == expected
+        assert verify_store(str(tmp_path)).clean
+
+
+class TestFullHarness:
+    def test_500_op_seeded_harness_passes(self, tmp_path):
+        """The acceptance bar: 500 ops, every crash point, no failures."""
+        report = run_crash_harness(str(tmp_path), num_ops=500, seed=7)
+        assert report.ok, report.summary()
+        assert report.crash_points >= 500
+        assert len(report.fired) >= 5

@@ -1,0 +1,155 @@
+"""Unit tests for the fault-injection plumbing itself.
+
+The crash-recovery and chaos suites only mean something if the plan
+layer is trustworthy: rules must fire at exactly the occurrence they
+name, torn writes must persist exactly ``keep_bytes``, corruption must
+be seeded, and a store handed a plan must actually route its durable
+I/O through it.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.engine import LSMStore, StoreOptions
+from repro.errors import ConfigurationError, FaultInjectedError
+from repro.faults import FaultPlan, FaultRule
+
+
+class RecordingFile(io.BytesIO):
+    """A BytesIO that pretends to have a real file descriptor."""
+
+    def fileno(self):  # os.fsync would reject a BytesIO
+        raise io.UnsupportedOperation("fileno")
+
+
+class TestFaultRuleValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="event"):
+            FaultRule("disk.write", 0)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError, match="event"):
+            FaultRule("wal.read", 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            FaultRule("wal.write", 0, "explode")
+
+    def test_fsync_only_supports_fail(self):
+        with pytest.raises(ConfigurationError, match="fsync"):
+            FaultRule("wal.fsync", 0, "torn")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError, match="index"):
+            FaultRule("wal.write", -1)
+
+    def test_duplicate_rules_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            FaultPlan(
+                [FaultRule("wal.write", 3), FaultRule("wal.write", 3, "torn")]
+            )
+
+
+class TestFaultyFileWrites:
+    def test_rule_fires_at_exact_occurrence_only(self):
+        plan = FaultPlan([FaultRule("wal.write", 2, "fail")])
+        file = plan.wrap(io.BytesIO(), "wal")
+        file.write(b"zero")
+        file.write(b"one")
+        with pytest.raises(FaultInjectedError):
+            file.write(b"two")
+        file.write(b"three")  # counting continues past the fault
+        assert plan.fired == ["wal.write[2]:fail"]
+        assert plan.occurrences("wal.write") == 4
+
+    def test_fail_leaves_no_bytes_behind(self):
+        plan = FaultPlan([FaultRule("wal.write", 0, "fail")])
+        raw = io.BytesIO()
+        with pytest.raises(FaultInjectedError):
+            plan.wrap(raw, "wal").write(b"payload")
+        assert raw.getvalue() == b""
+
+    def test_torn_write_persists_exactly_keep_bytes(self):
+        plan = FaultPlan([FaultRule("wal.write", 0, "torn", keep_bytes=5)])
+        raw = io.BytesIO()
+        with pytest.raises(FaultInjectedError):
+            plan.wrap(raw, "wal").write(b"0123456789")
+        assert raw.getvalue() == b"01234"
+
+    def test_corrupt_write_succeeds_but_mutates_payload(self):
+        plan = FaultPlan([FaultRule("wal.write", 0, "corrupt")], seed=11)
+        raw = io.BytesIO()
+        plan.wrap(raw, "wal").write(b"0123456789")
+        persisted = raw.getvalue()
+        assert len(persisted) == 10
+        assert persisted != b"0123456789"
+
+    def test_corruption_is_seeded(self):
+        def corrupt_with(seed):
+            plan = FaultPlan([FaultRule("wal.write", 0, "corrupt")], seed=seed)
+            raw = io.BytesIO()
+            plan.wrap(raw, "wal").write(bytes(range(64)))
+            return raw.getvalue()
+
+        assert corrupt_with(7) == corrupt_with(7)
+        assert corrupt_with(7) != corrupt_with(8)
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan([FaultRule("manifest.write", 0, "fail")])
+        wal = plan.wrap(io.BytesIO(), "wal")
+        wal.write(b"safe")  # wal.write[0] is not manifest.write[0]
+        with pytest.raises(FaultInjectedError):
+            plan.wrap(io.BytesIO(), "manifest").write(b"doomed")
+
+    def test_unknown_wrap_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="site"):
+            FaultPlan().wrap(io.BytesIO(), "disk")
+
+    def test_passthrough_attributes_reach_wrapped_file(self):
+        raw = io.BytesIO()
+        wrapped = FaultPlan().wrap(raw, "wal")
+        wrapped.write(b"data")
+        wrapped.seek(0)
+        assert wrapped.read() == b"data"
+        assert wrapped.closed is False
+
+
+class TestFsyncFaults:
+    def test_fsync_rule_raises(self):
+        plan = FaultPlan([FaultRule("wal.fsync", 1, "fail")])
+        file = plan.wrap(RecordingFile(), "wal")
+        with pytest.raises(io.UnsupportedOperation):
+            file.fsync()  # occurrence 0: passes through to os.fsync
+        with pytest.raises(FaultInjectedError):
+            file.fsync()  # occurrence 1: the injected failure
+
+
+class TestStoreIntegration:
+    def test_options_reject_plan_without_wrap(self):
+        with pytest.raises(ConfigurationError, match="wrap"):
+            StoreOptions(fault_plan=object())
+
+    def test_store_routes_wal_appends_through_the_plan(self, tmp_path):
+        plan = FaultPlan([FaultRule("wal.write", 2, "fail")])
+        options = StoreOptions(
+            fault_plan=plan, memtable_bytes=1 << 20, block_cache_bytes=0
+        )
+        with LSMStore.open(str(tmp_path), options) as store:
+            store.put(b"a", b"1")
+            store.put(b"b", b"2")
+            with pytest.raises(FaultInjectedError):
+                store.put(b"c", b"3")
+            # The failed append must not leave a phantom value.
+            assert store.get(b"c") is None
+
+    def test_crash_skips_orderly_shutdown(self, tmp_path):
+        options = StoreOptions(memtable_bytes=1 << 20, block_cache_bytes=0)
+        store = LSMStore.open(str(tmp_path), options)
+        store.put(b"k", b"v")
+        store.crash()
+        # No checkpoint happened: the WAL still holds the record.
+        assert os.path.getsize(tmp_path / "wal.log") > 0
+        with LSMStore.open(str(tmp_path)) as reopened:
+            assert reopened.get(b"k") == b"v"

@@ -1,0 +1,100 @@
+"""Chaos-runner acceptance: kill a shard mid-load, come back whole.
+
+This is the one suite that intentionally uses real wall-clock time (the
+breaker cooldown and recovery probing), kept short: a few hundred
+operations with millisecond pacing. The assertions are the robustness
+acceptance bar — survivors keep a bounded P99, the degraded scan names
+the killed shard, the breaker walks closed→open→half-open→closed, and
+not one acked write is lost.
+"""
+
+import asyncio
+
+from repro.errors import ConfigurationError
+from repro.faults import run_chaos
+from repro.faults.chaos import ChaosReport, _percentile
+
+import pytest
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 99.0) == 0.0
+
+    def test_picks_the_right_rank(self):
+        samples = [float(value) for value in range(1, 101)]
+        assert _percentile(samples, 50.0) == pytest.approx(50.0, abs=1)
+        assert _percentile(samples, 99.0) == pytest.approx(99.0, abs=1)
+
+
+class TestReportVerdict:
+    def base(self):
+        return dict(
+            ops_total=10,
+            acked=8,
+            degraded_scan_seen=True,
+            degraded_scan_correct=True,
+            recovery_seconds=0.1,
+            lost_acked=0,
+            other_errors=0,
+        )
+
+    def test_clean_run_is_ok(self):
+        assert ChaosReport(**self.base()).ok
+
+    @pytest.mark.parametrize(
+        "poison",
+        [
+            dict(lost_acked=1),
+            dict(recovery_seconds=-1.0),
+            dict(degraded_scan_seen=False),
+            dict(degraded_scan_correct=False),
+            dict(other_errors=2),
+        ],
+    )
+    def test_any_violation_fails_the_run(self, poison):
+        report = ChaosReport(**{**self.base(), **poison})
+        assert not report.ok
+        assert "FAILED" in report.summary()
+
+
+class TestScheduleValidation:
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            dict(kill_at=0.0),
+            dict(kill_at=0.7, restore_at=0.3),
+            dict(restore_at=1.0),
+        ],
+    )
+    def test_bad_kill_restore_schedule_rejected(self, tmp_path, schedule):
+        with pytest.raises(ConfigurationError):
+            asyncio.run(run_chaos(str(tmp_path), **schedule))
+
+
+def test_chaos_run_meets_the_acceptance_bar(tmp_path):
+    report = asyncio.run(
+        run_chaos(
+            str(tmp_path),
+            num_shards=3,
+            ops=200,
+            kill_shard=1,
+            seed=11,
+            cooldown=0.2,
+            op_interval=0.001,
+        )
+    )
+    assert report.ok, report.summary()
+    # The outage produced fail-fasts instead of hangs, and the shards
+    # that stayed up never saw multi-second latency.
+    assert report.shard_down_fast_fails > 0
+    assert report.surviving_p99 < 0.5
+    assert report.fail_fast_max < 0.5
+    # The killed shard's breaker walked the full recovery path.
+    assert ("closed", "open") in report.breaker_transitions
+    assert ("open", "half_open") in report.breaker_transitions
+    assert ("half_open", "closed") in report.breaker_transitions
+    assert report.final_health == {
+        "0": "closed", "1": "closed", "2": "closed",
+    }
+    assert report.lost_acked == 0

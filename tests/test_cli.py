@@ -125,6 +125,42 @@ class TestVerifyCommand:
         assert "PROBLEM" in capsys.readouterr().out
 
 
+class TestCrashsimCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["crashsim", "/tmp/scratch"])
+        assert args.ops == 500
+        assert args.seed == 0
+
+    def test_tiny_ops_rejected(self, tmp_path):
+        assert main(["crashsim", str(tmp_path), "--ops", "1"]) == 2
+
+    def test_short_run_exits_zero(self, tmp_path, capsys):
+        code = main(
+            ["crashsim", str(tmp_path), "--ops", "30", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failures: 0" in out
+        assert "injected faults fired: 5" in out
+
+
+class TestChaosParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos", "/tmp/scratch"])
+        assert args.shards == 3
+        assert args.ops == 300
+        assert args.kill_shard == 0
+        assert args.cooldown_ms == pytest.approx(250.0)
+
+    def test_single_shard_rejected(self, tmp_path):
+        assert main(["chaos", str(tmp_path), "--shards", "1"]) == 2
+
+    def test_kill_shard_must_exist(self, tmp_path):
+        assert main(
+            ["chaos", str(tmp_path), "--shards", "2", "--kill-shard", "5"]
+        ) == 2
+
+
 class TestServeAndLoadgenParsers:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve", "/tmp/db"])

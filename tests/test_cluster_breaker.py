@@ -1,0 +1,176 @@
+"""Circuit-breaker state machine tests, driven by a fake clock.
+
+No wall-clock sleeps anywhere: the cooldown "elapses" by advancing a
+counter, so every transition — including the open→half-open promotion
+that normally needs real time to pass — is exercised instantly and
+deterministically.
+"""
+
+import pytest
+
+from repro.cluster import BREAKER_STATES, CircuitBreaker
+from repro.cluster.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.errors import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(clock, **overrides):
+    options = dict(
+        failure_threshold=0.5,
+        window=4,
+        min_samples=2,
+        cooldown=1.0,
+        clock=clock,
+    )
+    options.update(overrides)
+    return CircuitBreaker(**options)
+
+
+def trip(breaker):
+    while breaker.state == CLOSED:
+        breaker.record_failure()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(failure_threshold=0.0),
+            dict(failure_threshold=1.5),
+            dict(window=0),
+            dict(min_samples=0),
+            dict(min_samples=9, window=4),
+            dict(cooldown=0.0),
+            dict(half_open_probes=0),
+        ],
+    )
+    def test_bad_configuration_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(**bad)
+
+    def test_states_tuple_is_the_full_alphabet(self):
+        assert set(BREAKER_STATES) == {CLOSED, OPEN, HALF_OPEN}
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows_traffic(self):
+        breaker = make(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.retry_after() == 0.0
+
+    def test_no_trip_below_min_samples(self):
+        breaker = make(FakeClock(), min_samples=3)
+        breaker.record_failure()
+        breaker.record_failure()  # 2/2 failing but only 2 samples
+        assert breaker.state == CLOSED
+
+    def test_trips_at_failure_rate_threshold(self):
+        breaker = make(FakeClock(), failure_threshold=0.6)
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 1/2 = 0.5 < 0.6
+        breaker.record_failure()  # 2/3 ≈ 0.67 >= 0.6: trip
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_successes_dilute_the_window(self):
+        breaker = make(FakeClock(), window=4, min_samples=4)
+        for _ in range(3):
+            breaker.record_success()
+        breaker.record_failure()  # 1/4 < 0.5
+        assert breaker.state == CLOSED
+
+    def test_window_slides(self):
+        breaker = make(FakeClock(), window=2, min_samples=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_success()  # the failure fell out of the window
+        breaker.record_failure()  # 1/2 >= 0.5: trips on rate
+        assert breaker.state == OPEN
+
+
+class TestOpenState:
+    def test_open_fails_fast_with_honest_retry_after(self):
+        clock = FakeClock()
+        breaker = make(clock, cooldown=2.0)
+        trip(breaker)
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(2.0)
+        clock.advance(0.5)
+        assert breaker.retry_after() == pytest.approx(1.5)
+
+    def test_failures_while_open_do_not_extend_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        trip(breaker)
+        clock.advance(0.9)
+        breaker.record_failure()  # a straggler, not a new episode
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpenState:
+    def test_cooldown_promotes_to_half_open(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.retry_after() == 0.0
+
+    def test_probe_budget_is_limited(self):
+        clock = FakeClock()
+        breaker = make(clock, half_open_probes=2)
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both probe slots consumed
+
+    def test_probe_success_closes_and_clears_history(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # The pre-trip failures are forgotten: one new failure must not
+        # instantly re-trip.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert breaker.retry_after() == pytest.approx(1.0)
+
+    def test_full_transition_trail_is_recorded(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.transitions == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]

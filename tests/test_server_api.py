@@ -41,6 +41,7 @@ CLUSTER_API = {
     "ClusterStats", "aggregate_stats", "worst_case_stats",
     "HashRing", "ShardedStore",
     "MigrationReport", "migrate_shard",
+    "BREAKER_STATES", "CircuitBreaker",
 }
 
 

@@ -141,12 +141,44 @@ def test_stalled_responses_are_retried_with_backoff():
         return client.metrics, pauses, len(server.requests)
 
     metrics, pauses, request_count = run_with_server(
-        script, scenario, backoff_base=0.05, backoff_multiplier=2.0
+        script,
+        scenario,
+        backoff_base=0.05,
+        backoff_multiplier=2.0,
+        jitter=False,
     )
     assert request_count == 3
     assert metrics.retries_total == 2
     assert metrics.stalled_responses == 2
     assert pauses == pytest.approx([0.05, 0.1])  # pure backoff schedule
+
+
+def test_jittered_pauses_stay_under_the_schedule_and_are_seeded():
+    stalled = protocol.error_response(
+        protocol.CODE_STALLED, "busy", retry_after=0.0
+    )
+    script = [(RESPOND, stalled)] * 3 + [(RESPOND, protocol.ok_response())]
+
+    async def scenario(client, server, pauses):
+        await client.put(b"k", b"v")
+        return list(pauses)
+
+    def run(seed):
+        return run_with_server(
+            list(script),
+            scenario,
+            backoff_base=0.05,
+            backoff_multiplier=2.0,
+            jitter_seed=seed,
+        )
+
+    first = run(seed=42)
+    assert len(first) == 3
+    schedule = [0.05, 0.1, 0.2]
+    for pause, ceiling in zip(first, schedule):
+        assert 0.0 <= pause <= ceiling  # full jitter: uniform(0, delay)
+    assert first == run(seed=42)  # same seed, same pauses
+    assert first != run(seed=43)  # different seed decorrelates
 
 
 def test_server_retry_after_hint_overrides_shorter_backoff():
