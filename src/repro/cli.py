@@ -171,7 +171,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def run() -> None:
         with LSMStore.open(args.directory, options) as store:
             server = KVServer(
-                store, _admission_from(args), host=args.host, port=args.port
+                store,
+                _admission_from(args),
+                host=args.host,
+                port=args.port,
+                metrics_port=args.metrics_port,
             )
             async with server:
                 host, port = server.address
@@ -180,6 +184,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"(admission: {args.admission}, "
                     f"stall mode: {args.stall_mode})"
                 )
+                if server.metrics_address is not None:
+                    mhost, mport = server.metrics_address
+                    print(f"metrics on http://{mhost}:{mport}/metrics")
                 await server.serve_forever()
 
     try:
@@ -285,6 +292,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             pump_budget=args.pump_budget,
             host=args.host,
             port=args.port,
+            metrics_port=args.metrics_port,
         )
         async with cluster:
             host, port = cluster.address
@@ -293,6 +301,10 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
                 f"{args.directory} on {host}:{port} "
                 f"(admission: {admission.mode}, arbiter: {args.arbiter})"
             )
+            assert cluster.router is not None
+            if cluster.router.metrics_address is not None:
+                mhost, mport = cluster.router.metrics_address
+                print(f"metrics on http://{mhost}:{mport}/metrics")
             await cluster.serve_forever()
 
     try:
@@ -304,6 +316,48 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Dump/tail lifecycle events or scrape metrics off a live server."""
+    import asyncio
+
+    from .obs import Event, render_prometheus
+    from .server import KVClient
+
+    _check_port(args.port)
+
+    def emit_events(view: dict, cursor: int) -> int:
+        for wire in view["events"]:
+            event = Event.from_wire(wire)
+            cursor = max(cursor, event.seq)
+            print(event.format())
+        return cursor
+
+    async def run() -> int:
+        async with KVClient(args.host, args.port) as client:
+            if args.action == "scrape":
+                print(render_prometheus(await client.metrics()), end="")
+                return 0
+            view = await client.events(since=args.since, limit=args.limit)
+            cursor = emit_events(view, args.since)
+            if view["dropped"]:
+                print(
+                    f"# ring overflowed: {view['dropped']} older events "
+                    "were dropped",
+                    file=sys.stderr,
+                )
+            while args.action == "tail":
+                await asyncio.sleep(args.interval_ms / 1000.0)
+                cursor = emit_events(
+                    await client.events(since=cursor), cursor
+                )
+            return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -579,6 +633,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("directory", help="LSMStore data directory")
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=7379)
+    serve_cmd.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="expose Prometheus text metrics over HTTP on this port "
+             "(0 picks a free port; default: disabled)",
+    )
     _add_admission_args(serve_cmd)
     _add_engine_args(serve_cmd)
     serve_cmd.set_defaults(handler=_cmd_serve)
@@ -592,6 +651,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_serve_cmd.add_argument("--host", default="127.0.0.1")
     cluster_serve_cmd.add_argument("--port", type=int, default=7379)
+    cluster_serve_cmd.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="expose the cluster-wide Prometheus roll-up over HTTP on "
+             "this port (0 picks a free port; default: disabled)",
+    )
     cluster_serve_cmd.add_argument(
         "--shards", type=int, default=4,
         help="number of shard engines (default: 4)",
@@ -615,6 +679,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_admission_args(cluster_serve_cmd)
     _add_engine_args(cluster_serve_cmd)
     cluster_serve_cmd.set_defaults(handler=_cmd_cluster_serve)
+
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="observability: dump/tail lifecycle events or scrape "
+             "metrics from a running server or cluster router",
+    )
+    obs_cmd.add_argument(
+        "action", choices=("dump", "tail", "scrape"),
+        help="dump: print the event ring once; tail: follow it; "
+             "scrape: print the metrics snapshot as Prometheus text",
+    )
+    obs_cmd.add_argument("--host", default="127.0.0.1")
+    obs_cmd.add_argument("--port", type=int, default=7379)
+    obs_cmd.add_argument(
+        "--since", type=int, default=-1,
+        help="only events with a larger sequence number (default: all)",
+    )
+    obs_cmd.add_argument(
+        "--limit", type=int, default=None,
+        help="at most this many events (tail/cluster: the most recent)",
+    )
+    obs_cmd.add_argument(
+        "--interval-ms", type=float, default=500.0,
+        help="tail polling interval (default: 500)",
+    )
+    obs_cmd.set_defaults(handler=_cmd_obs)
 
     loadgen_cmd = commands.add_parser(
         "loadgen", help="drive a running server with network load"

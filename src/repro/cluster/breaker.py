@@ -51,6 +51,7 @@ class CircuitBreaker:
         cooldown: float = 1.0,
         half_open_probes: int = 1,
         clock: Callable[[], float] | None = None,
+        on_transition: Callable[[str, str], None] | None = None,
     ) -> None:
         if not 0.0 < failure_threshold <= 1.0:
             raise ConfigurationError(
@@ -77,6 +78,7 @@ class CircuitBreaker:
         self.trips = 0
         #: Every state change as ``(old, new)``, in order.
         self.transitions: list[tuple[str, str]] = []
+        self._on_transition = on_transition
 
     @property
     def state(self) -> str:
@@ -86,8 +88,11 @@ class CircuitBreaker:
 
     def _set_state(self, new: str) -> None:
         if new != self._state:
-            self.transitions.append((self._state, new))
+            old = self._state
+            self.transitions.append((old, new))
             self._state = new
+            if self._on_transition is not None:
+                self._on_transition(old, new)
 
     def _maybe_half_open(self) -> None:
         if (

@@ -48,6 +48,14 @@ from ..errors import (
     ServerError,
     ShardDownError,
 )
+from ..obs import (
+    Event,
+    Observability,
+    merge_events,
+    merge_snapshots,
+    relabel_snapshot,
+)
+from ..obs import events as obs_events
 from ..server import protocol
 from ..server.admission import REJECT
 from ..server.client import KVClient
@@ -195,12 +203,14 @@ class ClusterRouter(FramedServer):
         shard_client_options: dict | None = None,
         stats_max_age: float = DEFAULT_STATS_MAX_AGE,
         breaker_options: dict | None = None,
+        metrics_port: int | None = None,
     ) -> None:
         if not backends:
             raise ConfigurationError("a cluster needs at least one backend")
         if stats_max_age < 0:
             raise ConfigurationError("stats_max_age cannot be negative")
-        super().__init__(host, port)
+        super().__init__(host, port, metrics_port=metrics_port)
+        self.obs = Observability()
         self._backends = list(backends)
         self._ring = ring or HashRing(len(backends))
         if self._ring.num_shards != len(backends):
@@ -229,8 +239,11 @@ class ClusterRouter(FramedServer):
                 KVClient(backend_host, backend_port, **per_shard)
             )
         self.breakers = [
-            CircuitBreaker(**(breaker_options or {}))
-            for _ in self._backends
+            CircuitBreaker(
+                **(breaker_options or {}),
+                on_transition=self._breaker_listener(index),
+            )
+            for index in range(len(self._backends))
         ]
         self._stats_max_age = stats_max_age
         self._stats_cache: list[StoreStats] | None = None
@@ -252,9 +265,21 @@ class ClusterRouter(FramedServer):
         """The cluster admission layer."""
         return self._admission
 
+    def _breaker_listener(self, shard: int):
+        """A per-shard callback tracing breaker state changes."""
+
+        def on_transition(old: str, new: str) -> None:
+            self.obs.tracer.emit(
+                obs_events.BREAKER, shard=shard, old=old, new=new
+            )
+
+        return on_transition
+
     def shard_retries(self) -> int:
         """Total backend retries absorbed inside the router."""
-        return sum(client.metrics.retries_total for client in self._clients)
+        return sum(
+            client.telemetry.retries_total for client in self._clients
+        )
 
     async def aclose(self) -> None:
         """Stop serving and close every shard client."""
@@ -372,7 +397,22 @@ class ClusterRouter(FramedServer):
         request(s) once the write is admitted. Backend ``STALLED``
         responses that outlive the shard client's retry budget surface
         to the caller as a ``STALLED`` rejection.
+
+        The response's latency ``breakdown`` is the backend's (engine
+        and I/O legs measured where they happened) with the *cluster*
+        admission wait folded into its ``admission`` leg; ``total`` and
+        ``queue`` are recomputed by this tier's dispatch, so they
+        reflect the router — the outermost tier a client talks to.
         """
+        admission_wait = 0.0
+        nbytes = sum(nbytes_by_shard.values())
+
+        def rejection(response: dict) -> dict:
+            response["breakdown"] = {
+                "admission": admission_wait, "engine": 0.0, "io": 0.0,
+            }
+            return response
+
         snapshots = await self._snapshots()
         decision = self._admission.decide_many(nbytes_by_shard, snapshots)
         if decision.action == REJECT:
@@ -381,14 +421,29 @@ class ClusterRouter(FramedServer):
             await self._pump()
             for shard in nbytes_by_shard:
                 self.metrics.record_rejected(shard)
-            return protocol.error_response(
+            self.obs.tracer.emit(
+                obs_events.ADMISSION,
+                action="reject",
+                reason=decision.reason or "cluster admission",
+                nbytes=nbytes,
+                shards=sorted(nbytes_by_shard),
+            )
+            return rejection(protocol.error_response(
                 protocol.CODE_STALLED,
                 decision.reason or "write rejected by cluster admission",
                 retry_after=decision.retry_after,
-            )
+            ))
         if decision.delay_seconds > 0.0:
             for shard in nbytes_by_shard:
                 self.metrics.record_delayed(shard, decision.delay_seconds)
+            self.obs.tracer.emit(
+                obs_events.ADMISSION,
+                action="delay",
+                seconds=decision.delay_seconds,
+                nbytes=nbytes,
+                shards=sorted(nbytes_by_shard),
+            )
+            admission_wait += decision.delay_seconds
             await self._pump()
             await asyncio.sleep(decision.delay_seconds)
         try:
@@ -399,31 +454,37 @@ class ClusterRouter(FramedServer):
             self.metrics.shard_down_rejections += 1
             for shard in nbytes_by_shard:
                 self.metrics.record_rejected(shard)
-            return protocol.error_response(
+            return rejection(protocol.error_response(
                 protocol.CODE_SHARD_DOWN,
                 str(error),
                 retry_after=error.retry_after,
-            )
+            ))
         except RequestFailedError as error:
             for shard in nbytes_by_shard:
                 self.metrics.record_rejected(shard)
-            return protocol.error_response(
+            return rejection(protocol.error_response(
                 error.code, str(error), retry_after=error.retry_after
-            )
+            ))
         except ServerError as error:
             for shard in nbytes_by_shard:
                 self.metrics.record_rejected(shard)
-            return protocol.error_response(
+            return rejection(protocol.error_response(
                 protocol.CODE_STALLED,
                 f"shard retries exhausted: {error}",
                 retry_after=self._admission.stall_pause or 0.05,
-            )
+            ))
         for shard in nbytes_by_shard:
             self.metrics.record_admitted(shard)
         # Successful writes co-fund cluster maintenance: under local
         # admission, traffic on healthy shards keeps paying the shared
         # budget that drains a stalled sibling's backlog.
         await self._pump()
+        breakdown = response.setdefault(
+            "breakdown", {"engine": 0.0, "io": 0.0}
+        )
+        breakdown["admission"] = (
+            breakdown.get("admission", 0.0) + admission_wait
+        )
         return response
 
     # -- verbs ------------------------------------------------------------
@@ -561,6 +622,129 @@ class ClusterRouter(FramedServer):
             missing_shards=missing,
         )
 
+    # -- observability -----------------------------------------------------
+
+    def _sync_registry(self) -> dict:
+        """Mirror :class:`ClusterMetrics` into the registry, then snapshot.
+
+        Like the single server, the dataclass stays the source of truth
+        for ``STATS``; the registry view exists so one Prometheus scrape
+        of the router shows routing counters next to the rolled-up
+        engine and shard series.
+        """
+        registry = self.obs.registry
+        per_shard_fields = {
+            "writes_admitted_per_shard": "router_shard_writes_admitted_total",
+            "writes_rejected_per_shard": "router_shard_writes_rejected_total",
+            "writes_delayed_per_shard": "router_shard_writes_delayed_total",
+        }
+        for name, value in self.metrics.snapshot().items():
+            if name == "connections_open":
+                registry.gauge(
+                    "router_connections_open",
+                    help="Currently open client connections.",
+                ).set(value)
+                continue
+            if name in per_shard_fields:
+                for shard, count in value.items():
+                    registry.counter(
+                        per_shard_fields[name],
+                        labels={"shard": str(shard)},
+                        help="Per-shard routing outcome counts.",
+                    ).set_total(count)
+                continue
+            suffix = (
+                "_seconds_total" if name.endswith("_seconds_total") else
+                "_total"
+            )
+            base = name.removesuffix("_seconds_total").removesuffix("_total")
+            registry.counter(
+                f"router_{base}{suffix}",
+                help=f"Router cumulative {name.replace('_', ' ')}.",
+            ).set_total(value)
+        for shard, breaker in enumerate(self.breakers):
+            registry.counter(
+                "router_breaker_trips_total",
+                labels={"shard": str(shard)},
+                help="Circuit-breaker trips (closed/half-open to open).",
+            ).set_total(breaker.trips)
+            registry.gauge(
+                "router_breaker_open",
+                labels={"shard": str(shard)},
+                help="1 when the shard's breaker is open, else 0.",
+            ).set(1.0 if breaker.state == OPEN else 0.0)
+        return registry.snapshot()
+
+    async def metrics_snapshot(self) -> dict:
+        """Cluster-wide metrics: router tier plus every live shard.
+
+        Each shard's registry snapshot is relabelled (``tier="shard"``,
+        ``shard="N"``) and merged bucket-by-bucket with the router's own
+        (``tier="router"``), so percentiles read from the merged
+        histograms are correct — never per-shard percentiles summed.
+        A dead shard is simply absent from the scrape.
+        """
+        responses = await asyncio.gather(
+            *(
+                self._shard_request(shard, protocol.metrics_request())
+                for shard in range(len(self._clients))
+            ),
+            return_exceptions=True,
+        )
+        snapshots = [
+            relabel_snapshot(self._sync_registry(), {"tier": "router"})
+        ]
+        for shard, response in enumerate(responses):
+            if isinstance(response, BaseException):
+                if not isinstance(response, ServerError):
+                    raise response
+                continue  # dark shard: report the survivors
+            snapshots.append(
+                relabel_snapshot(
+                    response.get("metrics", {}),
+                    {"tier": "shard", "shard": str(shard)},
+                )
+            )
+        return merge_snapshots(snapshots)
+
+    async def events_since(self, since: int, limit: int | None) -> list:
+        """Cluster-wide event view: shard rings merged with the router's.
+
+        ``since`` applies per source ring (sequence numbers are local to
+        each tracer); every shard event gains a ``shard`` field, and the
+        merged stream is time-ordered, keeping the most recent ``limit``
+        events. Dead shards contribute nothing rather than failing the
+        read.
+        """
+        responses = await asyncio.gather(
+            *(
+                self._shard_request(
+                    shard, protocol.events_request(since, limit)
+                )
+                for shard in range(len(self._clients))
+            ),
+            return_exceptions=True,
+        )
+        streams = [self.obs.tracer.events(since, limit)]
+        for shard, response in enumerate(responses):
+            if isinstance(response, BaseException):
+                if not isinstance(response, ServerError):
+                    raise response
+                continue
+            stream = []
+            for wire in response.get("events", []):
+                event = Event.from_wire(wire)
+                stream.append(
+                    Event(
+                        seq=event.seq,
+                        timestamp=event.timestamp,
+                        kind=event.kind,
+                        fields=dict(event.fields, shard=shard),
+                    )
+                )
+            streams.append(stream)
+        return merge_events(streams, limit)
+
     async def _op_stats(self, message: dict) -> dict:
         snapshots = await self._snapshots(force=True)
         cluster = aggregate_stats(snapshots)
@@ -601,6 +785,7 @@ class LocalCluster:
         shard_client_options: dict | None = None,
         write_deadline: float = 10.0,
         breaker_options: dict | None = None,
+        metrics_port: int | None = None,
     ) -> None:
         self.store = ShardedStore(
             directory,
@@ -616,6 +801,7 @@ class LocalCluster:
         self._shard_client_options = shard_client_options
         self._write_deadline = write_deadline
         self._breaker_options = breaker_options
+        self._metrics_port = metrics_port
         self.backends: list[KVServer] = []
         self.router: ClusterRouter | None = None
 
@@ -641,6 +827,7 @@ class LocalCluster:
                 port=self._port,
                 shard_client_options=self._shard_client_options,
                 breaker_options=self._breaker_options,
+                metrics_port=self._metrics_port,
             )
             return await self.router.start()
         except BaseException:

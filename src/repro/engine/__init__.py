@@ -12,7 +12,7 @@ from .blockcache import BlockCache
 from .bloom import BloomFilter
 from .compaction import CompactionManager, MergeJob, build_policy, build_scheduler
 from .integrity import IntegrityReport, verify_store
-from .datastore import LSMStore, StoreStats
+from .datastore import LSMStore, StoreStats, WriteTiming
 from .iterators import reconcile_get, reconciling_iterator
 from .manifest import Manifest, RunRecord
 from .memtable import MemTable
@@ -42,6 +42,7 @@ __all__ = [
     "SyncPolicy",
     "TOMBSTONE",
     "WriteAheadLog",
+    "WriteTiming",
     "build_policy",
     "build_scheduler",
     "verify_store",

@@ -37,6 +37,7 @@ from ..core.schedulers import (
     SingleThreadedScheduler,
 )
 from ..errors import ConfigurationError
+from ..obs import events as obs_events
 from .blockcache import BlockCache
 from .iterators import reconciling_iterator
 from .manifest import Manifest
@@ -151,6 +152,11 @@ class MergeJob:
         """Path of the run being produced."""
         return self._output_path
 
+    @property
+    def total_input_bytes(self) -> int:
+        """Total merge input this job will consume."""
+        return self._total_input
+
 
 class CompactionManager:
     """Owns the live run set and drives flushes and merges."""
@@ -167,11 +173,23 @@ class CompactionManager:
         options: StoreOptions,
         manifest: Manifest,
         clock: Callable[[], float] | None = None,
+        obs=None,
     ) -> None:
         self._directory = directory
         self._options = options
         self.chunk_bytes = options.merge_chunk_bytes or self.CHUNK_BYTES
         self._manifest = manifest
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._m_flushes = registry.counter(
+                "engine_flushes_total",
+                help="Sealed memtables flushed to level-0 runs.",
+            )
+            self._m_flush_bytes = registry.counter(
+                "engine_flush_bytes_total",
+                help="Bytes written by memtable flushes.",
+            )
         self._policy = build_policy(options)
         self._scheduler = build_scheduler(options)
         limit = options.constraint_limit or model.default_component_limit(
@@ -278,6 +296,10 @@ class CompactionManager:
         """Write a sealed memtable out as a new level-0 run."""
         run_id = self._manifest.allocate_run_id()
         filename = f"{run_id:08d}.run"
+        if self._obs is not None:
+            self._obs.tracer.emit(
+                obs_events.FLUSH_START, run_id=run_id, entries=entry_hint
+            )
         writer = SSTableWriter(
             os.path.join(self._directory, filename),
             block_bytes=self._options.block_bytes,
@@ -290,6 +312,15 @@ class CompactionManager:
         for key, value in items:
             writer.add(key, value)
         stats = writer.finish()
+        if self._obs is not None:
+            self._m_flushes.inc()
+            self._m_flush_bytes.inc(stats.data_bytes)
+            self._obs.tracer.emit(
+                obs_events.FLUSH_END,
+                run_id=run_id,
+                bytes=stats.data_bytes,
+                entries=stats.entry_count,
+            )
         record = self._manifest.add_run(run_id, 0, filename)
         reader = SSTableReader(stats.path, block_cache=self._block_cache)
         self._readers[run_id] = reader
@@ -333,6 +364,14 @@ class CompactionManager:
         )
         job.output_run_id = output_run_id
         self._jobs[descriptor.uid] = job
+        if self._obs is not None:
+            self._obs.tracer.emit(
+                obs_events.MERGE_START,
+                merge_uid=descriptor.uid,
+                level=descriptor.target_level,
+                inputs=len(descriptor.inputs),
+                input_bytes=job.total_input_bytes,
+            )
 
     def _finish_job(self, job: MergeJob) -> None:
         descriptor = job.descriptor
@@ -371,6 +410,25 @@ class CompactionManager:
         descriptor.release_inputs()
         del self._jobs[descriptor.uid]
         self._merge_count += 1
+        if self._obs is not None:
+            level = str(descriptor.target_level)
+            self._obs.registry.counter(
+                "engine_merges_total",
+                labels={"level": level},
+                help="Merges completed, by target level.",
+            ).inc()
+            self._obs.registry.counter(
+                "engine_merge_bytes_total",
+                labels={"level": level},
+                help="Merge input bytes consumed, by target level.",
+            ).inc(job.total_input_bytes)
+            self._obs.tracer.emit(
+                obs_events.MERGE_END,
+                merge_uid=descriptor.uid,
+                level=descriptor.target_level,
+                input_bytes=job.total_input_bytes,
+                output_bytes=stats.data_bytes,
+            )
         self._schedule_merges()
 
     def has_work(self) -> bool:

@@ -25,11 +25,12 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import ClosedError, ConfigurationError, WriteStalledError
+from ..obs import Observability
+from ..obs import events as obs_events
 from .compaction import CompactionManager
 from .iterators import reconcile_get, reconciling_iterator
 from .manifest import Manifest
@@ -80,6 +81,22 @@ class StoreStats:
         return min(1.0, self.sealed_memtables / slots)
 
 
+@dataclass(frozen=True)
+class WriteTiming:
+    """Where one write's time went (the engine leg of a request breakdown).
+
+    ``engine_seconds`` is the total time inside the store lock for this
+    write; ``io_seconds`` is the WAL-append portion of it; and
+    ``stall_seconds`` is the portion spent blocked in the headroom gate
+    (0.0 unless the write stalled). Produced only by the ``timed_*``
+    write variants — the plain paths never read a clock.
+    """
+
+    engine_seconds: float
+    io_seconds: float
+    stall_seconds: float
+
+
 class LSMStore:
     """An LSM-tree key-value store driven by the paper's core machinery."""
 
@@ -87,11 +104,29 @@ class LSMStore:
         self._options = options or StoreOptions()
         self._directory = directory
         os.makedirs(directory, exist_ok=True)
+        self._obs = self._options.obs or Observability()
+        self._m_rotations = self._obs.registry.counter(
+            "engine_memtable_rotations_total",
+            help="Active-memtable seals (rotations).",
+        )
+        self._m_stalls = self._obs.registry.counter(
+            "engine_write_stalls_total",
+            help="Writes that observed a stalled tree.",
+        )
+        self._m_stall_seconds = self._obs.registry.counter(
+            "engine_stall_seconds_total",
+            help="Time writers spent blocked in the headroom gate.",
+        )
+        attach_tracer = getattr(
+            self._options.fault_plan, "attach_tracer", None
+        )
+        if callable(attach_tracer):
+            attach_tracer(self._obs.tracer)
         self._manifest = Manifest(
             directory, fault_plan=self._options.fault_plan
         )
         self._compaction = CompactionManager(
-            directory, self._options, self._manifest
+            directory, self._options, self._manifest, obs=self._obs
         )
         self._wal = WriteAheadLog(
             os.path.join(directory, "wal.log"),
@@ -221,6 +256,55 @@ class LSMStore:
                 self._active.put(key, value)
             self._maybe_rotate()
 
+    # -- timed writes (serving-tier latency breakdown) -------------------
+
+    def timed_put(self, key: bytes, value: bytes) -> WriteTiming:
+        """``put`` that reports where its time went."""
+        return self._write_timed([(key, value)])
+
+    def timed_delete(self, key: bytes) -> WriteTiming:
+        """``delete`` that reports where its time went."""
+        return self._write_timed([(key, TOMBSTONE)])
+
+    def timed_write_batch(
+        self, batch: list[tuple[bytes, bytes | None]]
+    ) -> WriteTiming:
+        """``write_batch`` that reports where its time went."""
+        if not batch:
+            raise ConfigurationError("empty batch")
+        return self._write_timed(batch)
+
+    def _write_timed(
+        self, batch: list[tuple[bytes, bytes | None]]
+    ) -> WriteTiming:
+        """The instrumented twin of :meth:`_write`/:meth:`write_batch`.
+
+        A separate path so the plain write methods stay free of clock
+        reads (the embedded hot path); the serving tier calls this one
+        to attach an engine/I-O/stall breakdown to each response.
+        """
+        clock = self._obs.clock
+        with self._lock:
+            self._check_open()
+            started = clock()
+            stall_before = self._stall_seconds
+            self._wait_for_headroom()
+            stall_seconds = self._stall_seconds - stall_before
+            io_started = clock()
+            self._wal.append(batch)
+            io_seconds = clock() - io_started
+            for key, value in batch:
+                if value is TOMBSTONE:
+                    self._active.delete(key)
+                else:
+                    self._active.put(key, value)
+            self._maybe_rotate()
+            return WriteTiming(
+                engine_seconds=clock() - started,
+                io_seconds=io_seconds,
+                stall_seconds=stall_seconds,
+            )
+
     def _wait_for_headroom(self) -> None:
         """The write-stall gate: the paper's stop interaction mode.
 
@@ -231,16 +315,30 @@ class LSMStore:
         if not self._compaction.is_write_stalled():
             return
         self._stall_count += 1
+        self._m_stalls.inc()
+        self._obs.tracer.emit(
+            obs_events.STALL_ENTER,
+            mode=self._options.stall_mode,
+            components=self._compaction.component_count,
+        )
         if self._options.stall_mode == "reject":
+            self._obs.tracer.emit(
+                obs_events.STALL_EXIT, outcome="rejected", seconds=0.0
+            )
             raise WriteStalledError(
                 "component constraint violated; merges must catch up"
             )
-        started = time.monotonic()
+        started = self._obs.clock()
         try:
             while self._compaction.is_write_stalled():
                 self._advance_maintenance(blocking=True)
         finally:
-            self._stall_seconds += time.monotonic() - started
+            elapsed = self._obs.clock() - started
+            self._stall_seconds += elapsed
+            self._m_stall_seconds.inc(elapsed)
+            self._obs.tracer.emit(
+                obs_events.STALL_EXIT, outcome="resumed", seconds=elapsed
+            )
 
     def _maybe_rotate(self) -> None:
         if self._active.approximate_bytes < self._options.memtable_bytes:
@@ -251,10 +349,17 @@ class LSMStore:
             # get I/O priority; with num_memtables=1 they are the norm).
             while self._sealed:
                 self._advance_maintenance(blocking=True)
+        sealed_bytes = self._active.approximate_bytes
         self._active.seal()
         self._sealed.append(self._active)
         self._active = MemTable(seed=self._memtable_seed)
         self._memtable_seed += 1
+        self._m_rotations.inc()
+        self._obs.tracer.emit(
+            obs_events.MEMTABLE_ROTATE,
+            bytes=sealed_bytes,
+            sealed_queue=len(self._sealed),
+        )
         self._work_available.notify_all()
         if not self._options.background_maintenance:
             self._advance_maintenance(blocking=False)
@@ -461,27 +566,81 @@ class LSMStore:
     # -- introspection ---------------------------------------------------
 
     def stats(self) -> StoreStats:
-        """Snapshot of store internals (for monitoring and tests)."""
+        """Snapshot of store internals (for monitoring and tests).
+
+        The snapshot is taken atomically: every field is read at a
+        single maintenance-safe point under the store lock, which both
+        cooperative maintenance (:meth:`advance_maintenance`) and the
+        background thread also hold for each pump. No interleaving can
+        produce a snapshot mixing pre- and post-merge values — e.g.
+        ``wal_bytes`` from before a checkpoint with ``components_per_level``
+        from after.
+        """
         with self._lock:
-            return StoreStats(
-                memtable_entries=len(self._active),
-                memtable_bytes=self._active.approximate_bytes,
-                sealed_memtables=len(self._sealed),
-                num_memtables=self._options.num_memtables,
-                disk_components=self._compaction.component_count,
-                components_per_level=self._compaction.levels(),
-                merges_completed=self._compaction.merges_completed,
-                write_stalls=self._stall_count,
-                stall_seconds_total=self._stall_seconds,
-                wal_bytes=self._wal.size_bytes,
-                write_stalled=self._compaction.is_write_stalled(),
-                write_headroom=self._compaction.write_headroom(),
-                throttle_sleep_seconds=(
-                    self._compaction.rate_limiter.total_sleep_seconds
-                ),
-                block_cache_hit_rate=self._compaction.block_cache.hit_rate(),
-                block_cache_used_bytes=self._compaction.block_cache.used_bytes,
-            )
+            return self._stats_locked()
+
+    def _stats_locked(self) -> StoreStats:
+        """Assemble :class:`StoreStats` with the store lock already held.
+
+        Keep every mutable-state read inside this method: hoisting one
+        outside the caller's locked region is exactly the torn-snapshot
+        bug the atomicity contract above rules out.
+        """
+        components_per_level = self._compaction.levels()
+        return StoreStats(
+            memtable_entries=len(self._active),
+            memtable_bytes=self._active.approximate_bytes,
+            sealed_memtables=len(self._sealed),
+            num_memtables=self._options.num_memtables,
+            disk_components=self._compaction.component_count,
+            components_per_level=components_per_level,
+            merges_completed=self._compaction.merges_completed,
+            write_stalls=self._stall_count,
+            stall_seconds_total=self._stall_seconds,
+            wal_bytes=self._wal.size_bytes,
+            write_stalled=self._compaction.is_write_stalled(),
+            write_headroom=self._compaction.write_headroom(),
+            throttle_sleep_seconds=(
+                self._compaction.rate_limiter.total_sleep_seconds
+            ),
+            block_cache_hit_rate=self._compaction.block_cache.hit_rate(),
+            block_cache_used_bytes=self._compaction.block_cache.used_bytes,
+        )
+
+    @property
+    def obs(self):
+        """The store's observability bundle (registry + tracer + clock)."""
+        return self._obs
+
+    def refresh_gauges(self) -> StoreStats:
+        """Sync point-in-time gauges into the metrics registry.
+
+        Called at scrape time (not on the write path): gauges describe
+        "now", so computing them on demand costs nothing between
+        scrapes. Returns the stats snapshot the gauges were read from so
+        scrape handlers don't take the store lock twice.
+        """
+        stats = self.stats()
+        registry = self._obs.registry
+        registry.gauge(
+            "engine_write_headroom",
+            help="Remaining component budget fraction (0 = stalled).",
+        ).set(stats.write_headroom)
+        registry.gauge(
+            "engine_memory_fill",
+            help="Sealed-memtable queue occupancy in [0, 1].",
+        ).set(stats.memory_fill)
+        registry.gauge(
+            "engine_wal_bytes", help="Current write-ahead log size."
+        ).set(stats.wal_bytes)
+        registry.gauge(
+            "engine_disk_components", help="Live disk components."
+        ).set(stats.disk_components)
+        registry.gauge(
+            "engine_write_stalled",
+            help="1 when the write gate is closed right now.",
+        ).set(1.0 if stats.write_stalled else 0.0)
+        return stats
 
     @property
     def write_stalled(self) -> bool:

@@ -73,6 +73,13 @@ class StoreOptions:
         ``wrap(file, site)`` method) injected into the WAL, manifest,
         and SSTable writers for deterministic crash/corruption testing.
         None (the default) adds no overhead to the I/O path.
+    obs:
+        Optional :class:`repro.obs.Observability` bundle (duck-typed on
+        ``registry``/``tracer``/``clock`` attributes) the store records
+        its metrics and lifecycle events into. None (the default) makes
+        the store create a private bundle, reachable as ``store.obs`` —
+        the serving tier passes its own so engine and server series land
+        in one registry.
     """
 
     memtable_bytes: int = 4 * 2**20
@@ -93,6 +100,7 @@ class StoreOptions:
     background_maintenance: bool = False
     sync_writes: bool = False
     fault_plan: object | None = None
+    obs: object | None = None
 
     def __post_init__(self) -> None:
         if self.fault_plan is not None and not callable(
@@ -100,6 +108,13 @@ class StoreOptions:
         ):
             raise ConfigurationError(
                 "fault_plan must expose a wrap(file, site) method"
+            )
+        if self.obs is not None and not all(
+            hasattr(self.obs, attribute)
+            for attribute in ("registry", "tracer", "clock")
+        ):
+            raise ConfigurationError(
+                "obs must expose registry, tracer, and clock attributes"
             )
         if self.memtable_bytes < 4096:
             raise ConfigurationError("memtable budget is implausibly small")

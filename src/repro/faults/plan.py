@@ -90,6 +90,16 @@ class FaultPlan:
         self._counts: dict[str, int] = {}
         #: Human-readable log of every rule that fired, in order.
         self.fired: list[str] = []
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Mirror fired rules into an event tracer.
+
+        Called by the store when it opens with both a fault plan and an
+        observability bundle — duck-typed, like ``wrap``, so this module
+        still never imports the engine or obs packages.
+        """
+        self._tracer = tracer
 
     def occurrences(self, event: str) -> int:
         """How many times ``event`` has happened so far."""
@@ -101,6 +111,10 @@ class FaultPlan:
         rule = self._rules.get((event, index))
         if rule is not None:
             self.fired.append(f"{event}[{index}]:{rule.kind}")
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "fault", event=event, index=index, fault=rule.kind
+                )
         return rule
 
     def corrupt(self, data: bytes) -> bytes:

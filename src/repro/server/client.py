@@ -40,7 +40,12 @@ _RETRYABLE_CODES = frozenset(
 
 @dataclass
 class ClientMetrics:
-    """Cumulative client-side counters (retry visibility for loadgen)."""
+    """Cumulative client-side counters (retry visibility for loadgen).
+
+    Exposed as :attr:`KVClient.telemetry` — the name ``metrics`` belongs
+    to the :meth:`KVClient.metrics` passthrough verb, which fetches the
+    *server's* metrics registry snapshot.
+    """
 
     requests_total: int = 0
     retries_total: int = 0
@@ -108,7 +113,7 @@ class KVClient:
         self._idle: asyncio.Queue[_Connection] = asyncio.Queue()
         self._open_count = 0
         self._closed = False
-        self.metrics = ClientMetrics()
+        self.telemetry = ClientMetrics()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -198,22 +203,22 @@ class KVClient:
 
     async def request(self, message: dict) -> dict:
         """Send one request, retrying transient failures with backoff."""
-        self.metrics.requests_total += 1
+        self.telemetry.requests_total += 1
         last_error: Exception | None = None
         for attempt in range(self._max_retries + 1):
             if attempt > 0:
-                self.metrics.retries_total += 1
+                self.telemetry.retries_total += 1
                 pause = self._pause_before(attempt, last_error)
-                self.metrics.backoff_seconds_total += pause
+                self.telemetry.backoff_seconds_total += pause
                 await self._sleep(pause)
             try:
                 response = await self._round_trip(message)
             except asyncio.TimeoutError as error:
-                self.metrics.timeouts += 1
+                self.telemetry.timeouts += 1
                 last_error = error
                 continue
             except (ConnectionError, ProtocolError, OSError) as error:
-                self.metrics.reconnects += 1
+                self.telemetry.reconnects += 1
                 last_error = error
                 continue
             if response.get("ok"):
@@ -227,9 +232,9 @@ class KVClient:
             if code not in _RETRYABLE_CODES:
                 raise failure  # non-transient: surface immediately
             if code == protocol.CODE_STALLED:
-                self.metrics.stalled_responses += 1
+                self.telemetry.stalled_responses += 1
             else:
-                self.metrics.shard_down_responses += 1
+                self.telemetry.shard_down_responses += 1
             last_error = failure
         raise RetriesExhaustedError(
             f"request failed after {self._max_retries + 1} attempts: "
@@ -307,6 +312,31 @@ class KVClient:
         response = await self.request(protocol.stats_request())
         return {
             key: value for key, value in response.items() if key != "ok"
+        }
+
+    async def metrics(self) -> dict:
+        """The server's structured metrics-registry snapshot.
+
+        Against a single server this is one tier's registry; against a
+        cluster router it is the rolled-up view with per-shard series
+        labelled ``shard="N"`` and histograms merged bucket-by-bucket.
+        Render locally with :func:`repro.obs.render_prometheus`.
+        """
+        response = await self.request(protocol.metrics_request())
+        return dict(response.get("metrics", {}))
+
+    async def events(
+        self, since: int = -1, limit: int | None = None
+    ) -> dict:
+        """Lifecycle events with ``seq > since`` from the server's ring.
+
+        Returns ``{"events": [event dict, ...], "dropped": int}``; feed
+        the last event's ``seq`` back as ``since`` to tail incrementally.
+        """
+        response = await self.request(protocol.events_request(since, limit))
+        return {
+            "events": list(response.get("events", [])),
+            "dropped": int(response.get("dropped", 0)),
         }
 
     async def ping(self) -> bool:

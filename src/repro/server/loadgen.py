@@ -191,8 +191,8 @@ async def closed_loop(
             error_count=errors,
             duration_seconds=duration,
             latencies=latencies,
-            retries=client.metrics.retries_total,
-            stalled_responses=client.metrics.stalled_responses,
+            retries=client.telemetry.retries_total,
+            stalled_responses=client.telemetry.stalled_responses,
         )
 
 
@@ -241,6 +241,12 @@ async def open_loop(
             except ServerError:
                 errors += 1
                 return
+            # Latency is anchored to the *scheduled* arrival, never to
+            # when the send actually happened: an op held up behind a
+            # slow predecessor (pool exhausted, server stalled) accrues
+            # that queueing time. Measuring from the send instant would
+            # be coordinated omission — the stall would erase its own
+            # evidence from the tail.
             latencies.append(time.monotonic() - scheduled)
 
         await asyncio.gather(
@@ -256,8 +262,8 @@ async def open_loop(
             error_count=errors,
             duration_seconds=duration,
             latencies=latencies,
-            retries=client.metrics.retries_total,
-            stalled_responses=client.metrics.stalled_responses,
+            retries=client.telemetry.retries_total,
+            stalled_responses=client.telemetry.stalled_responses,
         )
 
 

@@ -12,6 +12,14 @@ the storage engine's public API plus service plumbing::
     SCAN  {"op": "SCAN", "lo": b64|null, "hi": b64|null, "limit": int|null}
     STATS {"op": "STATS"}
     PING  {"op": "PING"}
+    METRICS {"op": "METRICS"}
+    EVENTS  {"op": "EVENTS", "since": int, "limit": int|null}
+
+``METRICS`` returns the server's structured metrics-registry snapshot
+(:mod:`repro.obs`) — structured rather than pre-rendered text so a
+cluster router can merge per-shard histograms bucket-by-bucket before
+anything computes a percentile. ``EVENTS`` pages through the lifecycle
+event ring with a ``since`` sequence-number cursor.
 
 Responses carry ``{"ok": true, ...}`` on success or
 ``{"ok": false, "code": ..., "error": ..., "retry_after": ...}`` on
@@ -37,7 +45,10 @@ MAX_FRAME_BYTES = 16 * 2**20
 _LENGTH = struct.Struct(">I")
 
 #: Every verb the service understands.
-VERBS = frozenset({"PUT", "GET", "DEL", "BATCH", "SCAN", "STATS", "PING"})
+VERBS = frozenset(
+    {"PUT", "GET", "DEL", "BATCH", "SCAN", "STATS", "PING",
+     "METRICS", "EVENTS"}
+)
 
 #: Error codes a response may carry.
 CODE_STALLED = "STALLED"
@@ -167,6 +178,26 @@ def stats_request() -> dict:
 
 def ping_request() -> dict:
     return {"op": "PING"}
+
+
+def metrics_request() -> dict:
+    return {"op": "METRICS"}
+
+
+def events_request(since: int = -1, limit: int | None = None) -> dict:
+    return {"op": "EVENTS", "since": since, "limit": limit}
+
+
+def events_cursor(message: dict) -> tuple[int, int | None]:
+    """Decode an EVENTS request's ``since`` cursor and ``limit``."""
+    since, limit = message.get("since", -1), message.get("limit")
+    if not isinstance(since, int) or isinstance(since, bool):
+        raise ProtocolError("events cursor must be an integer")
+    if limit is not None and (
+        not isinstance(limit, int) or isinstance(limit, bool) or limit < 0
+    ):
+        raise ProtocolError("events limit must be a non-negative integer")
+    return since, limit
 
 
 # -- response builders ---------------------------------------------------

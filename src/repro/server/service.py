@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 from dataclasses import asdict, dataclass, field
 
 from ..engine.datastore import LSMStore
@@ -33,11 +34,17 @@ from ..errors import (
     ProtocolError,
     WriteStalledError,
 )
+from ..obs import PrometheusEndpoint, render_prometheus
+from ..obs import events as obs_events
 from . import protocol
 from .admission import REJECT, AdmissionController
 
 #: Default bound on how long one admitted write may be absorbed/delayed.
 DEFAULT_WRITE_DEADLINE = 5.0
+
+#: Request-private key carrying the frame-receipt timestamp from dispatch
+#: to the latency accounting (never serialized back to the client).
+_RECEIVED_AT = "_received_at"
 
 
 @dataclass
@@ -76,17 +83,27 @@ class FramedServer:
     dispatch to ``_op_<verb>`` coroutine methods. Subclasses —
     :class:`KVServer` over one engine, the cluster's
     :class:`~repro.cluster.router.ClusterRouter` over many — provide the
-    verb handlers and a ``metrics`` object with ``requests_total``,
+    verb handlers, a ``metrics`` object with ``requests_total``,
     ``protocol_errors``, ``connections_total``, and ``connections_open``
-    counters.
+    counters, and an ``obs`` bundle backing the shared ``METRICS`` /
+    ``EVENTS`` verbs and the optional Prometheus scrape endpoint
+    (``metrics_port``; 0 picks a free port, None disables).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_port: int | None = None,
+    ) -> None:
         self._host = host
         self._port = port
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._handlers: set[asyncio.Task] = set()
+        self._clock = time.monotonic
+        self._metrics_port = metrics_port
+        self._exposition: PrometheusEndpoint | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -98,7 +115,23 @@ class FramedServer:
             self._handle_connection, self._host, self._port
         )
         self._host, self._port = self._server.sockets[0].getsockname()[:2]
+        if self._metrics_port is not None:
+            self._exposition = PrometheusEndpoint(
+                self._render_metrics, host=self._host,
+                port=self._metrics_port,
+            )
+            await self._exposition.start()
         return self._host, self._port
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """Bound (host, port) of the Prometheus endpoint, if enabled."""
+        if self._exposition is None:
+            return None
+        return self._host, self._exposition.port
+
+    async def _render_metrics(self) -> str:
+        return render_prometheus(await self.metrics_snapshot())
 
     @property
     def address(self) -> tuple[str, int]:
@@ -122,6 +155,9 @@ class FramedServer:
         """
         if self._server is None:
             return
+        if self._exposition is not None:
+            await self._exposition.aclose()
+            self._exposition = None
         self._server.close()
         for writer in list(self._connections):
             writer.close()
@@ -172,10 +208,12 @@ class FramedServer:
 
     async def _dispatch(self, message: dict) -> dict:
         self.metrics.requests_total += 1
+        message[_RECEIVED_AT] = self._clock()
+        verb = "?"
         try:
             verb = protocol.request_verb(message)
             handler = getattr(self, f"_op_{verb.lower()}")
-            return await handler(message)
+            response = await handler(message)
         except ProtocolError as error:
             self.metrics.protocol_errors += 1
             return protocol.error_response(
@@ -187,9 +225,65 @@ class FramedServer:
             return protocol.error_response(
                 protocol.CODE_INTERNAL, f"{type(error).__name__}: {error}"
             )
+        self._finalize_breakdown(verb, message, response)
+        return response
+
+    def _finalize_breakdown(
+        self, verb: str, message: dict, response: dict
+    ) -> None:
+        """Complete and record a response's latency breakdown.
+
+        Handlers attach the legs they can measure (admission wait, engine
+        time, I/O time); this fills in ``total`` (frame receipt to
+        response ready) and ``queue`` (total minus every attributed leg:
+        event-loop scheduling, thread-pool handoff, serialization), then
+        aggregates each leg into the tier's per-op histograms.
+        """
+        breakdown = response.get("breakdown")
+        if breakdown is None:
+            return
+        total = self._clock() - message[_RECEIVED_AT]
+        breakdown["total"] = total
+        breakdown["queue"] = max(
+            0.0,
+            total
+            - breakdown.get("admission", 0.0)
+            - breakdown.get("engine", 0.0)
+            - breakdown.get("io", 0.0),
+        )
+        registry = self.obs.registry
+        op = verb.lower()
+        for component in ("total", "queue", "admission", "engine", "io"):
+            if component in breakdown:
+                registry.histogram(
+                    "server_request_seconds",
+                    labels={"op": op, "component": component},
+                    help="Per-request latency breakdown by component.",
+                ).observe(breakdown[component])
 
     async def _op_ping(self, message: dict) -> dict:
         return protocol.ok_response(pong=True)
+
+    # -- observability verbs (shared by server and cluster router) -------
+
+    async def metrics_snapshot(self) -> dict:
+        """The structured snapshot METRICS serves (subclasses override)."""
+        return self.obs.registry.snapshot()
+
+    async def events_since(self, since: int, limit: int | None) -> list:
+        """Events behind the EVENTS verb (subclasses may aggregate)."""
+        return self.obs.tracer.events(since, limit)
+
+    async def _op_metrics(self, message: dict) -> dict:
+        return protocol.ok_response(metrics=await self.metrics_snapshot())
+
+    async def _op_events(self, message: dict) -> dict:
+        since, limit = protocol.events_cursor(message)
+        events = await self.events_since(since, limit)
+        return protocol.ok_response(
+            events=[event.to_wire() for event in events],
+            dropped=self.obs.tracer.dropped,
+        )
 
 
 class KVServer(FramedServer):
@@ -202,21 +296,34 @@ class KVServer(FramedServer):
         host: str = "127.0.0.1",
         port: int = 0,
         write_deadline: float = DEFAULT_WRITE_DEADLINE,
+        metrics_port: int | None = None,
     ) -> None:
         if write_deadline <= 0:
             raise ConfigurationError("write_deadline must be positive")
-        super().__init__(host, port)
+        super().__init__(host, port, metrics_port=metrics_port)
         self._store = store
         self._admission = admission or AdmissionController()
         self._write_deadline = write_deadline
         self.metrics = ServerMetrics()
+        # Share the engine's bundle: one registry, one event ring, one
+        # clock for the whole process tier.
+        self.obs = store.obs
+        self._clock = store.obs.clock
 
     # -- the admission + write pipeline ----------------------------------
 
     async def _admitted_write(self, nbytes: int, apply) -> dict:
-        """Run one write through admission, delays, and stall absorption."""
+        """Run one write through admission, delays, and stall absorption.
+
+        ``apply`` must return a :class:`~repro.engine.WriteTiming`; the
+        response carries a ``breakdown`` with the admission wait this
+        pipeline accumulated (delays, absorb pauses) and the engine/I-O
+        legs from the timing (``engine`` excludes the WAL leg reported
+        as ``io``; ``stall`` is informational, already inside engine).
+        """
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self._write_deadline
+        admission_wait = 0.0
         while True:
             decision = self._admission.decide(self._store.stats(), nbytes)
             if decision.action == REJECT:
@@ -225,18 +332,35 @@ class KVServer(FramedServer):
                 # write is bounced, so the stall would never clear.
                 await asyncio.to_thread(self._store.advance_maintenance)
                 self.metrics.writes_rejected += 1
-                return protocol.error_response(
+                self.obs.tracer.emit(
+                    obs_events.ADMISSION,
+                    action="reject",
+                    reason=decision.reason or "admission",
+                    nbytes=nbytes,
+                )
+                response = protocol.error_response(
                     protocol.CODE_STALLED,
                     decision.reason or "write rejected by admission",
                     retry_after=decision.retry_after,
                 )
+                response["breakdown"] = {
+                    "admission": admission_wait, "engine": 0.0, "io": 0.0,
+                }
+                return response
             if decision.delay_seconds > 0.0:
                 self.metrics.writes_delayed += 1
                 self.metrics.delay_seconds_total += decision.delay_seconds
+                self.obs.tracer.emit(
+                    obs_events.ADMISSION,
+                    action="delay",
+                    seconds=decision.delay_seconds,
+                    nbytes=nbytes,
+                )
+                admission_wait += decision.delay_seconds
                 await asyncio.to_thread(self._store.advance_maintenance)
                 await asyncio.sleep(decision.delay_seconds)
             try:
-                await asyncio.to_thread(apply)
+                timing = await asyncio.to_thread(apply)
             except WriteStalledError as error:
                 # Rejected writes make no maintenance progress in inline
                 # mode, so the serving layer pumps merges forward — the
@@ -250,16 +374,42 @@ class KVServer(FramedServer):
                     self.metrics.stalls_absorbed += 1
                     pause = self._admission.stall_pause or 0.001
                     self.metrics.delay_seconds_total += pause
+                    self.obs.tracer.emit(
+                        obs_events.ADMISSION,
+                        action="absorb",
+                        seconds=pause,
+                        nbytes=nbytes,
+                    )
+                    admission_wait += pause
                     await asyncio.sleep(pause)
                     continue  # slow down, don't stop
                 self.metrics.writes_rejected += 1
-                return protocol.error_response(
+                self.obs.tracer.emit(
+                    obs_events.ADMISSION,
+                    action="reject",
+                    reason="engine stall",
+                    nbytes=nbytes,
+                )
+                response = protocol.error_response(
                     protocol.CODE_STALLED,
                     str(error),
                     retry_after=self._admission.stall_pause or 0.05,
                 )
+                response["breakdown"] = {
+                    "admission": admission_wait, "engine": 0.0, "io": 0.0,
+                }
+                return response
             self.metrics.writes_admitted += 1
-            return protocol.ok_response()
+            return protocol.ok_response(
+                breakdown={
+                    "admission": admission_wait,
+                    "engine": max(
+                        0.0, timing.engine_seconds - timing.io_seconds
+                    ),
+                    "io": timing.io_seconds,
+                    "stall": timing.stall_seconds,
+                }
+            )
 
     # -- verbs -----------------------------------------------------------
 
@@ -267,13 +417,13 @@ class KVServer(FramedServer):
         key = protocol.request_key(message)
         value = protocol.request_value(message)
         return await self._admitted_write(
-            len(key) + len(value), lambda: self._store.put(key, value)
+            len(key) + len(value), lambda: self._store.timed_put(key, value)
         )
 
     async def _op_del(self, message: dict) -> dict:
         key = protocol.request_key(message)
         return await self._admitted_write(
-            len(key), lambda: self._store.delete(key)
+            len(key), lambda: self._store.timed_delete(key)
         )
 
     async def _op_batch(self, message: dict) -> dict:
@@ -283,32 +433,75 @@ class KVServer(FramedServer):
             for key, value in ops
         )
         response = await self._admitted_write(
-            nbytes, lambda: self._store.write_batch(ops)
+            nbytes, lambda: self._store.timed_write_batch(ops)
         )
         if response.get("ok"):
             response["count"] = len(ops)
         return response
 
+    def _timed_read(self, operation):
+        started = self._clock()
+        result = operation()
+        return result, self._clock() - started
+
     async def _op_get(self, message: dict) -> dict:
         key = protocol.request_key(message)
         self.metrics.reads_total += 1
-        value = await asyncio.to_thread(self._store.get, key)
+        value, engine_seconds = await asyncio.to_thread(
+            self._timed_read, lambda: self._store.get(key)
+        )
         return protocol.ok_response(
-            value=None if value is None else protocol.b64encode(value)
+            value=None if value is None else protocol.b64encode(value),
+            breakdown={"engine": engine_seconds},
         )
 
     async def _op_scan(self, message: dict) -> dict:
         lo, hi, limit = protocol.scan_bounds(message)
         self.metrics.reads_total += 1
-        items = await asyncio.to_thread(
-            lambda: list(self._store.scan(lo, hi, limit))
+        items, engine_seconds = await asyncio.to_thread(
+            self._timed_read, lambda: list(self._store.scan(lo, hi, limit))
         )
         return protocol.ok_response(
             items=[
                 [protocol.b64encode(key), protocol.b64encode(value)]
                 for key, value in items
-            ]
+            ],
+            breakdown={"engine": engine_seconds},
         )
+
+    # -- observability ----------------------------------------------------
+
+    def _sync_registry(self) -> dict:
+        """Scrape-time sync: gauges and mirrored counters, then snapshot.
+
+        The :class:`ServerMetrics` dataclass stays the source of truth
+        for serving-layer totals (STATS reports it directly); here its
+        cumulative values are mirrored into the registry so one scrape
+        sees engine and server series side by side.
+        """
+        self._store.refresh_gauges()
+        registry = self.obs.registry
+        for name, value in self.metrics.snapshot().items():
+            if name == "connections_open":
+                registry.gauge(
+                    "server_connections_open",
+                    help="Currently open client connections.",
+                ).set(value)
+                continue
+            suffix = (
+                "_seconds_total" if name.endswith("_seconds_total") else
+                "_total"
+            )
+            base = name.removesuffix("_seconds_total").removesuffix("_total")
+            registry.counter(
+                f"server_{base}{suffix}",
+                help=f"Serving-layer cumulative {name.replace('_', ' ')}.",
+            ).set_total(value)
+        return registry.snapshot()
+
+    async def metrics_snapshot(self) -> dict:
+        """Structured metrics for METRICS and the scrape endpoint."""
+        return await asyncio.to_thread(self._sync_registry)
 
     async def _op_stats(self, message: dict) -> dict:
         stats = await asyncio.to_thread(self._store.stats)
@@ -330,9 +523,10 @@ async def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     ready: asyncio.Event | None = None,
+    metrics_port: int | None = None,
 ) -> None:
     """Convenience runner: start a server and serve until cancelled."""
-    server = KVServer(store, admission, host, port)
+    server = KVServer(store, admission, host, port, metrics_port=metrics_port)
     await server.start()
     if ready is not None:
         ready.set()

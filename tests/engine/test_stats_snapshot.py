@@ -1,0 +1,134 @@
+"""Regression tests: stats() must be one atomic, maintenance-safe snapshot.
+
+A snapshot read while flushes/merges retire components concurrently must
+still be internally consistent — the per-level component map summing to
+the total, gauges agreeing with each other — because the admission
+layers make decisions from a single snapshot and a torn one would let a
+write slip past a stall gate (or stall a healthy store).
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import LSMStore, StoreOptions
+
+OPTIONS = StoreOptions(
+    memtable_bytes=8 * 1024,
+    policy="tiering",
+    size_ratio=3,
+    scheduler="greedy",
+    levels=3,
+)
+
+
+def _assert_consistent(stats) -> None:
+    assert stats.disk_components == sum(
+        stats.components_per_level.values()
+    ), "per-level map must sum to the total it was snapshot with"
+    assert all(
+        count >= 0 for count in stats.components_per_level.values()
+    )
+    assert 0 <= stats.sealed_memtables < stats.num_memtables
+    assert stats.memtable_entries >= 0
+    assert stats.memtable_bytes >= 0
+    assert 0.0 <= stats.write_headroom <= 1.0
+    assert stats.wal_bytes >= 0
+    assert stats.stall_seconds_total >= 0.0
+
+
+class TestAtomicSnapshot:
+    def test_single_threaded_consistency(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            for i in range(500):
+                store.put(f"k{i:06d}".encode(), b"v" * 64)
+                if i % 50 == 0:
+                    _assert_consistent(store.stats())
+            store.maintenance()
+            _assert_consistent(store.stats())
+
+    def test_stats_interleaved_with_maintenance_thread(self, tmp_path):
+        """The regression: snapshots taken while another thread pumps
+        advance_maintenance() (flushing, merging, retiring components)
+        must never expose a half-updated view."""
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            for i in range(1500):
+                store.put(f"k{i:06d}".encode(), b"v" * 64)
+            stop = threading.Event()
+            failures: list[AssertionError] = []
+
+            def pump() -> None:
+                while not stop.is_set():
+                    store.advance_maintenance()
+
+            def observe() -> None:
+                try:
+                    for _ in range(400):
+                        _assert_consistent(store.stats())
+                except AssertionError as error:  # pragma: no cover
+                    failures.append(error)
+
+            pumper = threading.Thread(target=pump)
+            observer = threading.Thread(target=observe)
+            pumper.start()
+            observer.start()
+            observer.join()
+            stop.set()
+            pumper.join()
+            assert not failures, failures[0]
+
+    def test_snapshot_is_frozen_in_time(self, tmp_path):
+        """A snapshot must not change after more writes land."""
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            store.put(b"a", b"1")
+            before = store.stats()
+            entries = before.memtable_entries
+            levels = dict(before.components_per_level)
+            for i in range(300):
+                store.put(f"k{i:06d}".encode(), b"v" * 64)
+            assert before.memtable_entries == entries
+            assert before.components_per_level == levels
+
+
+class TestWriteTiming:
+    def test_timed_put_accounts_io_within_engine_time(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            timing = store.timed_put(b"k", b"v" * 128)
+            assert timing.engine_seconds >= timing.io_seconds >= 0.0
+            assert timing.stall_seconds == 0.0
+            assert store.get(b"k") == b"v" * 128
+
+    def test_timed_batch_matches_plain_batch_semantics(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            timing = store.timed_write_batch(
+                [(b"a", b"1"), (b"b", None)]
+            )
+            assert timing.engine_seconds >= 0.0
+            assert store.get(b"a") == b"1"
+            assert store.get(b"b") is None
+
+    def test_timed_delete(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            store.put(b"k", b"v")
+            timing = store.timed_delete(b"k")
+            assert timing.engine_seconds >= 0.0
+            assert store.get(b"k") is None
+
+
+class TestRefreshGauges:
+    def test_gauges_mirror_one_snapshot(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            for i in range(200):
+                store.put(f"k{i:06d}".encode(), b"v" * 64)
+            stats = store.refresh_gauges()
+            snap = store.obs.registry.snapshot()
+            gauges = {
+                (g["name"]): g["value"] for g in snap["gauges"]
+            }
+            assert gauges["engine_write_headroom"] == pytest.approx(
+                stats.write_headroom
+            )
+            assert gauges["engine_disk_components"] == (
+                stats.disk_components
+            )
+            assert gauges["engine_wal_bytes"] == stats.wal_bytes

@@ -29,6 +29,15 @@ class TestPercentile:
         with pytest.raises(ConfigurationError):
             percentile([1.0], 101.0)
 
+    def test_tail_is_conservative_from_above(self):
+        # 100 samples 1..100: nearest-rank-from-above P99 must be the
+        # 99th-or-later sample, never the 98th. The old "lower"
+        # interpolation reported 99.0 here — i.e. "P99" was really P98,
+        # under-reporting exactly the tail the paper is about.
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 99.0) == 100.0
+        assert percentile(samples, 90.0) == 91.0
+
     @given(
         st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=200),
         st.floats(0, 100),
@@ -36,6 +45,17 @@ class TestPercentile:
     def test_result_always_within_sample_range(self, samples, q):
         value = percentile(samples, q)
         assert min(samples) <= value <= max(samples)
+
+    @given(
+        st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=200),
+        st.floats(0, 100),
+    )
+    def test_at_least_q_percent_of_samples_at_or_below(self, samples, q):
+        # The defining property of a conservative percentile: the mass
+        # at or below the reported value is never less than q.
+        value = percentile(samples, q)
+        at_or_below = sum(1 for s in samples if s <= value)
+        assert at_or_below / len(samples) >= q / 100.0 - 1e-12
 
 
 class TestPercentileProfile:

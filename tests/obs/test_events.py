@@ -1,0 +1,153 @@
+"""Tests for the bounded lifecycle-event ring."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    EVENT_KINDS,
+    FLUSH_END,
+    FLUSH_START,
+    STALL_ENTER,
+    Event,
+    EventTracer,
+    merge_events,
+)
+
+
+def _ticker(start=0.0, step=1.0):
+    state = {"now": start - step}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestEmit:
+    def test_events_are_ordered_with_increasing_seq(self):
+        tracer = EventTracer(capacity=8, clock=_ticker())
+        tracer.emit(FLUSH_START, run_id=1)
+        tracer.emit(FLUSH_END, run_id=1)
+        events = tracer.events()
+        assert [e.seq for e in events] == [0, 1]
+        assert [e.kind for e in events] == [FLUSH_START, FLUSH_END]
+        assert events[0].timestamp < events[1].timestamp
+        assert events[0].fields == {"run_id": 1}
+
+    def test_unknown_kind_rejected(self):
+        tracer = EventTracer(capacity=8)
+        with pytest.raises(ConfigurationError):
+            tracer.emit("coffee_break")
+
+    def test_all_declared_kinds_accepted(self):
+        tracer = EventTracer(capacity=len(EVENT_KINDS))
+        for kind in sorted(EVENT_KINDS):
+            tracer.emit(kind)
+        assert len(tracer) == len(EVENT_KINDS)
+
+
+class TestBoundedMemory:
+    def test_ring_never_exceeds_capacity(self):
+        tracer = EventTracer(capacity=4, clock=_ticker())
+        for _ in range(100):
+            tracer.emit(STALL_ENTER)
+        assert len(tracer) == 4
+        assert len(tracer.events()) == 4
+
+    def test_overflow_counted_and_oldest_evicted(self):
+        tracer = EventTracer(capacity=3, clock=_ticker())
+        for _ in range(10):
+            tracer.emit(STALL_ENTER)
+        assert tracer.dropped == 7
+        assert [e.seq for e in tracer.events()] == [7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EventTracer(capacity=0)
+
+
+class TestCursor:
+    def test_since_filters_already_seen_events(self):
+        tracer = EventTracer(capacity=8, clock=_ticker())
+        for _ in range(5):
+            tracer.emit(STALL_ENTER)
+        assert [e.seq for e in tracer.events(since=2)] == [3, 4]
+        assert tracer.events(since=4) == []
+
+    def test_limit_truncates_from_the_front(self):
+        tracer = EventTracer(capacity=8, clock=_ticker())
+        for _ in range(5):
+            tracer.emit(STALL_ENTER)
+        assert [e.seq for e in tracer.events(limit=2)] == [0, 1]
+
+    def test_tail_loop_sees_every_event_exactly_once(self):
+        tracer = EventTracer(capacity=16, clock=_ticker())
+        seen = []
+        cursor = -1
+        for round_number in range(3):
+            for _ in range(4):
+                tracer.emit(STALL_ENTER)
+            fresh = tracer.events(since=cursor)
+            seen.extend(e.seq for e in fresh)
+            cursor = fresh[-1].seq
+        assert seen == list(range(12))
+
+
+class TestWire:
+    def test_round_trip(self):
+        tracer = EventTracer(capacity=4, clock=_ticker())
+        original = tracer.emit(FLUSH_START, run_id=7, bytes=1024)
+        rebuilt = Event.from_wire(original.to_wire())
+        assert rebuilt == original
+
+    def test_format_is_one_line(self):
+        event = Event(seq=3, timestamp=1.5, kind=FLUSH_END, fields={"b": 2})
+        line = event.format()
+        assert "\n" not in line
+        assert "flush_end" in line
+        assert "b=2" in line
+
+
+class TestThreadSafety:
+    def test_concurrent_emitters_never_lose_seq_or_overshoot(self):
+        tracer = EventTracer(capacity=64)
+        per_thread = 200
+
+        def worker():
+            for _ in range(per_thread):
+                tracer.emit(STALL_ENTER)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer) == 64
+        assert tracer.dropped == 4 * per_thread - 64
+        seqs = [e.seq for e in tracer.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestMergeEvents:
+    def test_merges_by_timestamp(self):
+        a = EventTracer(capacity=8, clock=_ticker(start=0.0, step=2.0))
+        b = EventTracer(capacity=8, clock=_ticker(start=1.0, step=2.0))
+        for _ in range(3):
+            a.emit(STALL_ENTER)
+            b.emit(FLUSH_START)
+        merged = merge_events([a.events(), b.events()])
+        assert [e.timestamp for e in merged] == [0, 1, 2, 3, 4, 5]
+        assert [e.kind for e in merged] == [
+            STALL_ENTER, FLUSH_START,
+        ] * 3
+
+    def test_limit_keeps_most_recent(self):
+        a = EventTracer(capacity=8, clock=_ticker())
+        for _ in range(5):
+            a.emit(STALL_ENTER)
+        merged = merge_events([a.events()], limit=2)
+        assert [e.seq for e in merged] == [3, 4]

@@ -1,0 +1,152 @@
+"""Tests for Prometheus text rendering, linting, and the HTTP endpoint."""
+
+import asyncio
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    PrometheusEndpoint,
+    lint_exposition,
+    render_prometheus,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "writes_total", labels={"op": "put"}, help="Writes."
+    ).inc(3)
+    registry.counter("writes_total", labels={"op": "del"}).inc(1)
+    registry.gauge("fill", help="Memtable fill.").set(0.5)
+    hist = registry.histogram(
+        "lat_seconds", bounds=(0.001, 0.01), help="Latency."
+    )
+    hist.observe(0.0005)
+    hist.observe(0.005)
+    hist.observe(1.0)
+    return registry
+
+
+class TestRender:
+    def test_lints_clean(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert lint_exposition(text) == []
+
+    def test_counter_series_share_one_type_line(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert text.count("# TYPE writes_total counter") == 1
+        assert 'writes_total{op="put"} 3' in text
+        assert 'writes_total{op="del"} 1' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert 'lat_seconds_bucket{le="0.001"} 1' in text
+        assert 'lat_seconds_bucket{le="0.01"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum" in text
+
+    def test_ends_with_newline(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert text.endswith("\n")
+
+    def test_empty_snapshot_renders_empty_page(self):
+        text = render_prometheus(MetricsRegistry().snapshot())
+        assert lint_exposition(text) == []
+
+
+class TestLint:
+    def test_flags_missing_trailing_newline(self):
+        assert any(
+            "newline" in problem
+            for problem in lint_exposition("a_total 1")
+        )
+
+    def test_flags_non_cumulative_histogram(self):
+        text = (
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="1"} 5\n'
+            'h_seconds_bucket{le="2"} 3\n'
+            'h_seconds_bucket{le="+Inf"} 5\n'
+            "h_seconds_sum 4\n"
+            "h_seconds_count 5\n"
+        )
+        assert any("cumulative" in p or "monoton" in p
+                   for p in lint_exposition(text))
+
+    def test_flags_missing_inf_bucket(self):
+        text = (
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="1"} 5\n'
+            "h_seconds_sum 4\n"
+            "h_seconds_count 5\n"
+        )
+        assert lint_exposition(text)
+
+    def test_flags_duplicate_series(self):
+        text = "a_total 1\na_total 2\n"
+        assert any("duplicate" in p.lower() for p in lint_exposition(text))
+
+    def test_accepts_valid_page(self):
+        text = "# TYPE a_total counter\na_total 1\n"
+        assert lint_exposition(text) == []
+
+
+class TestEndpoint:
+    def test_serves_provider_text_with_content_type(self):
+        async def run():
+            registry = _sample_registry()
+            endpoint = PrometheusEndpoint(
+                lambda: render_prometheus(registry.snapshot()), port=0
+            )
+            await endpoint.start()
+            try:
+                url = f"http://127.0.0.1:{endpoint.port}/metrics"
+                response = await asyncio.to_thread(
+                    urllib.request.urlopen, url
+                )
+                body = response.read().decode("utf-8")
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                return body
+            finally:
+                await endpoint.aclose()
+
+        body = asyncio.run(run())
+        assert lint_exposition(body) == []
+        assert "writes_total" in body
+
+    def test_unknown_path_is_404(self):
+        async def run():
+            endpoint = PrometheusEndpoint(lambda: "", port=0)
+            await endpoint.start()
+            try:
+                url = f"http://127.0.0.1:{endpoint.port}/nope"
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    await asyncio.to_thread(urllib.request.urlopen, url)
+                return excinfo.value.code
+            finally:
+                await endpoint.aclose()
+
+        assert asyncio.run(run()) == 404
+
+    def test_async_provider_supported(self):
+        async def provider():
+            return "a_total 1\n"
+
+        async def run():
+            endpoint = PrometheusEndpoint(provider, port=0)
+            await endpoint.start()
+            try:
+                url = f"http://127.0.0.1:{endpoint.port}/metrics"
+                response = await asyncio.to_thread(
+                    urllib.request.urlopen, url
+                )
+                return response.read().decode("utf-8")
+            finally:
+                await endpoint.aclose()
+
+        assert asyncio.run(run()) == "a_total 1\n"

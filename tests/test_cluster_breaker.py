@@ -174,3 +174,34 @@ class TestHalfOpenState:
             (OPEN, HALF_OPEN),
             (HALF_OPEN, CLOSED),
         ]
+
+
+class TestTransitionCallback:
+    def test_listener_sees_every_transition_in_order(self):
+        clock = FakeClock()
+        observed = []
+        breaker = make(
+            clock, on_transition=lambda old, new: observed.append((old, new))
+        )
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert observed == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+        assert observed == breaker.transitions
+
+    def test_no_callback_on_non_transitions(self):
+        clock = FakeClock()
+        observed = []
+        breaker = make(
+            clock, on_transition=lambda old, new: observed.append((old, new))
+        )
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()  # 1/3 failures, below the 0.5 threshold
+        assert breaker.state == CLOSED
+        assert observed == []

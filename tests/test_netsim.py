@@ -64,7 +64,7 @@ def test_clean_proxy_is_transparent(tmp_path):
     async def scenario(client, proxy, pauses):
         await client.put(b"k", b"v")
         assert await client.get(b"k") == b"v"
-        return client.metrics, proxy
+        return client.telemetry, proxy
 
     metrics, proxy = run_through_proxy(tmp_path, [PASS], scenario)
     assert metrics.retries_total == 0
@@ -76,7 +76,7 @@ def test_refused_connection_is_retried(tmp_path):
     async def scenario(client, proxy, pauses):
         await client.put(b"k", b"v")
         assert await client.get(b"k") == b"v"
-        return client.metrics, proxy
+        return client.telemetry, proxy
 
     metrics, proxy = run_through_proxy(tmp_path, [REFUSE], scenario)
     assert metrics.retries_total >= 1
@@ -89,7 +89,7 @@ def test_torn_response_frame_poisons_the_connection(tmp_path):
     async def scenario(client, proxy, pauses):
         await client.put(b"k", b"v")
         assert await client.get(b"k") == b"v"
-        return client.metrics, proxy
+        return client.telemetry, proxy
 
     metrics, proxy = run_through_proxy(
         tmp_path, [partial_frame(3)], scenario
@@ -106,7 +106,7 @@ def test_mid_conversation_drop_is_survived(tmp_path):
         await client.put(b"b", b"2")  # needs a fresh connection
         assert await client.get(b"a") == b"1"
         assert await client.get(b"b") == b"2"
-        return client.metrics, proxy
+        return client.telemetry, proxy
 
     metrics, proxy = run_through_proxy(
         tmp_path, [drop_after(1)], scenario

@@ -138,7 +138,7 @@ def test_stalled_responses_are_retried_with_backoff():
 
     async def scenario(client, server, pauses):
         await client.put(b"k", b"v")
-        return client.metrics, pauses, len(server.requests)
+        return client.telemetry, pauses, len(server.requests)
 
     metrics, pauses, request_count = run_with_server(
         script,
@@ -234,7 +234,7 @@ def test_timeout_is_retried_then_succeeds():
 
     async def scenario(client, server, pauses):
         await client.put(b"k", b"v")
-        return client.metrics
+        return client.telemetry
 
     metrics = run_with_server(script, scenario, timeout=0.1, max_retries=2)
     assert metrics.timeouts == 1
@@ -246,7 +246,7 @@ def test_connection_drop_is_retried_on_a_fresh_connection():
 
     async def scenario(client, server, pauses):
         await client.put(b"k", b"v")
-        return client.metrics
+        return client.telemetry
 
     metrics = run_with_server(script, scenario, max_retries=2)
     assert metrics.reconnects == 1

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Lint a Prometheus text-format metrics page.
+
+Fetches one or more URLs (or reads files / stdin) and runs
+:func:`repro.obs.exposition.lint_exposition` over each page: trailing
+newline, well-formed ``# TYPE`` lines, parseable samples, histogram
+invariants (monotone cumulative buckets, ``+Inf`` == ``_count``,
+``_sum``/``_count`` present). Exits non-zero when any page has
+problems, so CI can scrape a live server mid-run and fail the job on a
+malformed exposition::
+
+    python tools/promlint.py http://127.0.0.1:9100/metrics
+    python tools/promlint.py scrape-dump.txt
+    python -m repro obs scrape --port 7379 | python tools/promlint.py -
+
+No third-party dependencies: urllib for fetching, repro.obs for rules.
+"""
+
+from __future__ import annotations
+
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import lint_exposition  # noqa: E402
+
+
+def fetch(source: str, timeout: float) -> str:
+    """Return the text behind one CLI argument (URL, file, or ``-``)."""
+    if source == "-":
+        return sys.stdin.read()
+    if source.startswith(("http://", "https://")):
+        with urllib.request.urlopen(source, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    return Path(source).read_text(encoding="utf-8")
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: promlint.py <url-or-file-or-dash> [...]",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for source in argv:
+        try:
+            text = fetch(source, timeout=10.0)
+        except OSError as error:
+            print(f"{source}: FETCH FAILED: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        problems = lint_exposition(text)
+        if problems:
+            failures += 1
+            print(f"{source}: {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            samples = sum(
+                1
+                for line in text.splitlines()
+                if line and not line.startswith("#")
+            )
+            print(f"{source}: OK ({samples} samples)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
