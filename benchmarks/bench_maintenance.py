@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Closed-loop ingest with 1 vs 4 maintenance workers (BENCH_5).
+
+The tentpole claim of the concurrent maintenance executor is that a
+rotation never queues behind a merge chunk: with one worker a sealed
+memtable waits for the in-flight chunk (its reconciliation CPU plus any
+rate-limiter sleep) before the flush can even start, while with several
+workers another worker claims the flush immediately. This benchmark
+measures that directly — the same seeded closed-loop workload (N writer
+threads, each issuing the next put as soon as the previous returns)
+against a 1-worker and a 4-worker store with deliberately large merge
+chunks, reporting ingest throughput, stall seconds, and the measured
+flush+merge write bandwidth against the rate-limiter budget.
+
+Run with the repo sources on the path::
+
+    PYTHONPATH=src python benchmarks/bench_maintenance.py --quick
+
+Emits ``BENCH_5.json`` (override with ``--output``). Exits non-zero if
+any writer errored, if maintenance bandwidth exceeded the budget by more
+than 10%, or if the 4-worker run failed to beat the 1-worker run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+from repro.engine import LSMStore, StoreOptions
+
+
+def build_options(workers: int, args: argparse.Namespace) -> StoreOptions:
+    return StoreOptions(
+        memtable_bytes=64 * 1024,
+        num_memtables=2,
+        policy="tiering",
+        size_ratio=3,
+        scheduler="greedy",
+        levels=4,
+        # Large chunks make the single-worker queueing delay visible: a
+        # flush behind a 4 MiB chunk waits for its whole reconciliation.
+        merge_chunk_bytes=4 * 2**20,
+        rate_limit_bytes_per_s=int(args.rate_limit_mib * 2**20),
+        block_cache_bytes=0,
+        background_maintenance=True,
+        maintenance_threads=workers,
+    )
+
+
+def run_mode(directory: str, workers: int, args: argparse.Namespace) -> dict:
+    options = build_options(workers, args)
+    value = b"v" * args.value_bytes
+    per_thread = args.ops // args.writers
+    errors: list[str] = []
+    with LSMStore.open(directory, options) as store:
+
+        def writer(tid: int) -> None:
+            rng = random.Random(args.seed * 7919 + tid)
+            try:
+                for _ in range(per_thread):
+                    key = f"user{rng.randrange(args.keyspace):08d}".encode()
+                    store.put(key, value)
+            except Exception as exc:  # noqa: BLE001 — reported in JSON
+                errors.append(repr(exc))
+
+        started = time.monotonic()
+        threads = [
+            threading.Thread(target=writer, args=(tid,))
+            for tid in range(args.writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ingest_seconds = time.monotonic() - started
+        store.maintenance()
+        total_seconds = time.monotonic() - started
+        stats = store.stats()
+        admitted = store.rate_limiter.total_admitted_bytes
+        rate = options.rate_limit_bytes_per_s
+        # The limiter grants a one-second burst on top of rate x time,
+        # so the budget for the window includes it.
+        budget_bytes = rate * (total_seconds + 1.0)
+        ops = per_thread * args.writers
+        return {
+            "workers": workers,
+            "ops": ops,
+            "ingest_seconds": round(ingest_seconds, 4),
+            "throughput_ops_per_s": round(ops / ingest_seconds, 1),
+            "stall_seconds": round(stats.stall_seconds_total, 4),
+            "throttle_sleep_seconds": round(
+                stats.throttle_sleep_seconds, 4
+            ),
+            "merges_completed": stats.merges_completed,
+            "disk_components": stats.disk_components,
+            "admitted_bytes": int(admitted),
+            "bandwidth_bytes_per_s": round(admitted / total_seconds, 1),
+            "rate_limit_bytes_per_s": rate,
+            "budget_utilization": round(admitted / budget_bytes, 4),
+            "errors": errors,
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=40_000)
+    parser.add_argument("--writers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--value-bytes", type=int, default=100)
+    parser.add_argument("--keyspace", type=int, default=5_000)
+    parser.add_argument(
+        "--rate-limit-mib", type=float, default=4.0,
+        help="shared flush+merge budget; the default is deliberately "
+        "binding so worker sleeps (not CPU) dominate maintenance",
+    )
+    parser.add_argument("--output", default="BENCH_5.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizing (fewer ops, same shape)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        # Scale the budget down with the workload: at a quarter of the
+        # ops the full-size rate's one-second burst would cover half the
+        # maintenance bytes and the limiter would stop being binding.
+        args.ops = min(args.ops, 10_000)
+        args.rate_limit_mib = min(args.rate_limit_mib, 1.0)
+
+    modes = []
+    for workers in (1, 4):
+        directory = tempfile.mkdtemp(prefix=f"bench-maint-{workers}w-")
+        try:
+            result = run_mode(directory, workers, args)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        modes.append(result)
+        print(
+            f"workers={workers}: "
+            f"{result['throughput_ops_per_s']:.0f} ops/s, "
+            f"stalls={result['stall_seconds']:.2f}s, "
+            f"bandwidth={result['bandwidth_bytes_per_s'] / 2**20:.2f} MiB/s "
+            f"(utilization {result['budget_utilization']:.2f})"
+        )
+
+    single, pooled = modes
+    speedup = (
+        pooled["throughput_ops_per_s"] / single["throughput_ops_per_s"]
+    )
+    payload = {
+        "benchmark": "maintenance_workers",
+        "config": {
+            "ops": args.ops,
+            "writers": args.writers,
+            "seed": args.seed,
+            "value_bytes": args.value_bytes,
+            "keyspace": args.keyspace,
+            "rate_limit_mib": args.rate_limit_mib,
+            "quick": args.quick,
+        },
+        "modes": modes,
+        "speedup_4_over_1": round(speedup, 3),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"speedup (4 workers / 1 worker): {speedup:.2f}x -> {args.output}")
+
+    failed = []
+    for mode in modes:
+        if mode["errors"]:
+            failed.append(f"workers={mode['workers']} errored: {mode['errors']}")
+        if mode["budget_utilization"] > 1.1:
+            failed.append(
+                f"workers={mode['workers']} exceeded the rate-limiter "
+                f"budget by more than 10% "
+                f"(utilization {mode['budget_utilization']:.2f})"
+            )
+    if speedup <= 1.0:
+        failed.append(f"4 workers did not beat 1 ({speedup:.2f}x)")
+    for line in failed:
+        print(f"FAILED: {line}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

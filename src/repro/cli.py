@@ -165,7 +165,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         memtable_bytes=int(args.memtable_mib * 2**20),
         policy=args.engine_policy,
         stall_mode=args.stall_mode,
-        background_maintenance=args.background,
+        background_maintenance=(
+            args.background or args.maintenance_threads > 1
+        ),
+        maintenance_threads=args.maintenance_threads,
     )
 
     async def run() -> None:
@@ -276,7 +279,10 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         memtable_bytes=int(args.memtable_mib * 2**20),
         policy=args.engine_policy,
         stall_mode=args.stall_mode,
-        background_maintenance=args.background,
+        background_maintenance=(
+            args.background or args.maintenance_threads > 1
+        ),
+        maintenance_threads=args.maintenance_threads,
     )
     admission = build_cluster_admission(
         args.scope, args.admission, args.shards, **_admission_params(args)
@@ -485,7 +491,12 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--background", action="store_true",
-        help="run engine maintenance on a background thread",
+        help="run engine maintenance on background workers",
+    )
+    parser.add_argument(
+        "--maintenance-threads", type=int, default=1,
+        help="background flush/merge workers per store "
+             "(>1 implies --background)",
     )
 
 

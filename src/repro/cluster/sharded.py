@@ -296,9 +296,15 @@ class ShardedStore:
         pump budget, and spends each shard's slice as
         ``advance_maintenance()`` calls on that shard's engine. Returns
         the total pumps applied per shard (for tests and reporting).
+
+        Shards running background maintenance workers make their own
+        progress, so the pump is a no-op for them — arbitrating a shared
+        budget the workers ignore would just misreport who did the work.
         """
         if rounds < 1:
             raise ConfigurationError("pump rounds must be positive")
+        if self._options.background_maintenance:
+            return {}
         applied: dict[int, int] = {}
         for _ in range(rounds):
             backlogs = {

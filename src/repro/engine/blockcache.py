@@ -26,6 +26,9 @@ class BlockCache:
             raise ConfigurationError("cache capacity cannot be negative")
         self._capacity = capacity_bytes
         self._blocks: OrderedDict[tuple[int, int], bytes] = OrderedDict()
+        # Per-generation key index so evict_reader drops one reader's
+        # blocks without scanning every cached block of every reader.
+        self._by_generation: dict[int, set[tuple[int, int]]] = {}
         self._bytes = 0
         self._hits = 0
         self._misses = 0
@@ -66,11 +69,18 @@ class BlockCache:
         return next(self._generations)
 
     def get(self, generation: int, offset: int) -> bytes | None:
-        """Fetch a cached block, refreshing its recency."""
-        if self._capacity == 0:
-            return None
+        """Fetch a cached block, refreshing its recency.
+
+        A zero-capacity cache can never hit, but its lookups are still
+        real lookups the reader had to satisfy from disk — they count as
+        misses so ``hit_rate()`` honestly reports 0% instead of looking
+        like the cache was never consulted.
+        """
         key = (generation, offset)
         with self._lock:
+            if self._capacity == 0:
+                self._misses += 1
+                return None
             block = self._blocks.get(key)
             if block is None:
                 self._misses += 1
@@ -89,15 +99,31 @@ class BlockCache:
             if previous is not None:
                 self._bytes -= len(previous)
             self._blocks[key] = block
+            self._by_generation.setdefault(generation, set()).add(key)
             self._bytes += len(block)
             while self._bytes > self._capacity:
-                _, evicted = self._blocks.popitem(last=False)
+                evicted_key, evicted = self._blocks.popitem(last=False)
                 self._bytes -= len(evicted)
+                self._forget(evicted_key)
+
+    def _forget(self, key: tuple[int, int]) -> None:
+        """Drop ``key`` from the generation index; caller holds the lock."""
+        members = self._by_generation.get(key[0])
+        if members is None:
+            return
+        members.discard(key)
+        if not members:
+            del self._by_generation[key[0]]
 
     def evict_reader(self, generation: int) -> int:
-        """Drop every block of one reader; returns bytes freed."""
+        """Drop every block of one reader; returns bytes freed.
+
+        O(blocks of that reader) via the generation index, not O(every
+        cached block) — closing one run out of thousands must not stall
+        the store lock for a full cache scan.
+        """
         with self._lock:
-            doomed = [key for key in self._blocks if key[0] == generation]
+            doomed = self._by_generation.pop(generation, set())
             freed = 0
             for key in doomed:
                 freed += len(self._blocks.pop(key))
@@ -108,4 +134,5 @@ class BlockCache:
         """Drop everything (budget unchanged)."""
         with self._lock:
             self._blocks.clear()
+            self._by_generation.clear()
             self._bytes = 0

@@ -97,6 +97,16 @@ class BloomFilter:
         magic, bits, hashes, added = _HEADER.unpack_from(data)
         if magic != _MAGIC:
             raise CorruptionError("bloom filter magic mismatch")
+        # A corrupt header can zero these fields while the size check
+        # below still passes (0 bits needs 0 body bytes): bits=0 turns
+        # every later probe into a modulo-by-zero crash, hashes=0 into a
+        # filter that never excludes anything. Both are corruption, not
+        # valid filters — a real writer always emits >= 64 bits and one
+        # probe (see ``__init__``).
+        if bits < 1:
+            raise CorruptionError("bloom filter header: zero bit count")
+        if hashes < 1:
+            raise CorruptionError("bloom filter header: zero hash count")
         body = data[_HEADER.size:]
         if len(body) != (bits + 7) // 8:
             raise CorruptionError("bloom filter bit array size mismatch")

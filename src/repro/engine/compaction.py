@@ -87,7 +87,17 @@ class _CountingSource:
 
 
 class MergeJob:
-    """An in-flight merge: incremental reconciliation into a new run."""
+    """An in-flight merge: incremental reconciliation into a new run.
+
+    The job *owns* its input readers — the compaction manager opens it
+    dedicated ones rather than sharing the store's query readers,
+    because :meth:`advance` may run on a maintenance worker outside the
+    store lock while foreground reads use the shared readers' file
+    handles. ``claimed`` is the executor's co-advance guard: a worker
+    (or the inline pump) may only call :meth:`advance` after claiming
+    the job under the store lock, so two threads can never interleave
+    chunks of one merge.
+    """
 
     def __init__(
         self,
@@ -100,6 +110,7 @@ class MergeJob:
     ) -> None:
         self.descriptor = descriptor
         self._readers = readers
+        self.claimed = False
         # reconciling_iterator wants newest-first; inputs are oldest-first
         sources = [
             _CountingSource(reader.items()) for reader in reversed(readers)
@@ -145,7 +156,13 @@ class MergeJob:
     def abandon(self) -> None:
         """Abort the merge and delete the partial output."""
         self._writer.abandon()
+        self.close_readers()
         self.descriptor.release_inputs()
+
+    def close_readers(self) -> None:
+        """Close the job's dedicated input readers."""
+        for reader in self._readers:
+            reader.close()
 
     @property
     def output_path(self) -> str:
@@ -290,10 +307,16 @@ class CompactionManager:
 
     # -- flush -----------------------------------------------------------
 
-    def register_flush(
-        self, items: Iterator[tuple[bytes, bytes | None]], entry_hint: int
-    ) -> None:
-        """Write a sealed memtable out as a new level-0 run."""
+    def begin_flush(self, entry_hint: int) -> tuple[int, SSTableWriter]:
+        """Allocate a run id and open its writer (call under the store lock).
+
+        First half of the claim/publish protocol: the returned writer's
+        I/O runs off-lock on a maintenance worker, which feeds it the
+        sealed memtable and hands the finished stats to
+        :meth:`publish_flush` back under the lock. The run id is not
+        durable until publish, so an abandoned writer leaves nothing but
+        an orphan file that recovery sweeps.
+        """
         run_id = self._manifest.allocate_run_id()
         filename = f"{run_id:08d}.run"
         if self._obs is not None:
@@ -309,9 +332,10 @@ class CompactionManager:
             sync_policy=SyncPolicy(self._options.bytes_per_sync),
             fault_plan=self._options.fault_plan,
         )
-        for key, value in items:
-            writer.add(key, value)
-        stats = writer.finish()
+        return run_id, writer
+
+    def publish_flush(self, run_id: int, stats) -> None:
+        """Install a finished flush's run (call under the store lock)."""
         if self._obs is not None:
             self._m_flushes.inc()
             self._m_flush_bytes.inc(stats.data_bytes)
@@ -321,7 +345,9 @@ class CompactionManager:
                 bytes=stats.data_bytes,
                 entries=stats.entry_count,
             )
-        record = self._manifest.add_run(run_id, 0, filename)
+        record = self._manifest.add_run(
+            run_id, 0, os.path.basename(stats.path)
+        )
         reader = SSTableReader(stats.path, block_cache=self._block_cache)
         self._readers[run_id] = reader
         self._components[run_id] = Component(
@@ -333,6 +359,15 @@ class CompactionManager:
         )
         self._schedule_merges()
 
+    def register_flush(
+        self, items: Iterator[tuple[bytes, bytes | None]], entry_hint: int
+    ) -> None:
+        """Write a sealed memtable out as a new level-0 run (inline)."""
+        run_id, writer = self.begin_flush(entry_hint)
+        for key, value in items:
+            writer.add(key, value)
+        self.publish_flush(run_id, writer.finish())
+
     # -- merging ---------------------------------------------------------
 
     def _schedule_merges(self) -> None:
@@ -343,7 +378,15 @@ class CompactionManager:
             self._start_job(descriptor)
 
     def _start_job(self, descriptor: MergeDescriptor) -> None:
-        readers = [self._readers[c.uid] for c in descriptor.inputs]
+        # Dedicated input readers: SSTableReader seeks one shared file
+        # handle, so a job advancing off-lock on a maintenance worker
+        # cannot iterate the store's query readers while foreground
+        # reads use them. No block cache — a merge's single sequential
+        # pass would only churn it.
+        readers = [
+            SSTableReader(self._readers[c.uid].path)
+            for c in descriptor.inputs
+        ]
         oldest_live = min(
             c.handle.sequence for c in self._components.values()
         )
@@ -377,6 +420,7 @@ class CompactionManager:
         descriptor = job.descriptor
         removed_ids = [c.uid for c in descriptor.inputs]
         stats = job.stats
+        job.close_readers()
         added = []
         if stats.entry_count > 0:
             added.append(
@@ -435,25 +479,81 @@ class CompactionManager:
         """True when merges are pending."""
         return bool(self._jobs)
 
-    def step(self) -> bool:
-        """Advance one scheduler-chosen merge by one chunk.
+    def has_unclaimed_work(self) -> bool:
+        """True when a merge is pending that no worker has claimed."""
+        return any(not job.claimed for job in self._jobs.values())
 
-        Returns True if any progress was made (False = idle).
+    @property
+    def merge_jobs_in_flight(self) -> int:
+        """In-flight merge jobs (claimed or waiting for a worker)."""
+        return len(self._jobs)
+
+    def kick(self) -> bool:
+        """Schedule any newly-eligible merges; True if work now exists."""
+        self._schedule_merges()
+        return self.has_work()
+
+    def claim_merge(self) -> MergeJob | None:
+        """Claim the scheduler-preferred unclaimed merge (under lock).
+
+        The core scheduler arbitrates which merge each caller advances:
+        the allocation over *unclaimed* descriptors is computed and the
+        largest share wins, so the fair scheduler spreads concurrent
+        workers across merges while the greedy scheduler funnels them
+        toward the fewest-remaining-bytes merge first. Returns None when
+        everything is already claimed or no merge is eligible.
         """
         if not self._jobs:
             self._schedule_merges()
-            if not self._jobs:
-                return False
-        descriptors = [job.descriptor for job in self._jobs.values()]
+        unclaimed = [
+            job.descriptor
+            for job in self._jobs.values()
+            if not job.claimed
+        ]
+        if not unclaimed:
+            return None
         allocation = self._scheduler.allocate(
-            descriptors, budget=1.0, tree=self.snapshot()
+            unclaimed, budget=1.0, tree=self.snapshot()
         )
         if not allocation:
-            return False
+            return None
         chosen_uid = max(allocation, key=allocation.get)
         job = self._jobs[chosen_uid]
-        if job.advance(self.chunk_bytes):
+        job.claimed = True
+        return job
+
+    def release_merge(self, job: MergeJob, finished: bool) -> None:
+        """Publish a finished chunk's outcome (under lock).
+
+        Unclaims the job; a finished merge is installed in the manifest
+        and its inputs retired.
+        """
+        job.claimed = False
+        if finished:
             self._finish_job(job)
+
+    def fail_merge(self, job: MergeJob) -> None:
+        """Abandon a claimed merge whose advance raised (under lock).
+
+        The partial output is deleted and the descriptor's inputs are
+        released, so the policy may reschedule the same merge later.
+        """
+        job.claimed = False
+        self._jobs.pop(job.descriptor.uid, None)
+        job.abandon()
+
+    def step(self) -> bool:
+        """Advance one scheduler-chosen merge by one chunk.
+
+        Returns True if any progress was made (False = idle). This is
+        the inline pump: claim, advance, release — the same protocol the
+        maintenance workers follow, minus the lock juggling.
+        """
+        job = self.claim_merge()
+        if job is None:
+            return False
+        finished = job.advance(self.chunk_bytes)
+        self.release_merge(job, finished)
         return True
 
     def drain(self, max_steps: int = 1_000_000) -> int:

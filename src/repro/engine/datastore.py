@@ -18,7 +18,10 @@ merges lag (the paper's "stop" interaction, Section 5.1.2), either
 blocking the writer or raising
 :class:`~repro.errors.WriteStalledError` per ``options.stall_mode``.
 Maintenance (flushes + merge chunks) runs inline by default, or on a
-background thread with ``options.background_maintenance``.
+pool of ``options.maintenance_threads`` background workers with
+``options.background_maintenance`` — workers claim a task under the
+store lock but perform its file I/O outside it (see
+``docs/engine-concurrency.md`` for the claim/publish protocol).
 """
 
 from __future__ import annotations
@@ -133,6 +136,10 @@ class LSMStore:
             sync=self._options.sync_writes,
             fault_plan=self._options.fault_plan,
         )
+        self._m_maintenance_failures = self._obs.registry.counter(
+            "engine_maintenance_failures_total",
+            help="Maintenance tasks (flush or merge chunk) that raised.",
+        )
         self._active = MemTable(seed=0)
         self._sealed: list[MemTable] = []
         self._memtable_seed = 1
@@ -140,14 +147,27 @@ class LSMStore:
         self._stall_count = 0
         self._stall_seconds = 0.0
         self._lock = threading.RLock()
+        # The single "state changed" signal: workers wait on it for
+        # work; stalled writers and quiesce paths wait on it for
+        # progress. Every publish, rotation, and close notifies it.
         self._work_available = threading.Condition(self._lock)
+        # True while a worker is writing the oldest sealed memtable out.
+        # Exactly one flush may be in flight: flushes take fresh manifest
+        # sequence stamps, so publishing them out of order would corrupt
+        # the newest-first reconciliation order.
+        self._flush_claimed = False
         self._replay_wal()
-        self._background: threading.Thread | None = None
+        self._workers: list[threading.Thread] = []
         if self._options.background_maintenance:
-            self._background = threading.Thread(
-                target=self._background_loop, name="lsm-maintenance", daemon=True
-            )
-            self._background.start()
+            for index in range(self._options.maintenance_threads):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    args=(index,),
+                    name=f"lsm-maintenance-{index}",
+                    daemon=True,
+                )
+                self._workers.append(worker)
+                worker.start()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -163,14 +183,19 @@ class LSMStore:
         self.close()
 
     def close(self) -> None:
-        """Flush buffered data, finish merges, and release resources."""
+        """Flush buffered data, finish merges, and release resources.
+
+        Workers are quiesced first: each finishes (publishes or abandons)
+        the task it already claimed, then exits its loop; only after the
+        join does the inline drain run, so it never races a claim.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             self._work_available.notify_all()
-        if self._background is not None:
-            self._background.join(timeout=30.0)
+        for worker in self._workers:
+            worker.join(timeout=30.0)
         with self._lock:
             self._flush_all_memtables()
             self._compaction.drain()
@@ -194,8 +219,8 @@ class LSMStore:
                 return
             self._closed = True
             self._work_available.notify_all()
-        if self._background is not None:
-            self._background.join(timeout=30.0)
+        for worker in self._workers:
+            worker.join(timeout=30.0)
         with self._lock:
             for release in (
                 self._compaction.close,
@@ -330,8 +355,32 @@ class LSMStore:
             )
         started = self._obs.clock()
         try:
-            while self._compaction.is_write_stalled():
-                self._advance_maintenance(blocking=True)
+            if self._workers:
+                # Maintenance workers own progress: wake them, then wait
+                # on the condition (which releases every RLock level)
+                # until a publish clears the constraint. Raise rather
+                # than hang when nothing claimable could ever clear it.
+                self._work_available.notify_all()
+                while self._compaction.is_write_stalled():
+                    if self._closed:
+                        raise ClosedError(
+                            "store closed while a write was stalled"
+                        )
+                    if not (
+                        self._sealed
+                        or self._flush_claimed
+                        or self._compaction.has_work()
+                        or self._compaction.kick()
+                    ):
+                        raise ConfigurationError(
+                            "write stalled with no merge work available: "
+                            "the component constraint is too tight for "
+                            "this policy configuration"
+                        )
+                    self._work_available.wait(timeout=0.05)
+            else:
+                while self._compaction.is_write_stalled():
+                    self._advance_maintenance(blocking=True)
         finally:
             elapsed = self._obs.clock() - started
             self._stall_seconds += elapsed
@@ -347,8 +396,18 @@ class LSMStore:
             # No free memory component: a flush stall. Push maintenance
             # forward until one drains (flush stalls are rare when flushes
             # get I/O priority; with num_memtables=1 they are the norm).
-            while self._sealed:
-                self._advance_maintenance(blocking=True)
+            if self._workers:
+                self._work_available.notify_all()
+                limit = max(1, self._options.num_memtables - 1)
+                while len(self._sealed) >= limit:
+                    if self._closed:
+                        raise ClosedError(
+                            "store closed while a rotation was stalled"
+                        )
+                    self._work_available.wait(timeout=0.05)
+            else:
+                while self._sealed:
+                    self._advance_maintenance(blocking=True)
         sealed_bytes = self._active.approximate_bytes
         self._active.seal()
         self._sealed.append(self._active)
@@ -377,12 +436,15 @@ class LSMStore:
         if not self._sealed and len(self._active) == 0:
             self._wal.truncate()
 
+    def _seal_active(self) -> None:
+        self._active.seal()
+        self._sealed.append(self._active)
+        self._active = MemTable(seed=self._memtable_seed)
+        self._memtable_seed += 1
+
     def _flush_all_memtables(self) -> None:
         if len(self._active) > 0:
-            self._active.seal()
-            self._sealed.append(self._active)
-            self._active = MemTable(seed=self._memtable_seed)
-            self._memtable_seed += 1
+            self._seal_active()
         while self._sealed:
             self._flush_oldest_sealed()
 
@@ -396,7 +458,7 @@ class LSMStore:
         constraint had already stalled writers.
         """
         progressed = False
-        if self._sealed:
+        if self._sealed and not self._flush_claimed:
             self._flush_oldest_sealed()
             progressed = True
         budget = self._options.maintenance_chunks_per_rotation or max(
@@ -414,25 +476,151 @@ class LSMStore:
                 "constraint is too tight for this policy configuration"
             )
 
-    def _background_loop(self) -> None:
-        while True:
+    # -- the maintenance executor ---------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        """One maintenance worker: claim under the lock, do I/O off it.
+
+        The lock is held only to claim a task (marking the flush slot or
+        merge job so no other worker co-advances it) and, inside
+        :meth:`_execute_task`, to publish the finished result. The
+        expensive part — reconciling and writing run files, plus any
+        rate-limiter sleeps — runs with the lock released, so foreground
+        reads and writes proceed underneath, and with several workers
+        one can flush while others advance different merges.
+        """
+        busy = self._obs.registry.gauge(
+            "engine_maintenance_worker_busy",
+            labels={"worker": str(index)},
+            help="1 while this maintenance worker is executing a task.",
+        )
+        self._obs.tracer.emit(
+            obs_events.MAINTENANCE_WORKER, worker=index, state="start"
+        )
+        try:
+            while True:
+                with self._lock:
+                    if self._closed:
+                        return
+                    task = self._claim_work_locked()
+                    if task is None:
+                        self._work_available.wait(timeout=0.05)
+                        continue
+                busy.set(1.0)
+                try:
+                    self._execute_task(task)
+                finally:
+                    busy.set(0.0)
+        finally:
+            self._obs.tracer.emit(
+                obs_events.MAINTENANCE_WORKER, worker=index, state="stop"
+            )
+
+    def _claim_work_locked(self):
+        """Claim one task (caller holds the lock); None when idle.
+
+        Flushes take priority over merge chunks — memory components are
+        the scarcest resource, and a full sealed queue stalls rotations.
+        Only one flush may be claimed at a time (see ``_flush_claimed``);
+        merges are claimed through the compaction manager's scheduler.
+        """
+        if self._sealed and not self._flush_claimed:
+            memtable = self._sealed[0]
+            run_id, writer = self._compaction.begin_flush(len(memtable))
+            self._flush_claimed = True
+            return ("flush", memtable, run_id, writer)
+        job = self._compaction.claim_merge()
+        if job is not None:
+            return ("merge", job)
+        return None
+
+    def _execute_task(self, task) -> None:
+        """Run one claimed task's I/O off-lock, then publish under it.
+
+        The claimed memtable stays in ``_sealed`` (read-visible) for the
+        whole write; it is popped only after the run is published, so a
+        reader always sees the data in exactly one place. A task that
+        raises is abandoned — partial output deleted, claim released —
+        and the worker survives to claim again.
+        """
+        kind = task[0]
+        try:
+            if kind == "flush":
+                _, memtable, run_id, writer = task
+                for key, value in memtable.items():
+                    writer.add(key, value)
+                stats = writer.finish()
+                with self._lock:
+                    self._compaction.publish_flush(run_id, stats)
+                    self._sealed.remove(memtable)
+                    self._flush_claimed = False
+                    self._wal_checkpoint()
+                    self._work_available.notify_all()
+            else:
+                _, job = task
+                finished = job.advance(self._compaction.chunk_bytes)
+                with self._lock:
+                    self._compaction.release_merge(job, finished)
+                    self._work_available.notify_all()
+        except Exception:  # noqa: BLE001 — worker must survive any task
             with self._lock:
-                if self._closed:
-                    return
-                did_work = False
-                if self._sealed:
-                    self._flush_oldest_sealed()
-                    did_work = True
-                elif self._compaction.has_work():
-                    self._compaction.step()
-                    did_work = True
-                if not did_work:
-                    self._work_available.wait(timeout=0.05)
+                self._abandon_task_locked(task)
+
+    def _abandon_task_locked(self, task) -> None:
+        """Clean up a failed task (caller holds the lock).
+
+        A failed flush keeps its memtable sealed (the data is still in
+        the WAL and remains readable); a failed merge is abandoned so
+        the policy may reschedule the same inputs later.
+        """
+        if task[0] == "flush":
+            writer = task[3]
+            try:
+                writer.abandon()
+            except Exception:  # noqa: BLE001 — best-effort cleanup
+                pass
+            self._flush_claimed = False
+        else:
+            try:
+                self._compaction.fail_merge(task[1])
+            except Exception:  # noqa: BLE001 — best-effort cleanup
+                pass
+        self._m_maintenance_failures.inc()
+        self._work_available.notify_all()
+
+    def _quiesce_memtables_locked(self) -> None:
+        """Get every buffered write into runs (caller holds the lock).
+
+        Inline mode flushes directly; worker mode seals the active
+        memtable and waits for the workers to drain the sealed queue.
+        """
+        if not self._workers:
+            self._flush_all_memtables()
+            return
+        if len(self._active) > 0:
+            self._seal_active()
+        self._work_available.notify_all()
+        while self._sealed or self._flush_claimed:
+            if self._closed:
+                raise ClosedError("store closed while flushing")
+            self._work_available.wait(timeout=0.05)
 
     def maintenance(self, max_steps: int = 1_000_000) -> None:
-        """Run flushes and merges to quiescence (inline mode helper)."""
+        """Run flushes and merges to quiescence."""
         with self._lock:
             self._check_open()
+            if self._workers:
+                self._work_available.notify_all()
+                while (
+                    self._sealed
+                    or self._flush_claimed
+                    or self._compaction.has_work()
+                    or self._compaction.kick()
+                ):
+                    if self._closed:
+                        raise ClosedError("store closed during maintenance")
+                    self._work_available.wait(timeout=0.05)
+                return
             while self._sealed:
                 self._flush_oldest_sealed()
             self._compaction.drain(max_steps)
@@ -444,11 +632,15 @@ class LSMStore:
         advances flushes or merges while writes are being bounced, so a
         front-end that rejects (or absorbs) stalled writes must push
         maintenance forward itself between attempts. Returns True while
-        the write gate is still closed afterwards.
+        the write gate is still closed afterwards. When maintenance
+        workers exist they own all progress — the pump just wakes them
+        instead of competing for claims.
         """
         with self._lock:
             self._check_open()
-            if self._sealed or self._compaction.has_work():
+            if self._workers:
+                self._work_available.notify_all()
+            elif self._sealed or self._compaction.has_work():
                 self._advance_maintenance(blocking=False)
             return self._compaction.is_write_stalled()
 
@@ -456,7 +648,7 @@ class LSMStore:
         """Seal and flush the active memtable."""
         with self._lock:
             self._check_open()
-            self._flush_all_memtables()
+            self._quiesce_memtables_locked()
 
     def checkpoint(self, target_directory: str) -> int:
         """Create an openable point-in-time copy of the store.
@@ -472,7 +664,7 @@ class LSMStore:
 
         with self._lock:
             self._check_open()
-            self._flush_all_memtables()
+            self._quiesce_memtables_locked()
             target = os.path.abspath(target_directory)
             if os.path.exists(target) and os.listdir(target):
                 raise ConfigurationError(
@@ -612,6 +804,16 @@ class LSMStore:
         """The store's observability bundle (registry + tracer + clock)."""
         return self._obs
 
+    @property
+    def rate_limiter(self):
+        """The shared flush/merge write throttle (introspection only).
+
+        ``total_admitted_bytes`` over elapsed time is the measured
+        maintenance write bandwidth — what the maintenance benchmark
+        checks against the configured budget.
+        """
+        return self._compaction.rate_limiter
+
     def refresh_gauges(self) -> StoreStats:
         """Sync point-in-time gauges into the metrics registry.
 
@@ -640,6 +842,14 @@ class LSMStore:
             "engine_write_stalled",
             help="1 when the write gate is closed right now.",
         ).set(1.0 if stats.write_stalled else 0.0)
+        with self._lock:
+            queue_depth = (
+                len(self._sealed) + self._compaction.merge_jobs_in_flight
+            )
+        registry.gauge(
+            "engine_maintenance_queue_depth",
+            help="Sealed memtables plus in-flight merge jobs.",
+        ).set(float(queue_depth))
         return stats
 
     @property

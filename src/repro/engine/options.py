@@ -64,8 +64,18 @@ class StoreOptions:
         ``"block"`` (writers wait, the paper's stop mode) or ``"reject"``
         (raise :class:`~repro.errors.WriteStalledError`).
     background_maintenance:
-        True runs flushes/merges on a background thread; False runs them
-        inline inside ``put`` (deterministic, the default for tests).
+        True runs flushes/merges on background maintenance workers;
+        False runs them inline inside ``put`` (deterministic, the
+        default for tests).
+    maintenance_threads:
+        Size of the background maintenance worker pool (ignored unless
+        ``background_maintenance``). Workers claim a flush or a merge
+        chunk under the store lock but perform the chunk's file I/O
+        *outside* it, so maintenance overlaps foreground writes and —
+        with more than one worker — with itself: one worker can flush
+        while others advance different merges, sharing the rate-limiter
+        budget. The default of 1 preserves the single-maintenance-thread
+        behaviour (now with I/O off the store lock).
     sync_writes:
         fsync the WAL on every commit batch (durability over speed).
     fault_plan:
@@ -98,6 +108,7 @@ class StoreOptions:
     block_cache_bytes: int = 8 * 2**20
     stall_mode: str = "block"
     background_maintenance: bool = False
+    maintenance_threads: int = 1
     sync_writes: bool = False
     fault_plan: object | None = None
     obs: object | None = None
@@ -146,6 +157,10 @@ class StoreOptions:
             raise ConfigurationError("block cache cannot be negative")
         if self.stall_mode not in ("block", "reject"):
             raise ConfigurationError(f"unknown stall mode {self.stall_mode!r}")
+        if self.maintenance_threads < 1:
+            raise ConfigurationError(
+                "need at least one maintenance worker"
+            )
 
     def with_(self, **overrides) -> "StoreOptions":
         """Functional update."""

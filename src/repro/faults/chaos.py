@@ -133,8 +133,14 @@ async def run_chaos(
     cooldown: float = 0.25,
     op_interval: float = 0.002,
     recovery_deadline: float = 10.0,
+    options: StoreOptions | None = None,
 ) -> ChaosReport:
-    """Run the kill/restore schedule against a fresh LocalCluster."""
+    """Run the kill/restore schedule against a fresh LocalCluster.
+
+    ``options`` overrides the per-shard engine configuration (used by the
+    maintenance-worker tests to run the same schedule with background
+    workers enabled); the default disables the block cache.
+    """
     if not 0.0 < kill_at < restore_at < 1.0:
         raise ConfigurationError("need 0 < kill_at < restore_at < 1")
     report = ChaosReport()
@@ -149,7 +155,7 @@ async def run_chaos(
     cluster = LocalCluster(
         directory,
         num_shards=num_shards,
-        options=StoreOptions(block_cache_bytes=0),
+        options=options or StoreOptions(block_cache_bytes=0),
         # Fast transport failure detection: one retry, tight timeouts.
         shard_client_options=dict(
             max_retries=1,

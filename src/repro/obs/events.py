@@ -35,6 +35,7 @@ STALL_EXIT = "stall_exit"
 ADMISSION = "admission"
 BREAKER = "breaker"
 FAULT = "fault"
+MAINTENANCE_WORKER = "maintenance_worker"
 
 EVENT_KINDS = frozenset(
     {
@@ -48,6 +49,7 @@ EVENT_KINDS = frozenset(
         ADMISSION,
         BREAKER,
         FAULT,
+        MAINTENANCE_WORKER,
     }
 )
 

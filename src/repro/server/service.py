@@ -309,6 +309,11 @@ class KVServer(FramedServer):
         # clock for the whole process tier.
         self.obs = store.obs
         self._clock = store.obs.clock
+        # Inline stores need the serving layer to pump maintenance
+        # between bounced writes; stores with maintenance workers make
+        # their own progress, so the stall hook would only burn a
+        # thread-pool hop per rejection.
+        self._pump_maintenance = not store.options.background_maintenance
 
     # -- the admission + write pipeline ----------------------------------
 
@@ -330,7 +335,8 @@ class KVServer(FramedServer):
                 # Shedding load must not also starve maintenance: with
                 # inline stores nothing else advances merges while every
                 # write is bounced, so the stall would never clear.
-                await asyncio.to_thread(self._store.advance_maintenance)
+                if self._pump_maintenance:
+                    await asyncio.to_thread(self._store.advance_maintenance)
                 self.metrics.writes_rejected += 1
                 self.obs.tracer.emit(
                     obs_events.ADMISSION,
@@ -357,7 +363,8 @@ class KVServer(FramedServer):
                     nbytes=nbytes,
                 )
                 admission_wait += decision.delay_seconds
-                await asyncio.to_thread(self._store.advance_maintenance)
+                if self._pump_maintenance:
+                    await asyncio.to_thread(self._store.advance_maintenance)
                 await asyncio.sleep(decision.delay_seconds)
             try:
                 timing = await asyncio.to_thread(apply)
@@ -366,7 +373,8 @@ class KVServer(FramedServer):
                 # mode, so the serving layer pumps merges forward — the
                 # stall would otherwise never clear while clients back
                 # off (merge-coupled serving, bLSM-style).
-                await asyncio.to_thread(self._store.advance_maintenance)
+                if self._pump_maintenance:
+                    await asyncio.to_thread(self._store.advance_maintenance)
                 if (
                     self._admission.absorbs_stalls
                     and loop.time() < deadline

@@ -45,6 +45,18 @@ class TestBlockCacheUnit:
         cache.put(gen, 0, b"data")
         assert cache.get(gen, 0) is None
 
+    def test_zero_capacity_lookups_count_as_misses(self):
+        # A disabled cache still fields real lookups the reader had to
+        # satisfy from disk; hit_rate() must honestly report 0%, not
+        # pretend the cache was never consulted.
+        cache = BlockCache(0)
+        gen = cache.register_reader()
+        cache.get(gen, 0)
+        cache.get(gen, 1)
+        assert cache.misses == 2
+        assert cache.hits == 0
+        assert cache.hit_rate() == 0.0
+
     def test_generations_do_not_alias(self):
         cache = BlockCache(1024)
         first = cache.register_reader()
@@ -61,6 +73,32 @@ class TestBlockCacheUnit:
         assert cache.evict_reader(doomed) == 100
         assert cache.used_bytes == 50
         assert cache.get(kept, 0) is not None
+
+    def test_evict_reader_unknown_generation_is_noop(self):
+        cache = BlockCache(1024)
+        gen = cache.register_reader()
+        cache.put(gen, 0, b"x" * 10)
+        assert cache.evict_reader(999) == 0
+        assert cache.used_bytes == 10
+
+    def test_eviction_maintains_generation_index(self):
+        # LRU eviction must also drop the key from the per-generation
+        # index, or a later evict_reader would KeyError on the block it
+        # believes is still cached.
+        cache = BlockCache(20)
+        doomed = cache.register_reader()
+        cache.put(doomed, 0, b"a" * 10)
+        cache.put(doomed, 1, b"b" * 10)
+        cache.put(doomed, 2, b"c" * 10)  # evicts offset 0
+        assert cache.evict_reader(doomed) == 20
+        assert cache.used_bytes == 0
+
+    def test_clear_resets_generation_index(self):
+        cache = BlockCache(1024)
+        gen = cache.register_reader()
+        cache.put(gen, 0, b"x" * 10)
+        cache.clear()
+        assert cache.evict_reader(gen) == 0
 
     def test_negative_capacity_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,5 +1,7 @@
 """Tests for the Bloom filter."""
 
+import struct
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -62,6 +64,20 @@ class TestSerialization:
         filt = BloomFilter(expected_keys=10)
         with pytest.raises(CorruptionError):
             BloomFilter.from_bytes(filt.to_bytes() + b"extra")
+
+    def test_zero_bit_count_rejected(self):
+        # bits=0 passes the body-size check (0 bits needs 0 bytes) but
+        # would turn every later probe into a modulo-by-zero crash.
+        blob = struct.pack("<4sIIQ", b"BLM1", 0, 3, 0)
+        with pytest.raises(CorruptionError):
+            BloomFilter.from_bytes(blob)
+
+    def test_zero_hash_count_rejected(self):
+        # hashes=0 deserializes into a filter that never excludes
+        # anything — silently disabling the filter is corruption too.
+        blob = struct.pack("<4sIIQ", b"BLM1", 64, 0, 0) + bytes(8)
+        with pytest.raises(CorruptionError):
+            BloomFilter.from_bytes(blob)
 
 
 class TestValidation:

@@ -1,0 +1,229 @@
+"""Lifecycle tests for the concurrent maintenance executor.
+
+These tests pin down the claim/publish protocol's guarantees with
+condition-variable stepping rather than wall-clock sleeps: instrumented
+``MergeJob.advance`` hooks observe or gate worker progress, and the
+store's own quiesce points (``maintenance()``, ``flush()``, ``close()``)
+provide the synchronization barriers.
+"""
+
+import os
+import threading
+
+from repro.engine import LSMStore, MergeJob, StoreOptions
+from repro.obs import events as obs_events
+
+WORKERS = StoreOptions(
+    memtable_bytes=16 * 1024,
+    policy="tiering",
+    size_ratio=3,
+    scheduler="greedy",
+    levels=3,
+    background_maintenance=True,
+    maintenance_threads=3,
+)
+
+
+def run_files(directory):
+    return {name for name in os.listdir(directory) if name.endswith(".run")}
+
+
+class TestNoCoAdvance:
+    def test_workers_never_co_advance_one_merge(self, tmp_path, monkeypatch):
+        # Every entry into MergeJob.advance is tracked per job; the
+        # claim protocol must make a second concurrent entry impossible
+        # no matter how three workers interleave.
+        original = MergeJob.advance
+        guard = threading.Lock()
+        active: dict[int, int] = {}
+        overlaps: list[int] = []
+
+        def tracked(self, chunk_bytes):
+            with guard:
+                active[id(self)] = active.get(id(self), 0) + 1
+                if active[id(self)] > 1:
+                    overlaps.append(id(self))
+            try:
+                return original(self, chunk_bytes)
+            finally:
+                with guard:
+                    active[id(self)] -= 1
+
+        monkeypatch.setattr(MergeJob, "advance", tracked)
+        with LSMStore.open(str(tmp_path / "db"), WORKERS) as store:
+            for i in range(4000):
+                store.put(f"user{i % 600:06d}".encode(), b"v" * 64)
+            store.maintenance()
+            merges = store.stats().merges_completed
+        assert merges > 0  # the guard was actually exercised
+        assert not overlaps
+
+    def test_fair_scheduler_with_workers(self, tmp_path):
+        options = WORKERS.with_(scheduler="fair")
+        with LSMStore.open(str(tmp_path / "db"), options) as store:
+            for i in range(4000):
+                store.put(f"user{i % 600:06d}".encode(), b"v" * 64)
+            store.maintenance()
+            assert store.get(b"user000000") == b"v" * 64
+        with LSMStore.open(str(tmp_path / "db"), options.with_(
+            background_maintenance=False
+        )) as reopened:
+            assert len(list(reopened.scan())) == 600
+
+
+class TestQuiesce:
+    def test_close_mid_merge_leaves_no_orphan_runs(
+        self, tmp_path, monkeypatch
+    ):
+        # Gate the first merge advance so close() arrives while a worker
+        # holds a claimed, half-written merge; the worker must finish or
+        # abandon it before close()'s join, and the directory must end
+        # with exactly the manifest's live runs.
+        original = MergeJob.advance
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(self, chunk_bytes):
+            entered.set()
+            release.wait(timeout=30.0)
+            return original(self, chunk_bytes)
+
+        monkeypatch.setattr(MergeJob, "advance", gated)
+        directory = str(tmp_path / "db")
+        # A generous component budget: with merges gated, writers must
+        # not hit the stall gate and wait for progress that cannot come.
+        store = LSMStore.open(directory, WORKERS.with_(constraint_limit=1000))
+        for i in range(4000):
+            store.put(f"user{i % 600:06d}".encode(), b"v" * 64)
+        assert entered.wait(timeout=30.0)
+        closer = threading.Thread(target=store.close)
+        closer.start()
+        release.set()
+        closer.join(timeout=30.0)
+        assert not closer.is_alive()
+        with LSMStore.open(directory, WORKERS.with_(
+            background_maintenance=False
+        )) as reopened:
+            live = {
+                record.filename
+                for record in reopened._manifest.live_runs()
+            }
+            assert run_files(directory) == live
+            assert len(list(reopened.scan())) == 600
+
+    def test_crash_mid_merge_recovers_cleanly(self, tmp_path, monkeypatch):
+        original = MergeJob.advance
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(self, chunk_bytes):
+            entered.set()
+            release.wait(timeout=30.0)
+            return original(self, chunk_bytes)
+
+        monkeypatch.setattr(MergeJob, "advance", gated)
+        directory = str(tmp_path / "db")
+        store = LSMStore.open(directory, WORKERS.with_(constraint_limit=1000))
+        for i in range(4000):
+            store.put(f"user{i % 600:06d}".encode(), b"v" * 64)
+        assert entered.wait(timeout=30.0)
+        crasher = threading.Thread(target=store.crash)
+        crasher.start()
+        release.set()
+        crasher.join(timeout=30.0)
+        assert not crasher.is_alive()
+        # Recovery sweeps any abandoned partial output and replays the
+        # WAL: every write must still be visible.
+        with LSMStore.open(directory, WORKERS.with_(
+            background_maintenance=False
+        )) as reopened:
+            assert len(list(reopened.scan())) == 600
+            live = {
+                record.filename
+                for record in reopened._manifest.live_runs()
+            }
+            assert run_files(directory) == live
+
+    def test_flush_waits_for_workers(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "db"), WORKERS) as store:
+            for i in range(1000):
+                store.put(f"user{i:06d}".encode(), b"v" * 64)
+            store.flush()
+            stats = store.stats()
+            assert stats.memtable_entries == 0
+            assert stats.sealed_memtables == 0
+            assert stats.wal_bytes == 0
+
+
+class TestFailureIsolation:
+    def test_failed_merge_is_abandoned_and_retried(
+        self, tmp_path, monkeypatch
+    ):
+        # The first merge advance raises; the worker must abandon that
+        # job (partial output deleted), record the failure, and survive
+        # to complete the rescheduled merge later.
+        original = MergeJob.advance
+        failures = threading.Semaphore(1)
+
+        def flaky(self, chunk_bytes):
+            if failures.acquire(blocking=False):
+                raise OSError("injected merge failure")
+            return original(self, chunk_bytes)
+
+        monkeypatch.setattr(MergeJob, "advance", flaky)
+        directory = str(tmp_path / "db")
+        with LSMStore.open(directory, WORKERS) as store:
+            for i in range(4000):
+                store.put(f"user{i % 600:06d}".encode(), b"v" * 64)
+            store.maintenance()
+            counters = store.obs.registry.snapshot()["counters"]
+            failed = [
+                series["value"]
+                for series in counters
+                if series["name"] == "engine_maintenance_failures_total"
+            ]
+            assert failed and failed[0] >= 1
+            assert store.stats().merges_completed > 0
+        with LSMStore.open(directory, WORKERS.with_(
+            background_maintenance=False
+        )) as reopened:
+            assert len(list(reopened.scan())) == 600
+
+
+class TestObservability:
+    def test_worker_lifecycle_events_and_gauges(self, tmp_path):
+        directory = str(tmp_path / "db")
+        store = LSMStore.open(directory, WORKERS)
+        for i in range(1500):
+            store.put(f"user{i % 400:06d}".encode(), b"v" * 64)
+        store.maintenance()
+        store.refresh_gauges()
+        gauges = store.obs.registry.snapshot()["gauges"]
+        busy_workers = {
+            series["labels"]["worker"]
+            for series in gauges
+            if series["name"] == "engine_maintenance_worker_busy"
+        }
+        assert busy_workers == {"0", "1", "2"}
+        depths = [
+            series["value"]
+            for series in gauges
+            if series["name"] == "engine_maintenance_queue_depth"
+        ]
+        assert depths == [0.0]
+        tracer = store.obs.tracer
+        store.close()
+        starts = [
+            event
+            for event in tracer.events()
+            if event.kind == obs_events.MAINTENANCE_WORKER
+            and event.fields.get("state") == "start"
+        ]
+        stops = [
+            event
+            for event in tracer.events()
+            if event.kind == obs_events.MAINTENANCE_WORKER
+            and event.fields.get("state") == "stop"
+        ]
+        assert {e.fields["worker"] for e in starts} == {0, 1, 2}
+        assert {e.fields["worker"] for e in stops} == {0, 1, 2}

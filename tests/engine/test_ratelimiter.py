@@ -1,5 +1,7 @@
 """Tests for the rate limiter and sync policy."""
 
+import threading
+
 import pytest
 
 from repro.engine import RateLimiter, SyncPolicy
@@ -7,14 +9,19 @@ from repro.errors import ConfigurationError
 
 
 class FakeClock:
+    """Virtual clock: sleeping advances time, thread-safely."""
+
     def __init__(self):
         self.now = 0.0
+        self._lock = threading.Lock()
 
     def __call__(self):
-        return self.now
+        with self._lock:
+            return self.now
 
     def sleep(self, seconds):
-        self.now += seconds
+        with self._lock:
+            self.now += seconds
 
 
 class TestRateLimiter:
@@ -56,6 +63,63 @@ class TestRateLimiter:
         limiter = RateLimiter(10.0, clock=clock, sleep=clock.sleep)
         limiter.acquire(0)
         assert clock.now == 0.0
+
+    def test_request_larger_than_burst_terminates(self):
+        # A request bigger than the bucket capacity (rate = 1s burst)
+        # must go into debt and sleep it off, not wait for a balance
+        # that can never accumulate.
+        clock = FakeClock()
+        limiter = RateLimiter(100.0, clock=clock, sleep=clock.sleep)
+        limiter.acquire(1000)
+        # 1000 bytes minus the 100-byte burst = 9s of debt.
+        assert clock.now == pytest.approx(9.0)
+
+    def test_oversleep_surplus_not_forfeited(self):
+        # Regression: the limiter used to zero the bucket after every
+        # sleep, so tokens accrued during an oversleep (real sleeps
+        # always overshoot) were forfeited and throughput fell below
+        # the configured budget.
+        clock = FakeClock()
+
+        def oversleep(seconds):
+            clock.sleep(seconds + 0.5)
+
+        limiter = RateLimiter(100.0, clock=clock, sleep=oversleep)
+        limiter.acquire(200)  # 100 burst + 1s debt, overslept to 1.5s
+        before = limiter.total_sleep_seconds
+        limiter.acquire(50)  # covered by the 50-byte oversleep surplus
+        assert limiter.total_sleep_seconds == before
+
+    def test_concurrent_acquirers_bounded_by_budget(self):
+        # Two threads hammer one limiter on a virtual clock; the debt
+        # design guarantees admitted bytes never exceed the burst plus
+        # rate x elapsed, no matter how acquires interleave. The old
+        # unlocked read-modify-write could lose a debit and admit more.
+        clock = FakeClock()
+        rate = 1000.0
+        limiter = RateLimiter(rate, clock=clock, sleep=clock.sleep)
+
+        def hammer():
+            for _ in range(50):
+                limiter.acquire(100)
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        admitted = limiter.total_admitted_bytes
+        assert admitted == 100 * 50 * 2
+        # Bandwidth bound: burst + rate x elapsed covers everything
+        # admitted, i.e. the virtual clock had to advance at least
+        # (admitted - burst) / rate seconds.
+        assert admitted <= rate + rate * clock.now + 1e-6
+        assert clock.now >= (admitted - rate) / rate - 1e-6
+
+    def test_admitted_bytes_counted_when_unlimited(self):
+        limiter = RateLimiter(0)
+        limiter.acquire(123)
+        assert limiter.total_admitted_bytes == 123
 
 
 class TestSyncPolicy:

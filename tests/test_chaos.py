@@ -98,3 +98,32 @@ def test_chaos_run_meets_the_acceptance_bar(tmp_path):
         "0": "closed", "1": "closed", "2": "closed",
     }
     assert report.lost_acked == 0
+
+
+def test_chaos_run_with_maintenance_workers(tmp_path):
+    # The same kill/restore schedule with every shard running two
+    # background maintenance workers: kills land mid-flush/mid-merge,
+    # and recovery must still come back whole with no acked loss.
+    from repro.engine import StoreOptions
+
+    report = asyncio.run(
+        run_chaos(
+            str(tmp_path),
+            num_shards=3,
+            ops=200,
+            kill_shard=1,
+            seed=11,
+            cooldown=0.2,
+            op_interval=0.001,
+            options=StoreOptions(
+                block_cache_bytes=0,
+                background_maintenance=True,
+                maintenance_threads=2,
+            ),
+        )
+    )
+    assert report.ok, report.summary()
+    assert report.lost_acked == 0
+    assert report.final_health == {
+        "0": "closed", "1": "closed", "2": "closed",
+    }
