@@ -288,6 +288,8 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         args.scope, args.admission, args.shards, **_admission_params(args)
     )
 
+    _check_replication(args)
+
     async def run() -> None:
         cluster = LocalCluster(
             args.directory,
@@ -299,13 +301,23 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             metrics_port=args.metrics_port,
+            replicas=args.replicas,
+            ack_policy=args.ack_policy,
+            read_from_replica=args.read_from_replica,
         )
         async with cluster:
             host, port = cluster.address
+            replication = (
+                f", {args.replicas} replica(s)/shard "
+                f"under {args.ack_policy!r}"
+                if args.replicas > 0
+                else ""
+            )
             print(
                 f"serving {args.shards}-shard cluster from "
                 f"{args.directory} on {host}:{port} "
-                f"(admission: {admission.mode}, arbiter: {args.arbiter})"
+                f"(admission: {admission.mode}, arbiter: {args.arbiter}"
+                f"{replication})"
             )
             assert cluster.router is not None
             if cluster.router.metrics_address is not None:
@@ -386,8 +398,27 @@ def _cmd_crashsim(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _check_replication(args: argparse.Namespace) -> None:
+    from .replication import ACK_POLICIES
+
+    if args.replicas < 0:
+        raise ReproError(
+            f"--replicas cannot be negative, got {args.replicas}"
+        )
+    if args.ack_policy not in ACK_POLICIES:
+        raise ReproError(
+            f"--ack-policy must be one of {ACK_POLICIES}, "
+            f"got {args.ack_policy!r}"
+        )
+    if args.read_from_replica and args.replicas == 0:
+        raise ReproError(
+            "--read-from-replica needs --replicas >= 1"
+        )
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import asyncio
+    import json
 
     from .faults import run_chaos
 
@@ -401,6 +432,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"--kill-shard {args.kill_shard} is outside "
             f"[0, {args.shards})"
         )
+    _check_replication(args)
     report = asyncio.run(
         run_chaos(
             args.directory,
@@ -412,9 +444,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.seed,
             cooldown=args.cooldown_ms / 1000.0,
             op_interval=args.op_interval_ms / 1000.0,
+            replicas=args.replicas,
+            ack_policy=args.ack_policy,
+            read_from_replica=args.read_from_replica,
         )
     )
     print(report.summary())
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
     return 0 if report.ok else 1
 
 
@@ -448,6 +487,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--testing-fix", action="store_true",
         help="apply the paper's testing-phase determinism fix "
              "(size-tiered / partitioned policies)",
+    )
+
+
+def _add_replication_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="WAL-shipping followers per shard (default: 0, i.e. "
+             "unreplicated; chaos with replicas kills a leader and "
+             "expects a promotion instead of a restore)",
+    )
+    parser.add_argument(
+        "--ack-policy", choices=("leader_only", "quorum", "all"),
+        default="leader_only",
+        help="follower acks a write waits for before the client sees "
+             "OK (default: leader_only)",
+    )
+    parser.add_argument(
+        "--read-from-replica", action="store_true",
+        help="let the router serve scans from followers, with "
+             "staleness surfaced in the response",
     )
 
 
@@ -636,6 +695,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--op-interval-ms", type=float, default=2.0,
         help="pacing sleep between ops (default: 2)",
     )
+    _add_replication_args(chaos_cmd)
+    chaos_cmd.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the full report as JSON to this file",
+    )
     chaos_cmd.set_defaults(handler=_cmd_chaos)
 
     serve_cmd = commands.add_parser(
@@ -689,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_admission_args(cluster_serve_cmd)
     _add_engine_args(cluster_serve_cmd)
+    _add_replication_args(cluster_serve_cmd)
     cluster_serve_cmd.set_defaults(handler=_cmd_cluster_serve)
 
     obs_cmd = commands.add_parser(

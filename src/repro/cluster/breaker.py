@@ -157,3 +157,14 @@ class CircuitBreaker:
             return 0.0
         remaining = self._cooldown - (self._clock() - self._opened_at)
         return max(0.0, remaining)
+
+    def reset(self) -> None:
+        """Force the breaker closed with a clean window.
+
+        Used after a failover: the shard's traffic now goes to a freshly
+        promoted leader, so the failure history accumulated against the
+        dead one says nothing about the new backend.
+        """
+        self._set_state(CLOSED)
+        self._probes_in_flight = 0
+        self._window.clear()

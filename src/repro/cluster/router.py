@@ -204,11 +204,19 @@ class ClusterRouter(FramedServer):
         stats_max_age: float = DEFAULT_STATS_MAX_AGE,
         breaker_options: dict | None = None,
         metrics_port: int | None = None,
+        replica_backends: Sequence[Sequence[tuple[str, int]]] | None = None,
+        read_from_replica: bool = False,
     ) -> None:
         if not backends:
             raise ConfigurationError("a cluster needs at least one backend")
         if stats_max_age < 0:
             raise ConfigurationError("stats_max_age cannot be negative")
+        if replica_backends is not None and len(replica_backends) != len(
+            backends
+        ):
+            raise ConfigurationError(
+                "replica_backends must list one follower set per shard"
+            )
         super().__init__(host, port, metrics_port=metrics_port)
         self.obs = Observability()
         self._backends = list(backends)
@@ -245,6 +253,30 @@ class ClusterRouter(FramedServer):
             )
             for index in range(len(self._backends))
         ]
+        self._shard_client_base = options
+        self._read_from_replica = read_from_replica
+        self._replica_backends: list[list[tuple[str, int]]] = [
+            list(group) for group in (replica_backends or [])
+        ] or [[] for _ in self._backends]
+        self._replica_clients: list[list[KVClient]] = []
+        for shard, group in enumerate(self._replica_backends):
+            self._replica_clients.append(
+                [
+                    KVClient(
+                        replica_host,
+                        replica_port,
+                        **dict(options, jitter_seed=1000 + shard),
+                    )
+                    for replica_host, replica_port in group
+                ]
+            )
+        if read_from_replica and not any(self._replica_backends):
+            raise ConfigurationError(
+                "read_from_replica needs at least one follower"
+            )
+        self._epochs = [0 for _ in self._backends]
+        self.promotions = 0
+        self._promotion_tasks: dict[int, asyncio.Task] = {}
         self._stats_max_age = stats_max_age
         self._stats_cache: list[StoreStats] | None = None
         self._stats_stamp = 0.0
@@ -266,14 +298,106 @@ class ClusterRouter(FramedServer):
         return self._admission
 
     def _breaker_listener(self, shard: int):
-        """A per-shard callback tracing breaker state changes."""
+        """A per-shard callback tracing breaker state changes.
+
+        An open breaker on a shard with followers is the failover
+        trigger: detection (PR 3) turns into survival by promoting the
+        most-caught-up follower instead of waiting out the cooldown.
+        """
 
         def on_transition(old: str, new: str) -> None:
             self.obs.tracer.emit(
                 obs_events.BREAKER, shard=shard, old=old, new=new
             )
+            if new == OPEN:
+                self._schedule_promotion(shard)
 
         return on_transition
+
+    # -- failover ---------------------------------------------------------
+
+    def _schedule_promotion(self, shard: int) -> None:
+        """Kick off a promotion task for ``shard`` (at most one at a time).
+
+        Breaker transitions can fire outside a running event loop (unit
+        tests driving breakers directly); without a loop there is no one
+        to promote, so the trigger is silently skipped.
+        """
+        if not self._replica_clients[shard]:
+            return
+        existing = self._promotion_tasks.get(shard)
+        if existing is not None and not existing.done():
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        self._promotion_tasks[shard] = loop.create_task(
+            self._promote_shard(shard), name=f"promote-shard-{shard}"
+        )
+
+    async def _promote_shard(self, shard: int) -> None:
+        """Promote the most-caught-up follower to shard leader.
+
+        Every follower is probed for its replication cursor; the one
+        with the highest ``(epoch, generation, applied)`` — i.e. the
+        most acked writes — wins, which is exactly what makes the
+        zero-lost-acked guarantee hold under ``quorum``: any acked
+        write reached a majority, and the majority's maximum cursor
+        contains it. The survivors are handed to the new leader to
+        re-attach, the router's shard client is swapped, and the
+        breaker is reset so traffic flows immediately.
+        """
+        followers = self._replica_clients[shard]
+        statuses = await asyncio.gather(
+            *(client.replica_status() for client in followers),
+            return_exceptions=True,
+        )
+        candidates = [
+            (
+                status["epoch"],
+                status["generation"],
+                status["applied"],
+                index,
+            )
+            for index, status in enumerate(statuses)
+            if not isinstance(status, BaseException)
+        ]
+        if not candidates:
+            # No follower answered either; leave the breaker cooling
+            # down — a later open transition retries the promotion.
+            return
+        _epoch, _generation, _applied, winner = max(candidates)
+        epoch = self._epochs[shard] + 1
+        peers = [
+            address
+            for index, address in enumerate(self._replica_backends[shard])
+            if index != winner
+        ]
+        try:
+            await followers[winner].promote(epoch, peers)
+        except ServerError:
+            return  # promotion failed; breaker stays open, retried later
+        new_leader = self._replica_backends[shard][winner]
+        promoted_client = followers.pop(winner)
+        self._replica_backends[shard] = peers
+        old_client = self._clients[shard]
+        self._backends[shard] = new_leader
+        self._clients[shard] = KVClient(
+            *new_leader,
+            **dict(self._shard_client_base, jitter_seed=shard),
+        )
+        await promoted_client.aclose()
+        await old_client.aclose()
+        self._epochs[shard] = epoch
+        self.promotions += 1
+        self.breakers[shard].reset()
+        self.obs.tracer.emit(
+            obs_events.REPLICA_PROMOTE,
+            shard=shard,
+            epoch=epoch,
+            survivors=len(peers),
+        )
 
     def shard_retries(self) -> int:
         """Total backend retries absorbed inside the router."""
@@ -282,10 +406,20 @@ class ClusterRouter(FramedServer):
         )
 
     async def aclose(self) -> None:
-        """Stop serving and close every shard client."""
+        """Stop serving and close every shard and replica client."""
+        for task in self._promotion_tasks.values():
+            task.cancel()
+        if self._promotion_tasks:
+            await asyncio.gather(
+                *self._promotion_tasks.values(), return_exceptions=True
+            )
+            self._promotion_tasks = {}
         await super().aclose()
         for client in self._clients:
             await client.aclose()
+        for group in self._replica_clients:
+            for client in group:
+                await client.aclose()
 
     # -- cluster state ----------------------------------------------------
 
@@ -340,6 +474,11 @@ class ClusterRouter(FramedServer):
             str(shard): breaker.state
             for shard, breaker in enumerate(self.breakers)
         }
+
+    @property
+    def epochs(self) -> list[int]:
+        """Current leadership epoch per shard (0 = never failed over)."""
+        return list(self._epochs)
 
     async def _shard_request(self, shard: int, message: dict) -> dict:
         """One backend request, guarded and scored by the shard breaker.
@@ -574,14 +713,43 @@ class ClusterRouter(FramedServer):
         lo: bytes | None,
         hi: bytes | None,
         limit: int | None,
-    ) -> list[tuple[bytes, bytes]]:
-        response = await self._shard_request(
-            shard, protocol.scan_request(lo, hi, limit)
+    ) -> tuple[list[tuple[bytes, bytes]], bool, int]:
+        """One shard's slice of a scan: ``(items, replica_read, staleness)``.
+
+        With ``read_from_replica`` the scan is served by the shard's
+        first answering follower — cheaper for the leader, stale by at
+        most the follower's unapplied shipping backlog, which is
+        reported so the caller can judge the trade. Followers that
+        don't answer (or when the feature is off) fall back to the
+        leader through the breaker-guarded path.
+        """
+        request = protocol.scan_request(lo, hi, limit)
+        if self._read_from_replica:
+            for client in self._replica_clients[shard]:
+                try:
+                    response = await client.request(request)
+                except ServerError:
+                    continue  # next follower, else the leader
+                return (
+                    [
+                        (
+                            protocol.b64decode(key),
+                            protocol.b64decode(value),
+                        )
+                        for key, value in response.get("items", [])
+                    ],
+                    bool(response.get("replica_read", False)),
+                    int(response.get("staleness_bytes", 0)),
+                )
+        response = await self._shard_request(shard, request)
+        return (
+            [
+                (protocol.b64decode(key), protocol.b64decode(value))
+                for key, value in response.get("items", [])
+            ],
+            False,
+            0,
         )
-        return [
-            (protocol.b64decode(key), protocol.b64decode(value))
-            for key, value in response.get("items", [])
-        ]
 
     async def _op_scan(self, message: dict) -> dict:
         lo, hi, limit = protocol.scan_bounds(message)
@@ -596,13 +764,18 @@ class ClusterRouter(FramedServer):
         )
         per_shard: list[list[tuple[bytes, bytes]]] = []
         missing: list[int] = []
+        replica_read = False
+        staleness_bytes = 0
         for shard, result in enumerate(results):
             if isinstance(result, BaseException):
                 if not isinstance(result, ServerError):
                     raise result  # programming error, not a dead shard
                 missing.append(shard)
             else:
-                per_shard.append(result)
+                shard_items, from_replica, staleness = result
+                per_shard.append(shard_items)
+                replica_read = replica_read or from_replica
+                staleness_bytes = max(staleness_bytes, staleness)
         if missing:
             # Partial answer over the surviving shards, honestly
             # labelled, instead of failing every range read because one
@@ -620,6 +793,8 @@ class ClusterRouter(FramedServer):
             ],
             degraded=bool(missing),
             missing_shards=missing,
+            replica_read=replica_read,
+            staleness_bytes=staleness_bytes,
         )
 
     # -- observability -----------------------------------------------------
@@ -662,6 +837,10 @@ class ClusterRouter(FramedServer):
                 f"router_{base}{suffix}",
                 help=f"Router cumulative {name.replace('_', ' ')}.",
             ).set_total(value)
+        registry.counter(
+            "router_promotions_total",
+            help="Follower-to-leader promotions performed on failover.",
+        ).set_total(self.promotions)
         for shard, breaker in enumerate(self.breakers):
             registry.counter(
                 "router_breaker_trips_total",
@@ -753,6 +932,15 @@ class ClusterRouter(FramedServer):
         router_view["breaker_trips"] = sum(
             breaker.trips for breaker in self.breakers
         )
+        router_view["promotions"] = self.promotions
+        router_view["shard_epochs"] = {
+            str(shard): epoch for shard, epoch in enumerate(self._epochs)
+        }
+        router_view["replicas_per_shard"] = {
+            str(shard): len(group)
+            for shard, group in enumerate(self._replica_backends)
+        }
+        router_view["read_from_replica"] = self._read_from_replica
         return protocol.ok_response(
             cluster=cluster.snapshot(),
             router=router_view,
@@ -786,7 +974,17 @@ class LocalCluster:
         write_deadline: float = 10.0,
         breaker_options: dict | None = None,
         metrics_port: int | None = None,
+        replicas: int = 0,
+        ack_policy: str = "leader_only",
+        read_from_replica: bool = False,
+        replication_timeout: float | None = None,
     ) -> None:
+        if replicas < 0:
+            raise ConfigurationError("replicas cannot be negative")
+        if read_from_replica and replicas == 0:
+            raise ConfigurationError(
+                "read_from_replica needs at least one replica per shard"
+            )
         self.store = ShardedStore(
             directory,
             num_shards,
@@ -795,6 +993,8 @@ class LocalCluster:
             arbiter=arbiter,
             pump_budget=pump_budget,
         )
+        self._directory = directory
+        self._options = options
         self._admission = admission
         self._host = host
         self._port = port
@@ -802,20 +1002,87 @@ class LocalCluster:
         self._write_deadline = write_deadline
         self._breaker_options = breaker_options
         self._metrics_port = metrics_port
+        self._replicas = replicas
+        self._ack_policy = ack_policy
+        self._read_from_replica = read_from_replica
+        self._replication_timeout = replication_timeout
         self.backends: list[KVServer] = []
+        self.replica_stores: list[list] = []
+        self.replica_servers: list[list] = []
         self.router: ClusterRouter | None = None
 
+    @property
+    def replicas(self) -> int:
+        """Followers per shard (0 = unreplicated single-copy shards)."""
+        return self._replicas
+
+    async def _start_replica_group(self, shard: int, engine) -> KVServer:
+        """Boot one shard's replica group; returns the leader backend."""
+        import os
+
+        from ..engine.datastore import LSMStore
+        from ..replication import (
+            DEFAULT_REPLICATION_TIMEOUT,
+            ReplicatedKVServer,
+        )
+
+        timeout = self._replication_timeout or DEFAULT_REPLICATION_TIMEOUT
+        followers: list[KVServer] = []
+        stores = []
+        for index in range(self._replicas):
+            store = LSMStore.open(
+                os.path.join(
+                    self._directory, f"replica-{shard:02d}-{index}"
+                ),
+                self._options,
+            )
+            stores.append(store)
+            follower = ReplicatedKVServer(
+                store,
+                host=self._host,
+                port=0,
+                write_deadline=self._write_deadline,
+                role="follower",
+                ack_policy=self._ack_policy,
+                replication_timeout=timeout,
+            )
+            await follower.start()
+            followers.append(follower)
+        leader = ReplicatedKVServer(
+            engine,
+            host=self._host,
+            port=0,
+            write_deadline=self._write_deadline,
+            role="leader",
+            ack_policy=self._ack_policy,
+            replication_timeout=timeout,
+        )
+        await leader.start()
+        await leader.become_leader(
+            0,
+            [
+                KVClient(*follower.address, pool_size=1, max_retries=1)
+                for follower in followers
+            ],
+        )
+        self.replica_stores.append(stores)
+        self.replica_servers.append(followers)
+        return leader
+
     async def start(self) -> tuple[str, int]:
-        """Boot backends and router; returns the router's address."""
+        """Boot backends (and replica groups) and the router."""
         try:
-            for engine in self.store.engines():
-                backend = KVServer(
-                    engine,
-                    host=self._host,
-                    port=0,
-                    write_deadline=self._write_deadline,
-                )
-                await backend.start()
+            for shard, engine in enumerate(self.store.engines()):
+                if self._replicas > 0:
+                    backend = await self._start_replica_group(shard, engine)
+                else:
+                    backend = KVServer(
+                        engine,
+                        host=self._host,
+                        port=0,
+                        write_deadline=self._write_deadline,
+                    )
+                    await backend.start()
                 self.backends.append(backend)
             self.router = ClusterRouter(
                 backends=[backend.address for backend in self.backends],
@@ -828,6 +1095,13 @@ class LocalCluster:
                 shard_client_options=self._shard_client_options,
                 breaker_options=self._breaker_options,
                 metrics_port=self._metrics_port,
+                replica_backends=[
+                    [server.address for server in group]
+                    for group in self.replica_servers
+                ]
+                if self._replicas > 0
+                else None,
+                read_from_replica=self._read_from_replica,
             )
             return await self.router.start()
         except BaseException:
@@ -863,7 +1137,19 @@ class LocalCluster:
         await self.backends[shard].aclose()
 
     async def restore_shard(self, shard: int) -> None:
-        """Bring a killed shard's backend server back on its old port."""
+        """Bring a killed shard's backend server back on its old port.
+
+        Only valid without replicas: in a replicated cluster the router
+        promotes a follower when the leader dies, so rebinding the old
+        leader's address would resurrect a deposed head behind the
+        router's back (split-brain). Failed members of a replica group
+        rejoin by being re-added as fresh followers, not restored.
+        """
+        if self._replicas > 0:
+            raise ConfigurationError(
+                "restore_shard is not supported with replicas; "
+                "failover promotes a follower instead"
+            )
         if not 0 <= shard < len(self.backends):
             raise ConfigurationError(f"no such shard {shard}")
         old = self.backends[shard]
@@ -885,6 +1171,14 @@ class LocalCluster:
         for backend in self.backends:
             await backend.aclose()
         self.backends = []
+        for group in self.replica_servers:
+            for server in group:
+                await server.aclose()
+        self.replica_servers = []
+        for stores in self.replica_stores:
+            for store in stores:
+                store.close()
+        self.replica_stores = []
         self.store.close()
 
     async def __aenter__(self) -> "LocalCluster":

@@ -93,11 +93,19 @@ class WriteTiming:
     ``stall_seconds`` is the portion spent blocked in the headroom gate
     (0.0 unless the write stalled). Produced only by the ``timed_*``
     write variants — the plain paths never read a clock.
+
+    ``wal_offset``/``wal_end`` are the byte span the write's commit
+    frame occupies in WAL generation ``wal_generation`` (-1 when
+    unknown); a replicated server waits for follower acks to reach
+    ``wal_end`` before acknowledging under quorum/all ack policies.
     """
 
     engine_seconds: float
     io_seconds: float
     stall_seconds: float
+    wal_generation: int = -1
+    wal_offset: int = -1
+    wal_end: int = -1
 
 
 class LSMStore:
@@ -143,6 +151,7 @@ class LSMStore:
         self._active = MemTable(seed=0)
         self._sealed: list[MemTable] = []
         self._memtable_seed = 1
+        self._commit_listener = None
         self._closed = False
         self._stall_count = 0
         self._stall_seconds = 0.0
@@ -245,6 +254,54 @@ class LSMStore:
             else:
                 self._active.put(key, value)
 
+    # -- replication hooks -----------------------------------------------
+
+    def set_commit_listener(self, listener) -> None:
+        """Register (or clear) the replication hook observing WAL commits.
+
+        The listener is duck-typed with three methods, all called with
+        the store lock held (so they must not re-enter the store):
+
+        - ``on_commit(generation, offset, length, batch)`` — after every
+          WAL append, in commit order.
+        - ``may_truncate(generation, size_bytes) -> bool`` — asked before
+          a WAL checkpoint; returning False defers the truncation (e.g.
+          a follower's shipping cursor still points into the log).
+        - ``on_truncate(generation)`` — after a truncation, with the new
+          generation; all cursors into older generations are now void.
+        """
+        with self._lock:
+            self._commit_listener = listener
+
+    def _notify_commit(
+        self, offset: int, length: int, batch
+    ) -> None:
+        listener = self._commit_listener
+        if listener is not None:
+            listener.on_commit(self._wal.generation, offset, length, batch)
+
+    @property
+    def wal_path(self) -> str:
+        """The WAL's backing file (replication streams frames from it)."""
+        return self._wal.path
+
+    def wal_position(self) -> tuple[int, int]:
+        """Current ``(generation, size_bytes)`` of the WAL — the high-water
+        mark a fully caught-up follower's cursor would sit at."""
+        with self._lock:
+            return self._wal.generation, self._wal.size_bytes
+
+    def replication_snapshot(
+        self,
+    ) -> tuple[list[tuple[bytes, bytes]], int, int]:
+        """Atomic ``(items, wal_generation, wal_offset)`` for replica
+        resync: a follower that applies ``items`` as a fresh state and
+        sets its cursor to the returned position is exactly caught up."""
+        with self._lock:
+            self._check_open()
+            items = list(self.scan())
+            return items, self._wal.generation, self._wal.size_bytes
+
     # -- writes ----------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
@@ -262,23 +319,26 @@ class LSMStore:
         with self._lock:
             self._check_open()
             self._wait_for_headroom()
-            self._wal.append(batch)
+            offset, length = self._wal.append(batch)
             for key, value in batch:
                 if value is TOMBSTONE:
                     self._active.delete(key)
                 else:
                     self._active.put(key, value)
+            self._notify_commit(offset, length, batch)
             self._maybe_rotate()
 
     def _write(self, key: bytes, value) -> None:
         with self._lock:
             self._check_open()
             self._wait_for_headroom()
-            self._wal.append([(key, value)])
+            batch = [(key, value)]
+            offset, length = self._wal.append(batch)
             if value is TOMBSTONE:
                 self._active.delete(key)
             else:
                 self._active.put(key, value)
+            self._notify_commit(offset, length, batch)
             self._maybe_rotate()
 
     # -- timed writes (serving-tier latency breakdown) -------------------
@@ -315,19 +375,24 @@ class LSMStore:
             stall_before = self._stall_seconds
             self._wait_for_headroom()
             stall_seconds = self._stall_seconds - stall_before
+            generation = self._wal.generation
             io_started = clock()
-            self._wal.append(batch)
+            offset, length = self._wal.append(batch)
             io_seconds = clock() - io_started
             for key, value in batch:
                 if value is TOMBSTONE:
                     self._active.delete(key)
                 else:
                     self._active.put(key, value)
+            self._notify_commit(offset, length, batch)
             self._maybe_rotate()
             return WriteTiming(
                 engine_seconds=clock() - started,
                 io_seconds=io_seconds,
                 stall_seconds=stall_seconds,
+                wal_generation=generation,
+                wal_offset=offset,
+                wal_end=offset + length,
             )
 
     def _wait_for_headroom(self) -> None:
@@ -433,8 +498,18 @@ class LSMStore:
     def _wal_checkpoint(self) -> None:
         # Every memtable that was sealed before this flush is durable in
         # runs once the sealed queue is empty; the WAL can then restart.
+        # A replication listener may veto the truncation while follower
+        # shipping cursors still point into the log — the checkpoint is
+        # simply retried at the next flush.
         if not self._sealed and len(self._active) == 0:
+            listener = self._commit_listener
+            if listener is not None and not listener.may_truncate(
+                self._wal.generation, self._wal.size_bytes
+            ):
+                return
             self._wal.truncate()
+            if listener is not None:
+                listener.on_truncate(self._wal.generation)
 
     def _seal_active(self) -> None:
         self._active.seal()

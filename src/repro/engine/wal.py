@@ -68,6 +68,7 @@ class WriteAheadLog:
         self._path = path
         self._sync = sync
         self._fault_plan = fault_plan
+        self._generation = 0
         existed = os.path.exists(path)
         self._file = self._wrap(open(path, "ab"))
         self._bytes = os.path.getsize(path)
@@ -89,8 +90,21 @@ class WriteAheadLog:
         """Current log size."""
         return self._bytes
 
-    def append(self, batch: list[tuple[bytes, bytes | None]]) -> None:
-        """Durably record one commit batch of (key, value-or-None) ops."""
+    @property
+    def generation(self) -> int:
+        """Truncation epoch: byte offsets are only comparable within one
+        generation, and every :meth:`truncate` starts a new one."""
+        return self._generation
+
+    def append(
+        self, batch: list[tuple[bytes, bytes | None]]
+    ) -> tuple[int, int]:
+        """Durably record one commit batch of (key, value-or-None) ops.
+
+        Returns the ``(offset, length)`` of the appended frame so callers
+        (replication shipping, incremental tooling) can address it later
+        via :meth:`replay_from` or :meth:`stream_frames`.
+        """
         if not batch:
             raise ConfigurationError("empty commit batch")
         payload = bytearray()
@@ -106,7 +120,10 @@ class WriteAheadLog:
         self._file.flush()
         if self._sync:
             fsync_file(self._file)
-        self._bytes += len(frame) + len(payload)
+        offset = self._bytes
+        length = len(frame) + len(payload)
+        self._bytes = offset + length
+        return offset, length
 
     def truncate(self) -> None:
         """Discard the log (all buffered state reached durable runs)."""
@@ -115,6 +132,7 @@ class WriteAheadLog:
         self._file.close()
         self._file = self._wrap(open(self._path, "ab"))
         self._bytes = 0
+        self._generation += 1
         fsync_dir(os.path.dirname(self._path))
 
     def close(self) -> None:
@@ -123,12 +141,25 @@ class WriteAheadLog:
             self._file.close()
 
     @staticmethod
-    def replay(path: str) -> Iterator[tuple[bytes, bytes | None]]:
-        """Yield every operation from intact frames, stopping at the
-        first torn or corrupt frame (crash-consistent prefix replay)."""
+    def stream_frames(
+        path: str, offset: int = 0
+    ) -> Iterator[tuple[int, int, list[tuple[bytes, bytes | None]]]]:
+        """Yield ``(frame_offset, frame_end, ops)`` for every intact frame
+        starting at byte ``offset``, stopping at the first torn or corrupt
+        frame (crash-consistent prefix streaming).
+
+        ``offset`` must land on a frame boundary — replication cursors
+        only ever hold values returned by :meth:`append` or yielded here,
+        so a misaligned offset simply reads as a corrupt frame and stops.
+        """
+        if offset < 0:
+            raise ConfigurationError("wal offset must be non-negative")
         if not os.path.exists(path):
             return
         with open(path, "rb") as log:
+            if offset:
+                log.seek(offset)
+            position = offset
             while True:
                 header = log.read(_FRAME_HEADER.size)
                 if len(header) < _FRAME_HEADER.size:
@@ -138,27 +169,48 @@ class WriteAheadLog:
                 if len(payload) < length:
                     return  # torn frame
                 if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-                    return  # corrupt frame: stop replay here
-                pos = 0
-                ops: list[tuple[bytes, bytes | None]] = []
-                valid = True
-                while pos < length:
-                    if pos + _OP.size > length:
-                        valid = False
-                        break
-                    opcode, key_len, val_len = _OP.unpack_from(payload, pos)
-                    pos += _OP.size
-                    key = payload[pos : pos + key_len]
-                    pos += key_len
-                    if opcode == _OP_PUT:
-                        value = payload[pos : pos + val_len]
-                        pos += val_len
-                        ops.append((key, value))
-                    elif opcode == _OP_DELETE:
-                        ops.append((key, TOMBSTONE))
-                    else:
-                        valid = False
-                        break
-                if not valid:
+                    return  # corrupt frame: stop streaming here
+                ops = _decode_ops(payload)
+                if ops is None:
                     return
-                yield from ops
+                end = position + _FRAME_HEADER.size + length
+                yield position, end, ops
+                position = end
+
+    @staticmethod
+    def replay_from(
+        path: str, offset: int
+    ) -> Iterator[tuple[bytes, bytes | None]]:
+        """Yield every operation from intact frames at byte ``offset``
+        onwards, with the same torn-tail tolerance as :meth:`replay`."""
+        for _start, _end, ops in WriteAheadLog.stream_frames(path, offset):
+            yield from ops
+
+    @staticmethod
+    def replay(path: str) -> Iterator[tuple[bytes, bytes | None]]:
+        """Yield every operation from intact frames, stopping at the
+        first torn or corrupt frame (crash-consistent prefix replay)."""
+        yield from WriteAheadLog.replay_from(path, 0)
+
+
+def _decode_ops(payload: bytes) -> list[tuple[bytes, bytes | None]] | None:
+    """Decode one frame payload into ops; ``None`` if malformed."""
+    pos = 0
+    length = len(payload)
+    ops: list[tuple[bytes, bytes | None]] = []
+    while pos < length:
+        if pos + _OP.size > length:
+            return None
+        opcode, key_len, val_len = _OP.unpack_from(payload, pos)
+        pos += _OP.size
+        key = payload[pos : pos + key_len]
+        pos += key_len
+        if opcode == _OP_PUT:
+            value = payload[pos : pos + val_len]
+            pos += val_len
+            ops.append((key, value))
+        elif opcode == _OP_DELETE:
+            ops.append((key, TOMBSTONE))
+        else:
+            return None
+    return ops

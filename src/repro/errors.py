@@ -99,6 +99,37 @@ class ShardDownError(ServerError):
         self.retry_after = retry_after
 
 
+class ReplicationError(ServerError):
+    """Base class for failures in WAL shipping (``repro.replication``)."""
+
+
+class ReplicaGapError(ReplicationError):
+    """A shipped frame does not start at the follower's applied cursor.
+
+    ``expected`` is the ``(generation, offset)`` the follower can accept
+    next; the shipper rewinds to it (or falls back to a reset snapshot
+    when the generations no longer line up).
+    """
+
+    def __init__(
+        self, message: str, expected: tuple[int, int] = (0, 0)
+    ) -> None:
+        super().__init__(message)
+        self.expected = expected
+
+
+class StaleEpochError(ReplicationError):
+    """A replication frame carried an epoch older than the replica's.
+
+    The sender is a deposed leader and must stop shipping — the epoch
+    check is the fencing that prevents split-brain after a promotion.
+    """
+
+
+class NotLeaderError(ReplicationError):
+    """A leader-only operation was sent to a replica in follower role."""
+
+
 class RetriesExhaustedError(ServerError):
     """A client request failed every attempt in its retry budget.
 

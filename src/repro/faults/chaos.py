@@ -16,6 +16,15 @@ and restores one shard's backend server. Throughout, it keeps score:
 * **zero lost acked writes** — after the dust settles, every acked
   key is read back and compared against the model.
 
+With ``replicas > 0`` the schedule becomes a **leader kill**: the dead
+leader is never restored; recovery means the router noticed the open
+breaker and promoted that shard's most-caught-up follower. The report
+then additionally scores promotions, post-failover epochs, and (with
+``read_from_replica``) whether mid-outage scans were served by replicas
+and how stale they admitted to being. The acceptance bar shifts
+accordingly — no degraded scan is required when a follower can serve,
+but zero lost acked writes and at least one promotion are.
+
 The run is seeded and scheduled by op index, so two runs with the same
 arguments kill the same shard at the same point in the same stream;
 wall-clock enters only through the breaker cooldown and pacing sleeps.
@@ -28,7 +37,7 @@ from __future__ import annotations
 import asyncio
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..cluster.breaker import CLOSED
 from ..cluster.router import LocalCluster
@@ -61,15 +70,38 @@ class ChaosReport:
     )
     lost_acked: int = 0
     final_health: dict[str, str] = field(default_factory=dict)
+    replicas: int = 0
+    ack_policy: str = "leader_only"
+    promotions: int = 0
+    shard_epochs: list[int] = field(default_factory=list)
+    replica_scan_seen: bool = False
+    max_staleness_bytes: int = 0
 
     @property
     def recovered(self) -> bool:
-        """Did writes to the killed range succeed again post-restore?"""
+        """Did writes to the killed range succeed again post-restore?
+
+        In a replicated run "restore" never happens — recovery means a
+        follower was promoted and took the killed range's writes.
+        """
         return self.recovery_seconds >= 0.0
 
     @property
     def ok(self) -> bool:
-        """The acceptance bar: degrade honestly, recover fully."""
+        """The acceptance bar: degrade honestly, recover fully.
+
+        Replicated runs swap the degraded-scan requirement (a follower
+        may have served the scan, honestly, without degradation) for a
+        promotion requirement: the router must have failed the shard
+        over, and every acked write must still read back afterwards.
+        """
+        if self.replicas > 0:
+            return (
+                self.lost_acked == 0
+                and self.recovered
+                and self.promotions >= 1
+                and self.other_errors == 0
+            )
         return (
             self.lost_acked == 0
             and self.recovered
@@ -105,9 +137,31 @@ class ChaosReport:
             f"breaker transitions: {self.breaker_transitions}",
             f"lost acked writes: {self.lost_acked}",
             f"final shard health: {self.final_health}",
-            f"verdict: {'OK' if self.ok else 'FAILED'}",
         ]
+        if self.replicas > 0:
+            lines.append(
+                f"failover: {self.promotions} promotion(s), "
+                f"epochs {self.shard_epochs}, "
+                f"{self.replicas} replica(s)/shard "
+                f"under {self.ack_policy!r}"
+            )
+            if self.replica_scan_seen:
+                lines.append(
+                    "replica scan: served mid-outage, staleness "
+                    f"<= {self.max_staleness_bytes} bytes"
+                )
+        lines.append(f"verdict: {'OK' if self.ok else 'FAILED'}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view including the derived verdict fields."""
+        payload = asdict(self)
+        payload["breaker_transitions"] = [
+            list(pair) for pair in self.breaker_transitions
+        ]
+        payload["recovered"] = self.recovered
+        payload["ok"] = self.ok
+        return payload
 
 
 def _percentile(samples: list[float], pct: float) -> float:
@@ -134,20 +188,34 @@ async def run_chaos(
     op_interval: float = 0.002,
     recovery_deadline: float = 10.0,
     options: StoreOptions | None = None,
+    replicas: int = 0,
+    ack_policy: str = "leader_only",
+    read_from_replica: bool = False,
 ) -> ChaosReport:
     """Run the kill/restore schedule against a fresh LocalCluster.
 
     ``options`` overrides the per-shard engine configuration (used by the
     maintenance-worker tests to run the same schedule with background
     workers enabled); the default disables the block cache.
+
+    With ``replicas > 0`` the kill targets a shard *leader* and nothing
+    is ever restored: recovery must come from the router promoting a
+    follower. ``restore_at`` is ignored in that mode.
     """
-    if not 0.0 < kill_at < restore_at < 1.0:
+    if replicas > 0:
+        if not 0.0 < kill_at < 1.0:
+            raise ConfigurationError("need 0 < kill_at < 1")
+    elif not 0.0 < kill_at < restore_at < 1.0:
         raise ConfigurationError("need 0 < kill_at < restore_at < 1")
-    report = ChaosReport()
+    report = ChaosReport(replicas=replicas, ack_policy=ack_policy)
     rng = random.Random(seed)
     kill_index = int(ops * kill_at)
-    restore_index = max(kill_index + 1, int(ops * restore_at))
-    scan_index = (kill_index + restore_index) // 2
+    if replicas > 0:
+        restore_index = -1  # leader-kill mode: the dead stay dead
+        scan_index = min(ops - 1, kill_index + max(1, ops // 10))
+    else:
+        restore_index = max(kill_index + 1, int(ops * restore_at))
+        scan_index = (kill_index + restore_index) // 2
     model: dict[bytes, bytes] = {}
     survivors: list[float] = []
     restored_at = 0.0
@@ -169,6 +237,9 @@ async def run_chaos(
             min_samples=2,
             cooldown=cooldown,
         ),
+        replicas=replicas,
+        ack_policy=ack_policy,
+        read_from_replica=read_from_replica,
     )
     async with cluster:
         host, port = cluster.address
@@ -183,16 +254,30 @@ async def run_chaos(
                 if index == kill_index:
                     await cluster.kill_shard(kill_shard)
                     down = True
+                    if replicas > 0:
+                        # Recovery clock: kill → first promoted-leader
+                        # ack on the killed range.
+                        restored_at = time.monotonic()
                 if index == restore_index:
                     await cluster.restore_shard(kill_shard)
                     restored_at = time.monotonic()
                     down = False
                 if index == scan_index and down:
-                    scan = await client.scan_detailed(limit=50)
-                    report.degraded_scan_seen = scan["degraded"]
-                    report.degraded_scan_correct = scan[
-                        "missing_shards"
-                    ] == [kill_shard]
+                    try:
+                        scan = await client.scan_detailed(limit=50)
+                    except ServerError:
+                        scan = None
+                    if scan is not None:
+                        report.degraded_scan_seen = scan["degraded"]
+                        report.degraded_scan_correct = scan[
+                            "missing_shards"
+                        ] == [kill_shard]
+                        report.replica_scan_seen = bool(
+                            scan.get("replica_read")
+                        )
+                        report.max_staleness_bytes = int(
+                            scan.get("staleness_bytes") or 0
+                        )
                 key = f"key-{rng.randrange(keyspace):06d}".encode()
                 value = f"{index:08d}".encode() + bytes(
                     rng.randrange(256)
@@ -224,6 +309,13 @@ async def run_chaos(
                     model[key] = value
                     if target != kill_shard:
                         survivors.append(elapsed)
+                    elif down and replicas > 0:
+                        # A write on the killed range succeeded again:
+                        # the router promoted a follower.
+                        report.recovery_seconds = (
+                            time.monotonic() - restored_at
+                        )
+                        down = False
                 await asyncio.sleep(op_interval)
 
             # Post-load: drive probe writes at the killed range until
@@ -271,6 +363,8 @@ async def run_chaos(
                 await verifier.aclose()
             report.breaker_transitions = list(breaker.transitions)
             report.final_health = cluster.router.shard_health()
+            report.promotions = cluster.router.promotions
+            report.shard_epochs = cluster.router.epochs
         finally:
             await client.aclose()
     report.surviving_p99 = _percentile(survivors, 99.0)

@@ -25,6 +25,8 @@ from .events import (
     MEMTABLE_ROTATE,
     MERGE_END,
     MERGE_START,
+    REPLICA_PROMOTE,
+    SHIP_STALL,
     STALL_ENTER,
     STALL_EXIT,
     Event,
@@ -83,6 +85,8 @@ __all__ = [
     "MEMTABLE_ROTATE",
     "MERGE_END",
     "MERGE_START",
+    "REPLICA_PROMOTE",
+    "SHIP_STALL",
     "STALL_ENTER",
     "STALL_EXIT",
     "Counter",

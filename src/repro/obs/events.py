@@ -36,6 +36,8 @@ ADMISSION = "admission"
 BREAKER = "breaker"
 FAULT = "fault"
 MAINTENANCE_WORKER = "maintenance_worker"
+REPLICA_PROMOTE = "replica_promote"
+SHIP_STALL = "ship_stall"
 
 EVENT_KINDS = frozenset(
     {
@@ -50,6 +52,8 @@ EVENT_KINDS = frozenset(
         BREAKER,
         FAULT,
         MAINTENANCE_WORKER,
+        REPLICA_PROMOTE,
+        SHIP_STALL,
     }
 )
 

@@ -1,0 +1,28 @@
+"""repro.replication — per-shard WAL shipping, ack policies, failover.
+
+Each cluster shard becomes a replica group: one leader
+(:class:`ReplicatedKVServer` in leader role) streams its WAL to N
+followers through a :class:`WalShipper`; each follower replays the
+frames idempotently via a :class:`ReplicaApplier`. The ack policy
+(:data:`ACK_POLICIES`) decides how many follower acks a client write
+waits for, and the cluster router promotes the most-caught-up follower
+when a leader's circuit breaker opens.
+
+See ``docs/replication.md`` for the ack-policy semantics, the staleness
+contract on follower reads, and the promotion/fencing rules.
+"""
+
+from .applier import ReplicaApplier
+from .policy import ACK_POLICIES, acks_required, validate_ack_policy
+from .server import DEFAULT_REPLICATION_TIMEOUT, ReplicatedKVServer
+from .shipper import WalShipper
+
+__all__ = [
+    "ACK_POLICIES",
+    "DEFAULT_REPLICATION_TIMEOUT",
+    "ReplicaApplier",
+    "ReplicatedKVServer",
+    "WalShipper",
+    "acks_required",
+    "validate_ack_policy",
+]

@@ -1,0 +1,52 @@
+"""Ack policies: when is a write "acknowledged" in a replica group?
+
+The paper's stability argument is about the latency a *client* observes
+for an acknowledged write; replication moves the goalposts by letting the
+operator choose what acknowledgement means:
+
+``leader_only``
+    Acked once durable on the leader. Fastest; a leader death can lose
+    the suffix of acked writes that had not shipped yet.
+``quorum``
+    Acked once a majority of the replica group (leader included) holds
+    the write. Survives any minority of failures without losing acked
+    writes — the failover harness's zero-lost-acked audit assumes this.
+``all``
+    Acked once every follower holds the write. Strongest, and the ack
+    latency is the *slowest* follower's shipping latency — one stalled
+    replica stalls every client write (the replication analogue of the
+    paper's stop interaction).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+ACK_POLICIES = ("leader_only", "quorum", "all")
+
+
+def validate_ack_policy(policy: str) -> str:
+    """Return ``policy`` or raise on an unknown name."""
+    if policy not in ACK_POLICIES:
+        raise ConfigurationError(
+            f"unknown ack policy {policy!r}; choose from {ACK_POLICIES}"
+        )
+    return policy
+
+
+def acks_required(policy: str, followers: int) -> int:
+    """Follower acks needed before a write may be acknowledged.
+
+    The leader's own durable apply always counts as one vote, so with
+    ``followers`` followers the group size is ``followers + 1`` and a
+    quorum needs ``(followers + 1) // 2 + 1`` votes total — i.e.
+    ``(followers + 1) // 2`` of them from followers.
+    """
+    validate_ack_policy(policy)
+    if followers < 0:
+        raise ConfigurationError("follower count cannot be negative")
+    if policy == "leader_only" or followers == 0:
+        return 0
+    if policy == "all":
+        return followers
+    return (followers + 1) // 2

@@ -1,0 +1,279 @@
+"""A :class:`KVServer` that is one member of a per-shard replica group.
+
+One :class:`ReplicatedKVServer` wraps one local :class:`LSMStore` and
+plays one of two roles:
+
+* **leader** — accepts client writes, runs them through the normal
+  admission pipeline, then (under ``quorum``/``all`` ack policies)
+  holds the acknowledgement until the :class:`WalShipper` reports
+  enough follower acks for the write's WAL position. The wait is the
+  ``replication`` leg of the response breakdown.
+* **follower** — rejects client writes with ``NOT_LEADER``, applies
+  ``REPLICATE`` frames through a :class:`ReplicaApplier`, and serves
+  reads; its ``SCAN`` responses carry the replica's applied cursor and
+  a staleness lower bound for the router's ``read_from_replica`` mode.
+
+``PROMOTE`` flips a follower to leader at a new epoch, re-attaching any
+surviving peers with a reset-snapshot resync. A deposed leader that
+receives a higher-epoch ``REPLICATE`` steps down to follower — together
+with the applier's epoch check this is the fencing that keeps exactly
+one writable head per shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..engine.datastore import LSMStore
+from ..errors import (
+    ConfigurationError,
+    ReplicaGapError,
+    StaleEpochError,
+    WriteStalledError,
+)
+from ..obs import events as obs_events
+from ..server import protocol
+from ..server.admission import AdmissionController
+from ..server.client import KVClient
+from ..server.service import DEFAULT_WRITE_DEADLINE, KVServer
+from .applier import ReplicaApplier
+from .policy import acks_required, validate_ack_policy
+from .shipper import WalShipper
+
+#: Default bound on how long a leader waits for follower acks before
+#: answering ``STALLED`` (the write is applied locally; a retry is safe).
+DEFAULT_REPLICATION_TIMEOUT = 2.0
+
+
+def _default_follower_factory(host: str, port: int) -> KVClient:
+    # Shipping has its own stall/retry loop, so the client itself fails
+    # fast: one retry, short timeout.
+    return KVClient(host, port, pool_size=1, timeout=2.0, max_retries=1)
+
+
+class ReplicatedKVServer(KVServer):
+    """One replica-group member serving the framed protocol."""
+
+    def __init__(
+        self,
+        store: LSMStore,
+        admission: AdmissionController | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        write_deadline: float = DEFAULT_WRITE_DEADLINE,
+        metrics_port: int | None = None,
+        role: str = "follower",
+        epoch: int = 0,
+        ack_policy: str = "leader_only",
+        replication_timeout: float = DEFAULT_REPLICATION_TIMEOUT,
+        follower_factory=None,
+    ) -> None:
+        if role not in ("leader", "follower"):
+            raise ConfigurationError(f"unknown replica role {role!r}")
+        if replication_timeout <= 0:
+            raise ConfigurationError("replication_timeout must be positive")
+        super().__init__(
+            store, admission, host, port, write_deadline, metrics_port
+        )
+        self._role = role
+        self._epoch = epoch
+        self._ack_policy = validate_ack_policy(ack_policy)
+        self._replication_timeout = replication_timeout
+        self._follower_factory = (
+            follower_factory or _default_follower_factory
+        )
+        self._applier = ReplicaApplier(store)
+        self._applier.prime(epoch, *store.wal_position())
+        self._shipper: WalShipper | None = None
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def role(self) -> str:
+        return self._role
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def applier(self) -> ReplicaApplier:
+        return self._applier
+
+    @property
+    def shipper(self) -> WalShipper | None:
+        return self._shipper
+
+    # -- role changes ----------------------------------------------------
+
+    async def become_leader(self, epoch: int, peer_clients=None) -> None:
+        """Take leadership at ``epoch``, shipping to ``peer_clients``.
+
+        Used both at cluster boot (the initial leader) and by the
+        ``PROMOTE`` verb mid-failover. Peers start with an unknown
+        cursor, so the shipper's first frame to each is a reset
+        snapshot — correct regardless of how far behind they are.
+        """
+        if self._shipper is not None:
+            await self._shipper.stop()
+        self._epoch = epoch
+        self._role = "leader"
+        self._applier.prime(epoch, *self._store.wal_position())
+        self._shipper = WalShipper(
+            self._store,
+            list(peer_clients or []),
+            ack_policy=self._ack_policy,
+            epoch=epoch,
+        )
+        await self._shipper.start()
+
+    async def _step_down(self, epoch: int) -> None:
+        """Demote to follower after seeing a newer epoch (fencing)."""
+        if self._shipper is not None:
+            await self._shipper.stop()
+            self._shipper = None
+        self._role = "follower"
+        self._epoch = epoch
+
+    async def aclose(self) -> None:
+        if self._shipper is not None:
+            await self._shipper.stop()
+            self._shipper = None
+        await super().aclose()
+
+    # -- the leader write path -------------------------------------------
+
+    async def _admitted_write(self, nbytes: int, apply) -> dict:
+        if self._role != "leader":
+            return protocol.error_response(
+                protocol.CODE_NOT_LEADER,
+                f"replica is a follower at epoch {self._epoch}",
+            )
+        captured: list = []
+
+        def apply_and_capture():
+            timing = apply()
+            captured.append(timing)
+            return timing
+
+        response = await super()._admitted_write(nbytes, apply_and_capture)
+        if not response.get("ok") or not captured:
+            return response
+        breakdown = response.setdefault("breakdown", {})
+        shipper = self._shipper
+        timing = captured[-1]
+        if (
+            shipper is None
+            or timing.wal_end < 0
+            or acks_required(self._ack_policy, shipper.follower_count) == 0
+        ):
+            breakdown["replication"] = 0.0
+            return response
+        started = self._clock()
+        committed = await shipper.wait_committed(
+            timing.wal_generation, timing.wal_end, self._replication_timeout
+        )
+        waited = breakdown["replication"] = self._clock() - started
+        if not committed:
+            # The write is durable locally but under-replicated; the
+            # client must not treat it as acknowledged. STALLED keeps it
+            # retryable, and last-writer-wins makes the retry safe.
+            failure = protocol.error_response(
+                protocol.CODE_STALLED,
+                f"replication quorum not reached within "
+                f"{self._replication_timeout}s under "
+                f"{self._ack_policy!r}",
+                retry_after=self._replication_timeout / 2,
+            )
+            failure["breakdown"] = dict(
+                breakdown, replication=waited
+            )
+            return failure
+        return response
+
+    # -- replication verbs -----------------------------------------------
+
+    async def _op_replicate(self, message: dict) -> dict:
+        payload = protocol.replicate_payload(message)
+        if self._role == "leader":
+            if payload["epoch"] > self._epoch:
+                await self._step_down(payload["epoch"])
+            elif not payload.get("probe"):
+                return protocol.error_response(
+                    protocol.CODE_NOT_LEADER,
+                    f"replica is the leader at epoch {self._epoch}",
+                )
+        try:
+            status = await asyncio.to_thread(
+                self._applier.apply_frame, payload
+            )
+        except StaleEpochError as error:
+            return protocol.error_response(
+                protocol.CODE_STALE_EPOCH, str(error)
+            )
+        except ReplicaGapError as error:
+            return protocol.error_response(
+                protocol.CODE_REPLICA_GAP, str(error)
+            )
+        except WriteStalledError as error:
+            return protocol.error_response(
+                protocol.CODE_STALLED, str(error), retry_after=0.05
+            )
+        if status["epoch"] > self._epoch:
+            self._epoch = status["epoch"]  # follower adopts shipped epoch
+        return self._ack_response(status)
+
+    async def _op_promote(self, message: dict) -> dict:
+        epoch, peers = protocol.promote_payload(message)
+        if epoch < self._epoch:
+            return protocol.error_response(
+                protocol.CODE_STALE_EPOCH,
+                f"promotion epoch {epoch} < replica epoch {self._epoch}",
+            )
+        if self._role != "leader" or epoch > self._epoch:
+            clients = [
+                self._follower_factory(host, port) for host, port in peers
+            ]
+            await self.become_leader(epoch, clients)
+            self.obs.tracer.emit(
+                obs_events.REPLICA_PROMOTE, epoch=epoch, peers=len(peers)
+            )
+        return self._ack_response(self._applier.status())
+
+    def _ack_response(self, status: dict) -> dict:
+        return protocol.ok_response(
+            epoch=status["epoch"],
+            generation=status["generation"],
+            applied=status["applied"],
+            ship_tail=status["ship_tail"],
+            role=self._role,
+        )
+
+    # -- reads with a staleness contract ---------------------------------
+
+    async def _op_scan(self, message: dict) -> dict:
+        response = await super()._op_scan(message)
+        if response.get("ok") and self._role == "follower":
+            status = self._applier.status()
+            response["replica_read"] = True
+            response["replica_epoch"] = status["epoch"]
+            response["applied_offset"] = status["applied"]
+            response["staleness_bytes"] = max(
+                0, status["ship_tail"] - status["applied"]
+            )
+        return response
+
+    # -- stats -----------------------------------------------------------
+
+    async def _op_stats(self, message: dict) -> dict:
+        response = await super()._op_stats(message)
+        replication = {
+            "role": self._role,
+            "epoch": self._epoch,
+            "ack_policy": self._ack_policy,
+            "applier": self._applier.status(),
+        }
+        if self._shipper is not None:
+            replication["shipping"] = self._shipper.status()
+        response["replication"] = replication
+        return response

@@ -1,0 +1,401 @@
+"""Leader-side WAL shipping: stream committed frames to followers.
+
+The shipper registers as the leader store's commit listener, so it
+learns of every WAL append in commit order without buffering a byte:
+ship tasks read frames straight back out of the WAL file
+(:meth:`WriteAheadLog.stream_frames`), which works because the listener
+also *gates WAL truncation* — the log can only restart once every
+follower has acknowledged all of it, so a shipping cursor never dangles.
+
+One asyncio task per follower ships frames strictly in order over the
+framed protocol's ``REPLICATE`` verb and keeps three pieces of state:
+
+* ``cursor`` — the next ``(generation, offset)`` to ship, or ``None``
+  when the follower needs a full reset snapshot (bootstrap, or a gap
+  that cannot be replayed);
+* ``acked`` — the follower's last acknowledged cursor, which drives the
+  ``replication_applied_offset`` / ``replication_lag_bytes`` gauges and
+  the quorum accounting behind :meth:`wait_committed`;
+* ``stalled`` — whether the follower is currently unreachable; entering
+  a stall emits one ``ship_stall`` event and the task keeps retrying,
+  so lag drains (and the gauge returns to zero) as soon as the follower
+  answers again.
+
+Fencing: every frame carries the leader's epoch. A follower that has
+seen a newer epoch answers ``STALE_EPOCH``, and the deposed shipper
+stops permanently rather than diverging the group.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+
+from ..engine.wal import WriteAheadLog
+from ..errors import RequestFailedError, RetriesExhaustedError
+from ..obs import events as obs_events
+from ..server import protocol
+from .policy import acks_required, validate_ack_policy
+
+#: How many frames one WAL read may pull before yielding to the loop.
+_MAX_FRAMES_PER_READ = 64
+
+
+class WalShipper:
+    """Ships a leader store's WAL to a set of follower clients."""
+
+    def __init__(
+        self,
+        store,
+        followers,
+        ack_policy: str = "leader_only",
+        epoch: int = 0,
+        idle_interval: float = 0.05,
+        stall_retry_interval: float = 0.05,
+    ) -> None:
+        self._store = store
+        self._followers = list(followers)
+        self._ack_policy = validate_ack_policy(ack_policy)
+        self._epoch = epoch
+        self._idle_interval = idle_interval
+        self._stall_retry_interval = stall_retry_interval
+        self._obs = store.obs
+        self._lock = threading.Lock()
+        self._tail: tuple[int, int] = (0, 0)
+        self._cursors: list[tuple[int, int] | None] = [
+            None for _ in self._followers
+        ]
+        self._acked: list[tuple[int, int] | None] = [
+            None for _ in self._followers
+        ]
+        self._stalled = [False for _ in self._followers]
+        self._fenced = False
+        self._stopped = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wake: asyncio.Event | None = None
+        self._ack_cond: asyncio.Condition | None = None
+        self._tasks: list[asyncio.Task] = []
+        registry = self._obs.registry
+        self._m_lag = [
+            registry.gauge(
+                "replication_lag_bytes",
+                labels={"follower": str(index)},
+                help="Leader-WAL bytes not yet acked by this follower.",
+            )
+            for index in range(len(self._followers))
+        ]
+        self._m_applied = [
+            registry.gauge(
+                "replication_applied_offset",
+                labels={"follower": str(index)},
+                help="This follower's acked byte offset in the leader WAL.",
+            )
+            for index in range(len(self._followers))
+        ]
+        self._m_frames = registry.counter(
+            "replication_frames_shipped_total",
+            help="WAL frames acknowledged by followers.",
+        )
+        self._m_resets = registry.counter(
+            "replication_resets_total",
+            help="Full snapshot resyncs shipped to followers.",
+        )
+        self._m_stalls = registry.counter(
+            "replication_ship_stalls_total",
+            help="Times a follower became unreachable mid-ship.",
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def follower_count(self) -> int:
+        return len(self._followers)
+
+    @property
+    def ack_policy(self) -> str:
+        return self._ack_policy
+
+    @property
+    def fenced(self) -> bool:
+        """True once a follower rejected our epoch — we are deposed."""
+        return self._fenced
+
+    def status(self) -> dict:
+        """Shipping state for STATS: tail, per-follower cursors, lag."""
+        with self._lock:
+            tail = self._tail
+            return {
+                "epoch": self._epoch,
+                "ack_policy": self._ack_policy,
+                "tail_generation": tail[0],
+                "tail_offset": tail[1],
+                "fenced": self._fenced,
+                "followers": [
+                    {
+                        "acked_generation": acked[0] if acked else None,
+                        "acked_offset": acked[1] if acked else None,
+                        "lag_bytes": self._lag_locked(index),
+                        "stalled": self._stalled[index],
+                    }
+                    for index, acked in enumerate(self._acked)
+                ],
+            }
+
+    def _lag_locked(self, index: int) -> int:
+        generation, tail_offset = self._tail
+        acked = self._acked[index]
+        if acked is None or acked[0] != generation:
+            return tail_offset
+        return max(0, tail_offset - acked[1])
+
+    def _refresh_lag_locked(self, index: int) -> None:
+        self._m_lag[index].set(float(self._lag_locked(index)))
+
+    # -- the commit-listener face (called under the store lock) ----------
+
+    def on_commit(self, generation, offset, length, batch) -> None:
+        with self._lock:
+            self._tail = (generation, offset + length)
+            for index in range(len(self._followers)):
+                self._refresh_lag_locked(index)
+        self._wake_ship_tasks()
+
+    def may_truncate(self, generation, size_bytes) -> bool:
+        # Truncation voids byte offsets, so it must wait until every
+        # cursor has drained — otherwise a lagging follower's position
+        # would point into a log that no longer exists.
+        with self._lock:
+            return all(
+                acked == (generation, size_bytes) for acked in self._acked
+            )
+
+    def on_truncate(self, generation) -> None:
+        # Only reachable when every follower acked the whole previous
+        # generation, so rebasing every cursor to the new log's start is
+        # exact, not an approximation.
+        with self._lock:
+            self._tail = (generation, 0)
+            for index in range(len(self._followers)):
+                self._cursors[index] = (generation, 0)
+                self._acked[index] = (generation, 0)
+                self._refresh_lag_locked(index)
+
+    def _wake_ship_tasks(self) -> None:
+        loop, wake = self._loop, self._wake
+        if loop is None or wake is None:
+            return
+        with contextlib.suppress(RuntimeError):  # loop already closed
+            loop.call_soon_threadsafe(wake.set)
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Attach to the store and begin shipping."""
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._ack_cond = asyncio.Condition()
+        with self._lock:
+            self._tail = self._store.wal_position()
+        self._store.set_commit_listener(self)
+        self._tasks = [
+            asyncio.create_task(
+                self._ship_loop(index), name=f"wal-ship-{index}"
+            )
+            for index in range(len(self._followers))
+        ]
+
+    async def stop(self) -> None:
+        """Detach from the store, stop ship tasks, close clients."""
+        self._stopped = True
+        self._store.set_commit_listener(None)
+        if self._wake is not None:
+            self._wake.set()
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        for client in self._followers:
+            with contextlib.suppress(Exception):
+                await client.aclose()
+
+    # -- quorum accounting -----------------------------------------------
+
+    def _ack_count(self, generation: int, end: int) -> int:
+        with self._lock:
+            count = 0
+            for acked in self._acked:
+                if acked is None:
+                    continue
+                # A newer generation implies the whole older one was
+                # acked (truncation is gated on exactly that), and a
+                # reset snapshot carries the leader's current state.
+                if acked[0] > generation or (
+                    acked[0] == generation and acked[1] >= end
+                ):
+                    count += 1
+            return count
+
+    async def wait_committed(
+        self, generation: int, end: int, timeout: float
+    ) -> bool:
+        """Wait until the ack policy is satisfied for a write ending at
+        ``(generation, end)`` in the leader WAL; False on timeout."""
+        required = acks_required(self._ack_policy, len(self._followers))
+        if required == 0:
+            return True
+        assert self._ack_cond is not None, "shipper not started"
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        async with self._ack_cond:
+            while self._ack_count(generation, end) < required:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    return False
+                try:
+                    await asyncio.wait_for(
+                        self._ack_cond.wait(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    return False
+        return True
+
+    async def _record_ack(self, index: int, ack: dict) -> None:
+        cursor = (ack["generation"], ack["applied"])
+        with self._lock:
+            self._cursors[index] = cursor
+            self._acked[index] = cursor
+            self._m_applied[index].set(float(ack["applied"]))
+            self._refresh_lag_locked(index)
+        assert self._ack_cond is not None
+        async with self._ack_cond:
+            self._ack_cond.notify_all()
+
+    # -- shipping --------------------------------------------------------
+
+    def _read_frames(self, offset: int):
+        frames = []
+        for frame in WriteAheadLog.stream_frames(
+            self._store.wal_path, offset
+        ):
+            frames.append(frame)
+            if len(frames) >= _MAX_FRAMES_PER_READ:
+                break
+        return frames
+
+    async def _ship_loop(self, index: int) -> None:
+        assert self._wake is not None
+        while not self._stopped and not self._fenced:
+            self._wake.clear()
+            try:
+                advanced = await self._ship_once(index)
+            except asyncio.CancelledError:
+                raise
+            except RequestFailedError as error:
+                if error.code == protocol.CODE_STALE_EPOCH:
+                    self._fenced = True
+                    return
+                # Anything else (INTERNAL, CLOSED, BAD_REQUEST) is a
+                # follower-side failure; treat it like unreachability.
+                await self._note_stall(index, error)
+                continue
+            except (
+                RetriesExhaustedError,
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+            ) as error:
+                await self._note_stall(index, error)
+                continue
+            self._clear_stall(index)
+            if not advanced:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._wake.wait(), self._idle_interval
+                    )
+
+    async def _note_stall(self, index: int, error: Exception) -> None:
+        entered = False
+        with self._lock:
+            if not self._stalled[index]:
+                self._stalled[index] = True
+                entered = True
+        if entered:
+            self._m_stalls.inc()
+            self._obs.tracer.emit(
+                obs_events.SHIP_STALL,
+                follower=index,
+                error=type(error).__name__,
+            )
+        await asyncio.sleep(self._stall_retry_interval)
+
+    def _clear_stall(self, index: int) -> None:
+        with self._lock:
+            self._stalled[index] = False
+
+    async def _ship_once(self, index: int) -> bool:
+        """Ship one snapshot or one batch of frames; False when idle."""
+        client = self._followers[index]
+        with self._lock:
+            cursor = self._cursors[index]
+            tail = self._tail
+            epoch = self._epoch
+        if cursor is None:
+            return await self._ship_reset(index, client, epoch)
+        generation, offset = cursor
+        if generation != tail[0]:
+            # The WAL restarted without this cursor draining — only
+            # possible after a promotion re-based the group — so the
+            # follower needs a snapshot, not frames.
+            with self._lock:
+                self._cursors[index] = None
+            return True
+        if offset >= tail[1]:
+            return False  # fully shipped: idle until the next commit
+        frames = await asyncio.to_thread(self._read_frames, offset)
+        if not frames:
+            return False  # appended bytes not yet visible as a frame
+        for start, end, ops in frames:
+            if self._stopped or self._fenced:
+                return True
+            message = protocol.replicate_request(
+                epoch, generation, start, end, ops
+            )
+            try:
+                ack = await client.replicate(message)
+            except RequestFailedError as error:
+                if error.code == protocol.CODE_REPLICA_GAP:
+                    await self._rewind(index, client, epoch)
+                    return True
+                raise
+            self._m_frames.inc()
+            await self._record_ack(index, ack)
+        return True
+
+    async def _ship_reset(self, index: int, client, epoch: int) -> bool:
+        items, generation, offset = await asyncio.to_thread(
+            self._store.replication_snapshot
+        )
+        message = protocol.replicate_request(
+            epoch, generation, 0, offset, list(items), reset=True
+        )
+        ack = await client.replicate(message)
+        self._m_resets.inc()
+        await self._record_ack(index, ack)
+        return True
+
+    async def _rewind(self, index: int, client, epoch: int) -> None:
+        """Resynchronise the cursor after a gap rejection."""
+        status = await client.replica_status(epoch)
+        with self._lock:
+            if status["generation"] == self._tail[0]:
+                self._cursors[index] = (
+                    status["generation"], status["applied"]
+                )
+            else:
+                self._cursors[index] = None

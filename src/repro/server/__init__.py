@@ -38,6 +38,7 @@ from .loadgen import (
     DISTRIBUTIONS,
     LoadResult,
     TwoPhaseNetworkResult,
+    classify_error,
     closed_loop,
     open_loop,
     two_phase,
@@ -74,6 +75,7 @@ __all__ = [
     "StopAdmission",
     "TwoPhaseNetworkResult",
     "build_admission",
+    "classify_error",
     "closed_loop",
     "open_loop",
     "serve",

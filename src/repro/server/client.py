@@ -285,10 +285,15 @@ class KVClient:
         """Range scan keeping the response metadata.
 
         Returns ``{"items": [(key, value), ...], "degraded": bool,
-        "missing_shards": [int, ...]}``. Against a single server the
-        scan is never degraded; against a cluster router a dead shard
-        yields a partial result with ``degraded=True`` and the shard(s)
-        that did not answer.
+        "missing_shards": [int, ...], "replica_read": bool,
+        "staleness_bytes": int}``. Against a single server the scan is
+        never degraded; against a cluster router a dead shard yields a
+        partial result with ``degraded=True`` and the shard(s) that did
+        not answer. A router serving scans from followers
+        (``read_from_replica``) sets ``replica_read=True`` and reports
+        the worst follower lag it observed as ``staleness_bytes`` —
+        unshipped leader-WAL bytes, a lower bound on how far behind the
+        returned view may be.
         """
         response = await self.request(protocol.scan_request(lo, hi, limit))
         return {
@@ -300,6 +305,12 @@ class KVClient:
             "missing_shards": [
                 int(shard) for shard in response.get("missing_shards", [])
             ],
+            "replica_read": bool(response.get("replica_read", False)),
+            "staleness_bytes": int(response.get("staleness_bytes", 0)),
+            # Only a follower answering directly reports its cursor; a
+            # router aggregate has no single cursor to report.
+            "replica_epoch": response.get("replica_epoch"),
+            "applied_offset": response.get("applied_offset"),
         }
 
     async def stats(self) -> dict:
@@ -343,3 +354,39 @@ class KVClient:
         """Liveness probe."""
         response = await self.request(protocol.ping_request())
         return bool(response.get("pong"))
+
+    # -- replication verbs (shipper / promotion plumbing) ----------------
+
+    @staticmethod
+    def _replica_ack(response: dict) -> dict:
+        return {
+            "epoch": int(response.get("epoch", 0)),
+            "generation": int(response.get("generation", 0)),
+            "applied": int(response.get("applied", 0)),
+            "role": str(response.get("role", "follower")),
+        }
+
+    async def replicate(self, message: dict) -> dict:
+        """Ship one REPLICATE frame (see ``protocol.replicate_request``).
+
+        Returns the follower's ack cursor ``{"epoch", "generation",
+        "applied", "role"}``. Gap/fencing rejections (``REPLICA_GAP``,
+        ``STALE_EPOCH``) are not retryable and surface immediately as
+        :class:`~repro.errors.RequestFailedError`.
+        """
+        return self._replica_ack(await self.request(message))
+
+    async def replica_status(self, epoch: int = -1) -> dict:
+        """Probe a replica's cursor without shipping anything."""
+        return self._replica_ack(
+            await self.request(protocol.replicate_probe_request(epoch))
+        )
+
+    async def promote(
+        self, epoch: int, peers: list[tuple[str, int]] | None = None
+    ) -> dict:
+        """Promote a follower to shard leader at ``epoch``, handing it
+        the surviving peers to re-attach as its own followers."""
+        return self._replica_ack(
+            await self.request(protocol.promote_request(epoch, peers))
+        )

@@ -31,7 +31,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ConfigurationError, ServerError
+from ..errors import (
+    ConfigurationError,
+    ProtocolError,
+    RequestFailedError,
+    RetriesExhaustedError,
+    ServerError,
+)
 from ..metrics.percentiles import percentile_profile
 from ..workloads.distributions import ZipfianKeys
 from .client import KVClient
@@ -41,6 +47,35 @@ DISTRIBUTIONS = ("uniform", "zipf")
 
 #: Zipf samples drawn per numpy call; amortises vectorised sampling.
 _ZIPF_BATCH = 512
+
+
+def classify_error(error: BaseException) -> str:
+    """Bucket one failed operation's exception for :class:`LoadResult`.
+
+    Protocol rejections keep their wire code (lower-cased:
+    ``shard_down``, ``stalled``, ``not_leader``, ...); transport
+    failures split into ``timeout`` / ``connection_reset`` /
+    ``connection_refused`` / ``connection_error`` / ``protocol``. A
+    retry-exhausted wrapper is classified by its *last* cause — that is
+    the failure mode the client actually gave up on.
+    """
+    if isinstance(error, RetriesExhaustedError):
+        if error.last_error is None:
+            return "retries_exhausted"
+        return classify_error(error.last_error)
+    if isinstance(error, RequestFailedError):
+        return error.code.lower()
+    if isinstance(error, (asyncio.TimeoutError, TimeoutError)):
+        return "timeout"
+    if isinstance(error, ConnectionResetError):
+        return "connection_reset"
+    if isinstance(error, ConnectionRefusedError):
+        return "connection_refused"
+    if isinstance(error, ProtocolError):
+        return "protocol"
+    if isinstance(error, (ConnectionError, OSError)):
+        return "connection_error"
+    return "other"
 
 
 @dataclass
@@ -54,6 +89,9 @@ class LoadResult:
     latencies: list[float] = field(default_factory=list, repr=False)
     retries: int = 0
     stalled_responses: int = 0
+    #: Failed ops bucketed by :func:`classify_error`; values sum to
+    #: ``error_count``.
+    errors_by_type: dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -100,6 +138,19 @@ class LoadResult:
             f"p99 {profile[99.0] * 1e3:.1f}ms "
             f"max {self.max_latency * 1e3:.1f}ms, "
             f"{self.retries} retries, {self.error_count} errors"
+            + (
+                " ("
+                + ", ".join(
+                    f"{kind}: {count}"
+                    for kind, count in sorted(
+                        self.errors_by_type.items(),
+                        key=lambda item: (-item[1], item[0]),
+                    )
+                )
+                + ")"
+                if self.errors_by_type
+                else ""
+            )
         )
 
 
@@ -158,6 +209,7 @@ async def closed_loop(
     options.setdefault("jitter_seed", seed)
     latencies: list[float] = []
     errors = 0
+    errors_by_type: dict[str, int] = {}
 
     async with KVClient(host, port, **options) as client:
 
@@ -175,8 +227,12 @@ async def closed_loop(
                 started = time.monotonic()
                 try:
                     await client.put(key, value)
-                except ServerError:
+                except ServerError as error:
                     errors += 1
+                    kind = classify_error(error)
+                    errors_by_type[kind] = (
+                        errors_by_type.get(kind, 0) + 1
+                    )
                     continue
                 latencies.append(time.monotonic() - started)
 
@@ -193,6 +249,7 @@ async def closed_loop(
             latencies=latencies,
             retries=client.telemetry.retries_total,
             stalled_responses=client.telemetry.stalled_responses,
+            errors_by_type=errors_by_type,
         )
 
 
@@ -222,6 +279,7 @@ async def open_loop(
     options.setdefault("jitter_seed", seed)
     latencies: list[float] = []
     errors = 0
+    errors_by_type: dict[str, int] = {}
 
     async with KVClient(host, port, **options) as client:
         stream = _operation_stream(
@@ -238,8 +296,10 @@ async def open_loop(
                 await asyncio.sleep(pause)
             try:
                 await client.put(key, value)
-            except ServerError:
+            except ServerError as error:
                 errors += 1
+                kind = classify_error(error)
+                errors_by_type[kind] = errors_by_type.get(kind, 0) + 1
                 return
             # Latency is anchored to the *scheduled* arrival, never to
             # when the send actually happened: an op held up behind a
@@ -264,6 +324,7 @@ async def open_loop(
             latencies=latencies,
             retries=client.telemetry.retries_total,
             stalled_responses=client.telemetry.stalled_responses,
+            errors_by_type=errors_by_type,
         )
 
 

@@ -47,7 +47,7 @@ _LENGTH = struct.Struct(">I")
 #: Every verb the service understands.
 VERBS = frozenset(
     {"PUT", "GET", "DEL", "BATCH", "SCAN", "STATS", "PING",
-     "METRICS", "EVENTS"}
+     "METRICS", "EVENTS", "REPLICATE", "PROMOTE"}
 )
 
 #: Error codes a response may carry.
@@ -58,6 +58,15 @@ CODE_INTERNAL = "INTERNAL"
 #: A cluster shard is unavailable (its circuit breaker is open); the
 #: ``retry_after`` hint carries the breaker's remaining cooldown.
 CODE_SHARD_DOWN = "SHARD_DOWN"
+#: A replication verb hit a server in the wrong role (REPLICATE sent to
+#: a leader, client write sent to a follower).
+CODE_NOT_LEADER = "NOT_LEADER"
+#: A shipped frame does not start at the follower's applied offset; the
+#: response carries the expected cursor so the shipper can rewind.
+CODE_REPLICA_GAP = "REPLICA_GAP"
+#: A replication frame carried an epoch older than the follower's — a
+#: deposed leader is still shipping and must stop (fencing).
+CODE_STALE_EPOCH = "STALE_EPOCH"
 
 
 def b64encode(raw: bytes) -> str:
@@ -186,6 +195,131 @@ def metrics_request() -> dict:
 
 def events_request(since: int = -1, limit: int | None = None) -> dict:
     return {"op": "EVENTS", "since": since, "limit": limit}
+
+
+def replicate_request(
+    epoch: int,
+    generation: int,
+    start: int,
+    end: int,
+    ops: list[tuple[bytes, bytes | None]],
+    reset: bool = False,
+) -> dict:
+    """One shipped WAL frame (or, with ``reset``, a full resync snapshot).
+
+    ``start``/``end`` are the frame's byte span in the leader WAL at
+    ``generation``; the follower acks by advancing its cursor to ``end``.
+    A reset frame replaces the follower's entire state with ``ops`` and
+    re-bases its cursor at ``(generation, end)``.
+    """
+    return {
+        "op": "REPLICATE",
+        "epoch": epoch,
+        "generation": generation,
+        "start": start,
+        "end": end,
+        "ops": _encode_ops(ops),
+        "reset": reset,
+    }
+
+
+def replicate_probe_request(epoch: int = -1) -> dict:
+    """Status-only REPLICATE: reports the follower's cursor, ships nothing.
+
+    Promotion scoring uses this to find the most-caught-up follower; an
+    ``epoch`` of -1 means "observe only, do not fence".
+    """
+    return {"op": "REPLICATE", "epoch": epoch, "probe": True}
+
+
+def promote_request(
+    epoch: int, peers: list[tuple[str, int]] | None = None
+) -> dict:
+    """Tell a follower to become the shard leader at ``epoch``.
+
+    ``peers`` lists the surviving followers' addresses; the new leader
+    re-attaches them with a reset-snapshot resync so the replica group
+    keeps its redundancy after a failover.
+    """
+    message = {"op": "PROMOTE", "epoch": epoch}
+    if peers:
+        message["peers"] = [[host, port] for host, port in peers]
+    return message
+
+
+def _encode_ops(ops: list[tuple[bytes, bytes | None]]) -> list:
+    encoded = []
+    for key, value in ops:
+        if value is None:
+            encoded.append(["del", b64encode(key)])
+        else:
+            encoded.append(["put", b64encode(key), b64encode(value)])
+    return encoded
+
+
+def replicate_payload(message: dict) -> dict:
+    """Decode a REPLICATE request into a plain dict.
+
+    Returns ``{"epoch", "probe"}`` for probes, or ``{"epoch",
+    "generation", "start", "end", "ops", "reset", "probe"}`` for shipped
+    frames. Unlike BATCH, an empty ops list is legal — a reset snapshot
+    of an empty store ships no operations.
+    """
+    epoch = message.get("epoch", -1)
+    if not isinstance(epoch, int) or isinstance(epoch, bool):
+        raise ProtocolError("replicate epoch must be an integer")
+    if message.get("probe"):
+        return {"epoch": epoch, "probe": True}
+    fields = {}
+    for field in ("generation", "start", "end"):
+        value = message.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ProtocolError(
+                f"replicate {field} must be a non-negative integer"
+            )
+        fields[field] = value
+    raw = message.get("ops")
+    if not isinstance(raw, list):
+        raise ProtocolError("replicate needs an ops list")
+    ops: list[tuple[bytes, bytes | None]] = []
+    for entry in raw:
+        if not isinstance(entry, list) or not entry:
+            raise ProtocolError("malformed replicate entry")
+        kind = entry[0]
+        if kind == "put" and len(entry) == 3:
+            ops.append((b64decode(entry[1]), b64decode(entry[2])))
+        elif kind == "del" and len(entry) == 2:
+            ops.append((b64decode(entry[1]), None))
+        else:
+            raise ProtocolError(f"malformed replicate entry {entry!r}")
+    return {
+        "epoch": epoch,
+        "probe": False,
+        "ops": ops,
+        "reset": bool(message.get("reset", False)),
+        **fields,
+    }
+
+
+def promote_payload(message: dict) -> tuple[int, list[tuple[str, int]]]:
+    """Decode a PROMOTE request's epoch and surviving-peer list."""
+    epoch = message.get("epoch")
+    if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+        raise ProtocolError("promote epoch must be a non-negative integer")
+    raw = message.get("peers", [])
+    if not isinstance(raw, list):
+        raise ProtocolError("promote peers must be a list")
+    peers: list[tuple[str, int]] = []
+    for entry in raw:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 2
+            or not isinstance(entry[0], str)
+            or not isinstance(entry[1], int)
+        ):
+            raise ProtocolError(f"malformed promote peer {entry!r}")
+        peers.append((entry[0], entry[1]))
+    return epoch, peers
 
 
 def events_cursor(message: dict) -> tuple[int, int | None]:

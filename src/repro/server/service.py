@@ -249,11 +249,14 @@ class FramedServer:
             total
             - breakdown.get("admission", 0.0)
             - breakdown.get("engine", 0.0)
-            - breakdown.get("io", 0.0),
+            - breakdown.get("io", 0.0)
+            - breakdown.get("replication", 0.0),
         )
         registry = self.obs.registry
         op = verb.lower()
-        for component in ("total", "queue", "admission", "engine", "io"):
+        for component in (
+            "total", "queue", "admission", "engine", "io", "replication"
+        ):
             if component in breakdown:
                 registry.histogram(
                     "server_request_seconds",
@@ -475,6 +478,20 @@ class KVServer(FramedServer):
                 for key, value in items
             ],
             breakdown={"engine": engine_seconds},
+        )
+
+    # -- replication verbs (overridden by ReplicatedKVServer) ------------
+
+    async def _op_replicate(self, message: dict) -> dict:
+        return protocol.error_response(
+            protocol.CODE_BAD_REQUEST,
+            "replication is not enabled on this server",
+        )
+
+    async def _op_promote(self, message: dict) -> dict:
+        return protocol.error_response(
+            protocol.CODE_BAD_REQUEST,
+            "replication is not enabled on this server",
         )
 
     # -- observability ----------------------------------------------------

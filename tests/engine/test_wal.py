@@ -43,6 +43,83 @@ class TestAppendReplay:
         log.close()
 
 
+class TestOffsetsAndStreaming:
+    def test_append_returns_byte_range(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        offset_a, length_a = log.append([(b"a", b"1")])
+        offset_b, length_b = log.append([(b"b", b"22")])
+        log.close()
+        assert offset_a == 0 and length_a > 0
+        assert offset_b == length_a
+        assert offset_b + length_b == log.size_bytes
+
+    def test_generation_bumps_on_truncate(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "wal.log"))
+        assert log.generation == 0
+        log.append([(b"a", b"1")])
+        log.truncate()
+        assert log.generation == 1
+        log.truncate()
+        assert log.generation == 2
+        log.close()
+
+    def test_stream_frames_yields_ranges(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        ranges = [log.append([(b"k%d" % i, b"v%d" % i)]) for i in range(3)]
+        log.close()
+        frames = list(WriteAheadLog.stream_frames(path))
+        assert [(f[0], f[1] - f[0]) for f in frames] == ranges
+        assert [f[2] for f in frames] == [
+            [(b"k0", b"v0")], [(b"k1", b"v1")], [(b"k2", b"v2")]
+        ]
+
+    def test_stream_frames_from_mid_offset(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append([(b"a", b"1")])
+        cut, _ = log.append([(b"b", b"2")])
+        log.append([(b"c", b"3")])
+        log.close()
+        frames = list(WriteAheadLog.stream_frames(path, cut))
+        assert [f[2] for f in frames] == [[(b"b", b"2")], [(b"c", b"3")]]
+
+    def test_replay_from_offset(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append([(b"a", b"1")])
+        cut, _ = log.append([(b"b", b"2"), (b"c", TOMBSTONE)])
+        log.close()
+        assert list(WriteAheadLog.replay_from(path, cut)) == [
+            (b"b", b"2"), (b"c", TOMBSTONE)
+        ]
+        # replay is replay_from(0)
+        assert list(WriteAheadLog.replay_from(path, 0)) == list(
+            WriteAheadLog.replay(path)
+        )
+
+    def test_negative_offset_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            list(
+                WriteAheadLog.stream_frames(
+                    str(tmp_path / "wal.log"), -1
+                )
+            )
+
+    def test_stream_tolerates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        first, length = log.append([(b"a", b"1")])
+        log.append([(b"b", b"2")])
+        log.close()
+        with open(path, "r+b") as damaged:
+            damaged.truncate(log.size_bytes - 3)
+        frames = list(WriteAheadLog.stream_frames(path))
+        assert [f[2] for f in frames] == [[(b"a", b"1")]]
+        assert frames[0][1] == first + length
+
+
 class TestCrashConsistency:
     def test_torn_tail_frame_ignored(self, tmp_path):
         path = str(tmp_path / "wal.log")

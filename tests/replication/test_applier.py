@@ -1,0 +1,161 @@
+"""Applier decision tree: duplicates, gaps, epochs, resets."""
+
+import pytest
+
+from repro.engine import LSMStore, StoreOptions
+from repro.errors import ReplicaGapError, StaleEpochError
+from repro.replication import ReplicaApplier
+
+OPTIONS = StoreOptions(
+    memtable_bytes=4096,
+    num_memtables=2,
+    policy="tiering",
+    size_ratio=3,
+    levels=2,
+    background_maintenance=False,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = LSMStore.open(str(tmp_path / "follower"), OPTIONS)
+    yield store
+    store.close()
+
+
+def frame(
+    ops,
+    start,
+    end,
+    epoch=0,
+    generation=0,
+    reset=False,
+):
+    return {
+        "epoch": epoch,
+        "probe": False,
+        "ops": ops,
+        "reset": reset,
+        "generation": generation,
+        "start": start,
+        "end": end,
+    }
+
+
+def test_in_order_frames_apply(store):
+    applier = ReplicaApplier(store)
+    applier.apply_frame(frame([(b"a", b"1")], 0, 10))
+    status = applier.apply_frame(frame([(b"b", b"2")], 10, 25))
+    assert status["applied"] == 25
+    assert status["frames_applied"] == 2
+    assert list(store.scan()) == [(b"a", b"1"), (b"b", b"2")]
+
+
+def test_duplicate_frame_skipped_not_reapplied(store):
+    applier = ReplicaApplier(store)
+    applier.apply_frame(frame([(b"a", b"1")], 0, 10))
+    applier.apply_frame(frame([(b"a", b"2")], 10, 20))
+    # the shipper re-sends the second frame after a reconnect
+    status = applier.apply_frame(frame([(b"a", b"2")], 10, 20))
+    assert status["frames_skipped"] == 1
+    assert status["applied"] == 20
+    assert list(store.scan()) == [(b"a", b"2")]
+
+
+def test_gap_rejected_with_expected_cursor(store):
+    applier = ReplicaApplier(store)
+    applier.apply_frame(frame([(b"a", b"1")], 0, 10))
+    with pytest.raises(ReplicaGapError) as excinfo:
+        applier.apply_frame(frame([(b"c", b"3")], 30, 40))
+    assert excinfo.value.expected == (0, 10)
+    # nothing was applied past the gap
+    assert applier.status()["applied"] == 10
+
+
+def test_stale_epoch_fenced(store):
+    applier = ReplicaApplier(store)
+    applier.apply_frame(frame([(b"a", b"1")], 0, 10, epoch=2))
+    with pytest.raises(StaleEpochError):
+        applier.apply_frame(frame([(b"z", b"9")], 10, 20, epoch=1))
+    assert list(store.scan()) == [(b"a", b"1")]
+
+
+def test_probe_adopts_higher_epoch_without_applying(store):
+    applier = ReplicaApplier(store)
+    status = applier.apply_frame(
+        {"epoch": 5, "probe": True}
+    )
+    assert status["epoch"] == 5
+    assert status["frames_applied"] == 0
+
+
+def test_new_generation_from_zero_rebases(store):
+    applier = ReplicaApplier(store)
+    applier.apply_frame(frame([(b"a", b"1")], 0, 10))
+    # leader truncated its WAL after this follower acked everything
+    status = applier.apply_frame(
+        frame([(b"b", b"2")], 0, 15, generation=1)
+    )
+    assert status["generation"] == 1
+    assert status["applied"] == 15
+    assert list(store.scan()) == [(b"a", b"1"), (b"b", b"2")]
+
+
+def test_stale_generation_frame_skipped(store):
+    applier = ReplicaApplier(store)
+    applier.apply_frame(frame([(b"a", b"1")], 0, 10, generation=2))
+    status = applier.apply_frame(
+        frame([(b"old", b"x")], 0, 5, generation=1)
+    )
+    assert status["frames_skipped"] == 1
+    assert list(store.scan()) == [(b"a", b"1")]
+
+
+def test_new_generation_not_from_zero_is_a_gap(store):
+    applier = ReplicaApplier(store)
+    applier.apply_frame(frame([(b"a", b"1")], 0, 10))
+    with pytest.raises(ReplicaGapError):
+        applier.apply_frame(
+            frame([(b"b", b"2")], 5, 15, generation=1)
+        )
+
+
+def test_reset_replaces_state_and_rebases(store):
+    applier = ReplicaApplier(store)
+    applier.apply_frame(frame([(b"old", b"x"), (b"keep", b"1")], 0, 10))
+    status = applier.apply_frame(
+        frame(
+            [(b"keep", b"2"), (b"new", b"3")],
+            0,
+            40,
+            generation=3,
+            reset=True,
+        )
+    )
+    assert status == dict(
+        status, generation=3, applied=40, ship_tail=40, resets=1
+    )
+    # keys outside the snapshot are gone; snapshot values win
+    assert list(store.scan()) == [(b"keep", b"2"), (b"new", b"3")]
+
+
+def test_ship_tail_tracks_staleness_lower_bound(store):
+    applier = ReplicaApplier(store)
+    applier.apply_frame(frame([(b"a", b"1")], 0, 10))
+    # a duplicate whose end is beyond applied never happens, but a
+    # skipped stale-generation frame must not move the tail backwards
+    before = applier.status()["ship_tail"]
+    assert before == 10
+    applier.apply_frame(frame([(b"b", b"2")], 10, 30))
+    assert applier.status()["ship_tail"] == 30
+
+
+def test_prime_sets_cursor(store):
+    applier = ReplicaApplier(store)
+    applier.prime(4, 2, 100)
+    status = applier.status()
+    assert (status["epoch"], status["generation"], status["applied"]) == (
+        4,
+        2,
+        100,
+    )

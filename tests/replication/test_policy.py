@@ -1,0 +1,55 @@
+"""Ack-policy arithmetic: who must answer before the client sees OK."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.replication import ACK_POLICIES, acks_required, validate_ack_policy
+
+
+def test_policies_tuple_is_exhaustive():
+    assert ACK_POLICIES == ("leader_only", "quorum", "all")
+
+
+def test_validate_returns_the_policy():
+    for policy in ACK_POLICIES:
+        assert validate_ack_policy(policy) == policy
+
+
+def test_validate_rejects_unknown():
+    with pytest.raises(ConfigurationError):
+        validate_ack_policy("most")
+
+
+def test_leader_only_never_waits():
+    for followers in range(5):
+        assert acks_required("leader_only", followers) == 0
+
+
+def test_all_waits_for_every_follower():
+    for followers in range(5):
+        assert acks_required("all", followers) == followers
+
+
+def test_quorum_majority_counts_the_leader():
+    # The leader is always one vote: with N followers the group has
+    # N+1 members, a majority needs floor((N+1)/2)+1 of them, so the
+    # leader needs (N+1)//2 follower acks on top of itself.
+    assert acks_required("quorum", 0) == 0
+    assert acks_required("quorum", 1) == 1
+    assert acks_required("quorum", 2) == 1
+    assert acks_required("quorum", 3) == 2
+    assert acks_required("quorum", 4) == 2
+    assert acks_required("quorum", 5) == 3
+
+
+def test_quorum_ack_implies_majority_holds_the_write():
+    # Leader + required follower acks must exceed half the group.
+    for followers in range(1, 8):
+        group = followers + 1
+        holding = 1 + acks_required("quorum", followers)
+        assert holding * 2 > group
+
+
+def test_negative_followers_rejected():
+    with pytest.raises(ConfigurationError):
+        acks_required("quorum", -1)

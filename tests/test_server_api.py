@@ -27,7 +27,7 @@ SERVER_API = {
     "KVClient", "ClientMetrics",
     # load generation
     "DISTRIBUTIONS", "LoadResult", "TwoPhaseNetworkResult",
-    "closed_loop", "open_loop", "two_phase",
+    "classify_error", "closed_loop", "open_loop", "two_phase",
     # error types callers must be able to catch
     "ProtocolError", "RequestFailedError", "RetriesExhaustedError",
     "ServerError",
