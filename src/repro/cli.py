@@ -158,9 +158,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .engine import LSMStore, StoreOptions
+    from .memory import MemoryArbiter, MemoryBudget
     from .server import KVServer
 
     _check_port(args.port)
+    memory_budget = _memory_budget_bytes(args)
     options = StoreOptions(
         memtable_bytes=int(args.memtable_mib * 2**20),
         policy=args.engine_policy,
@@ -173,19 +175,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def run() -> None:
         with LSMStore.open(args.directory, options) as store:
+            arbiter = None
+            if memory_budget is not None:
+                # Single-node deployment: the arbiter still earns its
+                # keep by moving the write/read split with the workload.
+                arbiter = MemoryArbiter(
+                    MemoryBudget(memory_budget, 1),
+                    [store],
+                    obs=store.obs,
+                    interval=args.memory_rebalance_interval,
+                )
             server = KVServer(
                 store,
                 _admission_from(args),
                 host=args.host,
                 port=args.port,
                 metrics_port=args.metrics_port,
+                memory_arbiter=arbiter,
+                memory_interval=args.memory_rebalance_interval,
             )
             async with server:
                 host, port = server.address
+                budget_note = (
+                    f", memory budget: {args.memory_budget:g} MiB"
+                    if memory_budget is not None
+                    else ""
+                )
                 print(
                     f"serving {args.directory} on {host}:{port} "
                     f"(admission: {args.admission}, "
-                    f"stall mode: {args.stall_mode})"
+                    f"stall mode: {args.stall_mode}{budget_note})"
                 )
                 if server.metrics_address is not None:
                     mhost, mport = server.metrics_address
@@ -275,6 +294,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         raise ReproError(
             f"--shards must be at least 1, got {args.shards}"
         )
+    memory_budget = _memory_budget_bytes(args)
     options = StoreOptions(
         memtable_bytes=int(args.memtable_mib * 2**20),
         policy=args.engine_policy,
@@ -304,6 +324,8 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             replicas=args.replicas,
             ack_policy=args.ack_policy,
             read_from_replica=args.read_from_replica,
+            memory_budget=memory_budget,
+            memory_rebalance_interval=args.memory_rebalance_interval,
         )
         async with cluster:
             host, port = cluster.address
@@ -313,11 +335,16 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
                 if args.replicas > 0
                 else ""
             )
+            budget_note = (
+                f", memory budget: {args.memory_budget:g} MiB"
+                if memory_budget is not None
+                else ""
+            )
             print(
                 f"serving {args.shards}-shard cluster from "
                 f"{args.directory} on {host}:{port} "
                 f"(admission: {admission.mode}, arbiter: {args.arbiter}"
-                f"{replication})"
+                f"{replication}{budget_note})"
             )
             assert cluster.router is not None
             if cluster.router.metrics_address is not None:
@@ -559,6 +586,38 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_memory_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory-budget", type=float, default=None, metavar="MIB",
+        help="adaptive memory arbitration: one global budget (MiB) "
+             "split between memtables and block caches and rebalanced "
+             "from observed pressure (default: disabled — static "
+             "--memtable-mib sizing applies)",
+    )
+    parser.add_argument(
+        "--memory-rebalance-interval", type=float, default=1.0,
+        help="seconds between memory-arbiter rebalance checks "
+             "(default: 1.0)",
+    )
+
+
+def _memory_budget_bytes(args: argparse.Namespace) -> int | None:
+    """Validate the memory flags; returns the budget in bytes, if set."""
+    if args.memory_rebalance_interval <= 0:
+        raise ReproError(
+            f"--memory-rebalance-interval must be positive, got "
+            f"{args.memory_rebalance_interval}"
+        )
+    if args.memory_budget is None:
+        return None
+    if args.memory_budget <= 0:
+        raise ReproError(
+            f"--memory-budget must be a positive MiB figure, got "
+            f"{args.memory_budget}"
+        )
+    return int(args.memory_budget * 2**20)
+
+
 def _add_loadgen_args(
     parser: argparse.ArgumentParser, default_distribution: str = "uniform"
 ) -> None:
@@ -715,6 +774,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_admission_args(serve_cmd)
     _add_engine_args(serve_cmd)
+    _add_memory_args(serve_cmd)
     serve_cmd.set_defaults(handler=_cmd_serve)
 
     cluster_serve_cmd = commands.add_parser(
@@ -753,6 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_admission_args(cluster_serve_cmd)
     _add_engine_args(cluster_serve_cmd)
+    _add_memory_args(cluster_serve_cmd)
     _add_replication_args(cluster_serve_cmd)
     cluster_serve_cmd.set_defaults(handler=_cmd_cluster_serve)
 

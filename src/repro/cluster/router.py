@@ -206,6 +206,9 @@ class ClusterRouter(FramedServer):
         metrics_port: int | None = None,
         replica_backends: Sequence[Sequence[tuple[str, int]]] | None = None,
         read_from_replica: bool = False,
+        obs: Observability | None = None,
+        memory_fn: Callable[[], object] | None = None,
+        memory_interval: float = 1.0,
     ) -> None:
         if not backends:
             raise ConfigurationError("a cluster needs at least one backend")
@@ -218,7 +221,12 @@ class ClusterRouter(FramedServer):
                 "replica_backends must list one follower set per shard"
             )
         super().__init__(host, port, metrics_port=metrics_port)
-        self.obs = Observability()
+        # A caller may share its bundle (LocalCluster hands the memory
+        # arbiter the same one) so arbiter events surface through the
+        # router's EVENTS verb alongside its own.
+        self.obs = obs if obs is not None else Observability()
+        if memory_fn is not None:
+            self.attach_ticker(memory_fn, memory_interval)
         self._backends = list(backends)
         self._ring = ring or HashRing(len(backends))
         if self._ring.num_shards != len(backends):
@@ -978,12 +986,20 @@ class LocalCluster:
         ack_policy: str = "leader_only",
         read_from_replica: bool = False,
         replication_timeout: float | None = None,
+        memory_budget: int | None = None,
+        memory_rebalance_interval: float = 1.0,
     ) -> None:
         if replicas < 0:
             raise ConfigurationError("replicas cannot be negative")
         if read_from_replica and replicas == 0:
             raise ConfigurationError(
                 "read_from_replica needs at least one replica per shard"
+            )
+        if memory_budget is not None and memory_budget <= 0:
+            raise ConfigurationError("memory budget must be positive")
+        if memory_rebalance_interval <= 0:
+            raise ConfigurationError(
+                "memory rebalance interval must be positive"
             )
         self.store = ShardedStore(
             directory,
@@ -993,6 +1009,21 @@ class LocalCluster:
             arbiter=arbiter,
             pump_budget=pump_budget,
         )
+        # The router and the memory arbiter share one bundle, so
+        # memory_rebalance events ride the cluster EVENTS verb and the
+        # arbiter's gauges land in the router-tier scrape.
+        self._obs = Observability()
+        self.memory_arbiter = None
+        if memory_budget is not None:
+            try:
+                self.memory_arbiter = self.store.enable_memory_arbiter(
+                    memory_budget,
+                    obs=self._obs,
+                    interval=memory_rebalance_interval,
+                )
+            except BaseException:
+                self.store.close()
+                raise
         self._directory = directory
         self._options = options
         self._admission = admission
@@ -1006,6 +1037,7 @@ class LocalCluster:
         self._ack_policy = ack_policy
         self._read_from_replica = read_from_replica
         self._replication_timeout = replication_timeout
+        self._memory_rebalance_interval = memory_rebalance_interval
         self.backends: list[KVServer] = []
         self.replica_stores: list[list] = []
         self.replica_servers: list[list] = []
@@ -1102,6 +1134,13 @@ class LocalCluster:
                 if self._replicas > 0
                 else None,
                 read_from_replica=self._read_from_replica,
+                obs=self._obs,
+                memory_fn=(
+                    self.memory_arbiter.maybe_tick
+                    if self.memory_arbiter is not None
+                    else None
+                ),
+                memory_interval=self._memory_rebalance_interval,
             )
             return await self.router.start()
         except BaseException:

@@ -42,6 +42,8 @@ from ..core.schedulers import FairScheduler, GreedyScheduler, MergeScheduler
 from ..engine.datastore import LSMStore, StoreStats
 from ..engine.options import StoreOptions, TOMBSTONE
 from ..errors import ConfigurationError
+from ..memory import MemoryArbiter, MemoryBudget
+from ..obs import Observability
 from .ring import HashRing
 from .stats import ClusterStats, aggregate_stats
 
@@ -126,6 +128,7 @@ class ShardedStore:
             raise
         self._shard_locks = [threading.RLock() for _ in range(num_shards)]
         self._mirrors: dict[int, LSMStore] = {}
+        self._memory_arbiter: MemoryArbiter | None = None
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------
@@ -273,18 +276,21 @@ class ShardedStore:
 
     # -- shared-budget maintenance ---------------------------------------
 
-    def _backlog(self, stats: StoreStats) -> float:
+    def _backlog(self, stats: StoreStats, memtable_target: int) -> float:
         """Bytes-scale proxy for one shard's outstanding maintenance.
 
         Sealed memtables await flushes; consumed component budget
         (``1 - write_headroom``) stands in for remaining merge input,
-        scaled to the same order of magnitude.
+        scaled to the same order of magnitude. Uses the shard's *live*
+        memtable target — the memory arbiter moves it — so a shard with
+        a big write budget is credited with proportionally more debt
+        per sealed memtable.
         """
-        flush_debt = stats.sealed_memtables * self._options.memtable_bytes
+        flush_debt = stats.sealed_memtables * memtable_target
         merge_debt = (
             (1.0 - max(0.0, min(stats.write_headroom, 1.0)))
             * 8.0
-            * self._options.memtable_bytes
+            * memtable_target
         )
         return flush_debt + merge_debt
 
@@ -308,7 +314,9 @@ class ShardedStore:
         applied: dict[int, int] = {}
         for _ in range(rounds):
             backlogs = {
-                shard: self._backlog(store.stats())
+                shard: self._backlog(
+                    store.stats(), store.memtable_target_bytes
+                )
                 for shard, store in enumerate(self._stores)
             }
             needy = {
@@ -351,6 +359,49 @@ class ShardedStore:
         for shard, store in enumerate(self._stores):
             with self._shard_locks[shard]:
                 store.maintenance()
+
+    # -- adaptive memory arbitration -------------------------------------
+
+    def enable_memory_arbiter(
+        self,
+        total_bytes: int,
+        *,
+        obs: Observability | None = None,
+        **arbiter_kwargs,
+    ) -> MemoryArbiter:
+        """Put every shard's memory under one adaptive budget.
+
+        Builds a :class:`~repro.memory.MemoryBudget` of ``total_bytes``
+        over the shard engines and a :class:`~repro.memory.MemoryArbiter`
+        that re-splits it from observed signals. The initial equal-share
+        split is applied immediately; afterwards the owner drives the
+        control loop — a serving tier ticks ``arbiter.maybe_tick`` on a
+        timer, a bench calls :meth:`rebalance_memory` inline. Extra
+        keyword arguments pass through to the arbiter (clock, interval,
+        step sizes) so tests stay deterministic.
+        """
+        if self._memory_arbiter is not None:
+            raise ConfigurationError(
+                "memory arbiter already enabled for this store"
+            )
+        budget = MemoryBudget(total_bytes, self.num_shards)
+        self._memory_arbiter = MemoryArbiter(
+            budget, self._stores, obs=obs, **arbiter_kwargs
+        )
+        return self._memory_arbiter
+
+    @property
+    def memory_arbiter(self) -> MemoryArbiter | None:
+        """The adaptive memory arbiter, if one was enabled."""
+        return self._memory_arbiter
+
+    def rebalance_memory(self):
+        """Force one arbiter tick (benches, tests, admin endpoints)."""
+        if self._memory_arbiter is None:
+            raise ConfigurationError(
+                "no memory arbiter enabled for this store"
+            )
+        return self._memory_arbiter.tick()
 
     # -- migration hooks (driven by repro.cluster.rebalance) -------------
 

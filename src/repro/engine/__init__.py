@@ -12,7 +12,7 @@ from .blockcache import BlockCache
 from .bloom import BloomFilter
 from .compaction import CompactionManager, MergeJob, build_policy, build_scheduler
 from .integrity import IntegrityReport, verify_store
-from .datastore import LSMStore, StoreStats, WriteTiming
+from .datastore import LSMStore, MemorySignals, StoreStats, WriteTiming
 from .iterators import reconcile_get, reconciling_iterator
 from .manifest import Manifest, RunRecord
 from .memtable import MemTable
@@ -30,6 +30,7 @@ __all__ = [
     "IndexedStore",
     "LSMStore",
     "Manifest",
+    "MemorySignals",
     "MemTable",
     "MergeJob",
     "RateLimiter",

@@ -32,6 +32,7 @@ class BlockCache:
         self._bytes = 0
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
         self._lock = threading.Lock()
         self._generations = itertools.count(1)
 
@@ -54,6 +55,11 @@ class BlockCache:
     def misses(self) -> int:
         """Number of lookups that missed."""
         return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Blocks evicted to stay within the budget (resizes included)."""
+        return self._evictions
 
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0 when unused)."""
@@ -101,10 +107,35 @@ class BlockCache:
             self._blocks[key] = block
             self._by_generation.setdefault(generation, set()).add(key)
             self._bytes += len(block)
-            while self._bytes > self._capacity:
-                evicted_key, evicted = self._blocks.popitem(last=False)
-                self._bytes -= len(evicted)
-                self._forget(evicted_key)
+            self._evict_to_capacity_locked()
+
+    def _evict_to_capacity_locked(self) -> None:
+        """Evict LRU entries until within budget; caller holds the lock."""
+        while self._bytes > self._capacity:
+            evicted_key, evicted = self._blocks.popitem(last=False)
+            self._bytes -= len(evicted)
+            self._evictions += 1
+            self._forget(evicted_key)
+
+    def resize(self, capacity_bytes: int) -> int:
+        """Change the byte budget in place; returns bytes evicted.
+
+        Shrinking evicts LRU entries immediately so accounting stays
+        honest — ``used_bytes`` never exceeds the new capacity on
+        return. Growing simply raises the budget: previously rejected
+        blocks are admitted on their next ``put``. Resizing to zero
+        drops everything but keeps counting lookups as misses, exactly
+        like a cache constructed with capacity 0. Generations are
+        untouched — readers registered before a resize keep their ids,
+        so a block cached under one can never alias another reader's.
+        """
+        if capacity_bytes < 0:
+            raise ConfigurationError("cache capacity cannot be negative")
+        with self._lock:
+            before = self._bytes
+            self._capacity = capacity_bytes
+            self._evict_to_capacity_locked()
+            return before - self._bytes
 
     def _forget(self, key: tuple[int, int]) -> None:
         """Drop ``key`` from the generation index; caller holds the lock."""

@@ -85,6 +85,35 @@ class StoreStats:
 
 
 @dataclass(frozen=True)
+class MemorySignals:
+    """What the memory arbiter needs to know about one store.
+
+    A compact, atomically-read snapshot of the write-memory and
+    read-cache signals :class:`repro.memory.MemoryArbiter` drives its
+    rebalance decisions from. ``memtable_bytes`` counts sealed
+    memtables awaiting flush as well as the active one — buffered write
+    memory that a rotation has not yet released. ``ingested_bytes`` is
+    cumulative over the store's lifetime (per-tick deltas measure write
+    rate); the cache counters are the :class:`BlockCache`'s cumulative
+    totals (deltas measure read traffic and miss rate).
+    """
+
+    memtable_bytes: int
+    memtable_target_bytes: int
+    sealed_memtables: int
+    num_memtables: int
+    memory_fill: float
+    write_stalls: int
+    stall_seconds_total: float
+    ingested_bytes: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_capacity_bytes: int
+    cache_used_bytes: int
+
+
+@dataclass(frozen=True)
 class WriteTiming:
     """Where one write's time went (the engine leg of a request breakdown).
 
@@ -151,6 +180,10 @@ class LSMStore:
         self._active = MemTable(seed=0)
         self._sealed: list[MemTable] = []
         self._memtable_seed = 1
+        # Live memory knobs: the arbiter retargets these at runtime via
+        # set_memory_budget(); options.memtable_bytes is only the seed.
+        self._memtable_target = self._options.memtable_bytes
+        self._ingested_bytes = 0
         self._commit_listener = None
         self._closed = False
         self._stall_count = 0
@@ -455,7 +488,7 @@ class LSMStore:
             )
 
     def _maybe_rotate(self) -> None:
-        if self._active.approximate_bytes < self._options.memtable_bytes:
+        if self._active.approximate_bytes < self._memtable_target:
             return
         if len(self._sealed) >= self._options.num_memtables - 1:
             # No free memory component: a flush stall. Push maintenance
@@ -478,6 +511,7 @@ class LSMStore:
         self._sealed.append(self._active)
         self._active = MemTable(seed=self._memtable_seed)
         self._memtable_seed += 1
+        self._ingested_bytes += sealed_bytes
         self._m_rotations.inc()
         self._obs.tracer.emit(
             obs_events.MEMTABLE_ROTATE,
@@ -512,6 +546,7 @@ class LSMStore:
                 listener.on_truncate(self._wal.generation)
 
     def _seal_active(self) -> None:
+        self._ingested_bytes += self._active.approximate_bytes
         self._active.seal()
         self._sealed.append(self._active)
         self._active = MemTable(seed=self._memtable_seed)
@@ -538,7 +573,7 @@ class LSMStore:
             progressed = True
         budget = self._options.maintenance_chunks_per_rotation or max(
             2,
-            int(8 * self._options.memtable_bytes // self._compaction.chunk_bytes)
+            int(8 * self._memtable_target // self._compaction.chunk_bytes)
             + 1,
         )
         for _ in range(budget):
@@ -778,6 +813,77 @@ class LSMStore:
                 os.fsync(manifest.fileno())
             return len(records)
 
+    # -- memory arbitration ----------------------------------------------
+
+    def set_memory_budget(
+        self, memtable_bytes: int, cache_bytes: int
+    ) -> None:
+        """Retarget the store's write memory and read cache at runtime.
+
+        The memtable threshold takes effect at the next rotation check
+        (an active memtable already past the new, smaller target seals
+        on the next write — nothing is forced mid-write, so the
+        claim/publish maintenance protocol is untouched); the block
+        cache resizes immediately, evicting LRU blocks when shrinking.
+        This is the knob :class:`repro.memory.MemoryArbiter` drives.
+        """
+        if memtable_bytes < 4096:
+            raise ConfigurationError("memtable budget is implausibly small")
+        if cache_bytes < 0:
+            raise ConfigurationError("cache budget cannot be negative")
+        with self._lock:
+            self._check_open()
+            self._memtable_target = memtable_bytes
+        # The cache has its own leaf lock; resizing outside the store
+        # lock keeps eviction work off the write path.
+        self._compaction.block_cache.resize(cache_bytes)
+        registry = self._obs.registry
+        registry.gauge(
+            "memory_budget_bytes",
+            labels={"component": "memtable"},
+            help="Current write-memory target, as set by the arbiter.",
+        ).set(float(memtable_bytes))
+        registry.gauge(
+            "memory_budget_bytes",
+            labels={"component": "block_cache"},
+            help="Current read-cache capacity, as set by the arbiter.",
+        ).set(float(cache_bytes))
+
+    @property
+    def memtable_target_bytes(self) -> int:
+        """The live memtable threshold (options seed it, the arbiter moves it)."""
+        with self._lock:
+            return self._memtable_target
+
+    def memory_signals(self) -> MemorySignals:
+        """Atomic snapshot of the arbiter's input signals."""
+        with self._lock:
+            self._check_open()
+            cache = self._compaction.block_cache
+            sealed_bytes = sum(
+                memtable.approximate_bytes for memtable in self._sealed
+            )
+            slots = max(1, self._options.num_memtables - 1)
+            return MemorySignals(
+                memtable_bytes=(
+                    self._active.approximate_bytes + sealed_bytes
+                ),
+                memtable_target_bytes=self._memtable_target,
+                sealed_memtables=len(self._sealed),
+                num_memtables=self._options.num_memtables,
+                memory_fill=min(1.0, len(self._sealed) / slots),
+                write_stalls=self._stall_count,
+                stall_seconds_total=self._stall_seconds,
+                ingested_bytes=(
+                    self._ingested_bytes + self._active.approximate_bytes
+                ),
+                cache_hits=cache.hits,
+                cache_misses=cache.misses,
+                cache_evictions=cache.evictions,
+                cache_capacity_bytes=cache.capacity_bytes,
+                cache_used_bytes=cache.used_bytes,
+            )
+
     # -- reads -----------------------------------------------------------
 
     def get(self, key: bytes) -> bytes | None:
@@ -856,7 +962,12 @@ class LSMStore:
         components_per_level = self._compaction.levels()
         return StoreStats(
             memtable_entries=len(self._active),
-            memtable_bytes=self._active.approximate_bytes,
+            # Sealed memtables awaiting flush are still live write
+            # memory: reporting only the (freshly empty) active one
+            # would zero the figure right after every rotation and fool
+            # any controller keying off memory occupancy.
+            memtable_bytes=self._active.approximate_bytes
+            + sum(m.approximate_bytes for m in self._sealed),
             sealed_memtables=len(self._sealed),
             num_memtables=self._options.num_memtables,
             disk_components=self._compaction.component_count,
@@ -925,6 +1036,30 @@ class LSMStore:
             "engine_maintenance_queue_depth",
             help="Sealed memtables plus in-flight merge jobs.",
         ).set(float(queue_depth))
+        # Block-cache counters live in the cache (bumped under its own
+        # lock); mirror the cumulative totals at scrape time instead of
+        # double-counting on the lookup path.
+        cache = self._compaction.block_cache
+        registry.counter(
+            "engine_block_cache_hits_total",
+            help="Block lookups served from the cache.",
+        ).set_total(float(cache.hits))
+        registry.counter(
+            "engine_block_cache_misses_total",
+            help="Block lookups that fell through to disk.",
+        ).set_total(float(cache.misses))
+        registry.counter(
+            "engine_block_cache_evictions_total",
+            help="Blocks evicted to stay within the cache budget.",
+        ).set_total(float(cache.evictions))
+        registry.gauge(
+            "engine_block_cache_capacity_bytes",
+            help="Current block-cache byte budget.",
+        ).set(float(cache.capacity_bytes))
+        registry.gauge(
+            "engine_block_cache_used_bytes",
+            help="Bytes currently held by the block cache.",
+        ).set(float(cache.used_bytes))
         return stats
 
     @property

@@ -349,14 +349,22 @@ class SSTableReader:
         return result
 
     def might_contain(self, key: bytes) -> bool:
-        """Bloom filter check (False = definitely absent)."""
+        """Key-bounds then Bloom check (False = definitely absent).
+
+        The bounds comparison runs first because it is an order of
+        magnitude cheaper than hashing the key for the filter — on a
+        store whose runs partition the keyspace by age or range, most
+        runs are dismissed without touching the Bloom filter at all.
+        """
+        if not self._index or key < self._min_key or key > self._max_key:
+            return False
         return self._bloom.might_contain(key)
 
     def get(self, key: bytes) -> tuple[bool, bytes | None]:
         """Point lookup: ``(found, value)``; found tombstone = (True, None)."""
         if self._closed:
             raise ConfigurationError("reader is closed")
-        if not self._index or not self._bloom.might_contain(key):
+        if not self.might_contain(key):
             return False, None
         block_idx = self._block_for(key)
         if block_idx < 0:

@@ -1,0 +1,25 @@
+"""repro.memory — adaptive memory arbitration for an LSM node.
+
+One :class:`MemoryBudget` owns the node's byte budget;
+:class:`MemoryArbiter` periodically re-splits it between write memory
+(per-shard memtable targets) and read memory (per-shard block-cache
+capacities) from observed engine signals. See ``docs/memory.md``.
+"""
+
+from .arbiter import MemoryArbiter, MemoryTarget, RebalanceDecision
+from .budget import (
+    MIN_MEMTABLE_BYTES,
+    MemoryBudget,
+    MemoryShares,
+    apportion_bytes,
+)
+
+__all__ = [
+    "MIN_MEMTABLE_BYTES",
+    "MemoryArbiter",
+    "MemoryBudget",
+    "MemoryShares",
+    "MemoryTarget",
+    "RebalanceDecision",
+    "apportion_bytes",
+]

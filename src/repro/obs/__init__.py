@@ -22,6 +22,7 @@ from .events import (
     FAULT,
     FLUSH_END,
     FLUSH_START,
+    MEMORY_REBALANCE,
     MEMTABLE_ROTATE,
     MERGE_END,
     MERGE_START,
@@ -82,6 +83,7 @@ __all__ = [
     "FAULT",
     "FLUSH_END",
     "FLUSH_START",
+    "MEMORY_REBALANCE",
     "MEMTABLE_ROTATE",
     "MERGE_END",
     "MERGE_START",

@@ -36,6 +36,7 @@ ADMISSION = "admission"
 BREAKER = "breaker"
 FAULT = "fault"
 MAINTENANCE_WORKER = "maintenance_worker"
+MEMORY_REBALANCE = "memory_rebalance"
 REPLICA_PROMOTE = "replica_promote"
 SHIP_STALL = "ship_stall"
 
@@ -52,6 +53,7 @@ EVENT_KINDS = frozenset(
         BREAKER,
         FAULT,
         MAINTENANCE_WORKER,
+        MEMORY_REBALANCE,
         REPLICA_PROMOTE,
         SHIP_STALL,
     }

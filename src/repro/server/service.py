@@ -104,8 +104,34 @@ class FramedServer:
         self._clock = time.monotonic
         self._metrics_port = metrics_port
         self._exposition: PrometheusEndpoint | None = None
+        self._tickers: list[tuple[object, float]] = []
+        self._ticker_tasks: list[asyncio.Task] = []
 
     # -- lifecycle -------------------------------------------------------
+
+    def attach_ticker(self, fn, interval: float) -> None:
+        """Run ``fn`` (a plain callable) every ``interval`` seconds.
+
+        The tick runs in a worker thread so a slow callback (a memory
+        rebalance touching every shard, say) never blocks the event
+        loop. Attach before :meth:`start`; tasks are spawned there and
+        cancelled in :meth:`aclose`. A tick that raises is dropped and
+        the ticker keeps going — periodic upkeep must not die to one
+        transient error.
+        """
+        if interval <= 0:
+            raise ConfigurationError("ticker interval must be positive")
+        self._tickers.append((fn, interval))
+
+    async def _run_ticker(self, fn, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                await asyncio.to_thread(fn)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 — upkeep must keep ticking
+                continue
 
     async def start(self) -> tuple[str, int]:
         """Bind and listen; returns the bound (host, port)."""
@@ -121,6 +147,12 @@ class FramedServer:
                 port=self._metrics_port,
             )
             await self._exposition.start()
+        for fn, interval in self._tickers:
+            self._ticker_tasks.append(
+                asyncio.get_running_loop().create_task(
+                    self._run_ticker(fn, interval)
+                )
+            )
         return self._host, self._port
 
     @property
@@ -155,6 +187,11 @@ class FramedServer:
         """
         if self._server is None:
             return
+        for task in self._ticker_tasks:
+            task.cancel()
+        if self._ticker_tasks:
+            await asyncio.gather(*self._ticker_tasks, return_exceptions=True)
+            self._ticker_tasks.clear()
         if self._exposition is not None:
             await self._exposition.aclose()
             self._exposition = None
@@ -300,6 +337,8 @@ class KVServer(FramedServer):
         port: int = 0,
         write_deadline: float = DEFAULT_WRITE_DEADLINE,
         metrics_port: int | None = None,
+        memory_arbiter=None,
+        memory_interval: float = 1.0,
     ) -> None:
         if write_deadline <= 0:
             raise ConfigurationError("write_deadline must be positive")
@@ -312,6 +351,12 @@ class KVServer(FramedServer):
         # clock for the whole process tier.
         self.obs = store.obs
         self._clock = store.obs.clock
+        self._memory_arbiter = memory_arbiter
+        if memory_arbiter is not None:
+            # The ticker wakes the arbiter; the arbiter's own interval
+            # (injectable clock) decides whether a tick actually runs,
+            # so wall-clock scheduling never leaks into its decisions.
+            self.attach_ticker(memory_arbiter.maybe_tick, memory_interval)
         # Inline stores need the serving layer to pump maintenance
         # between bounced writes; stores with maintenance workers make
         # their own progress, so the stall hook would only burn a

@@ -1,0 +1,145 @@
+"""Tests for live block-cache resizing (the arbiter's read-memory lever)."""
+
+import threading
+
+import pytest
+
+from repro.engine import BlockCache
+from repro.errors import ConfigurationError
+
+
+class TestResizeShrink:
+    def test_shrink_evicts_to_new_capacity_immediately(self):
+        cache = BlockCache(100)
+        gen = cache.register_reader()
+        for offset in range(10):
+            cache.put(gen, offset, b"x" * 10)
+        assert cache.used_bytes == 100
+        freed = cache.resize(35)
+        assert freed == 70
+        assert cache.used_bytes <= 35
+        assert cache.capacity_bytes == 35
+
+    def test_shrink_evicts_in_lru_order(self):
+        cache = BlockCache(40)
+        gen = cache.register_reader()
+        for offset in range(4):
+            cache.put(gen, offset, b"x" * 10)
+        # Refresh 0 and 1; 2 and 3 become the LRU tail.
+        cache.get(gen, 0)
+        cache.get(gen, 1)
+        cache.resize(20)
+        assert cache.get(gen, 0) is not None
+        assert cache.get(gen, 1) is not None
+        assert cache.get(gen, 2) is None
+        assert cache.get(gen, 3) is None
+
+    def test_shrink_counts_evictions(self):
+        cache = BlockCache(100)
+        gen = cache.register_reader()
+        for offset in range(10):
+            cache.put(gen, offset, b"x" * 10)
+        before = cache.evictions
+        cache.resize(10)
+        assert cache.evictions == before + 9
+
+    def test_resize_to_zero_keeps_honest_miss_accounting(self):
+        cache = BlockCache(100)
+        gen = cache.register_reader()
+        cache.put(gen, 0, b"block")
+        cache.resize(0)
+        assert cache.used_bytes == 0
+        # A zero-capacity cache still fields (and counts) lookups.
+        misses = cache.misses
+        assert cache.get(gen, 0) is None
+        assert cache.misses == misses + 1
+        cache.put(gen, 1, b"rejected")
+        assert cache.used_bytes == 0
+
+
+class TestResizeGrow:
+    def test_grow_admits_previously_rejected_blocks(self):
+        cache = BlockCache(10)
+        gen = cache.register_reader()
+        big = b"x" * 50
+        cache.put(gen, 0, big)  # larger than capacity: rejected
+        assert cache.get(gen, 0) is None
+        cache.resize(100)
+        cache.put(gen, 0, big)
+        assert cache.get(gen, 0) == big
+
+    def test_grow_frees_nothing(self):
+        cache = BlockCache(10)
+        gen = cache.register_reader()
+        cache.put(gen, 0, b"x" * 10)
+        assert cache.resize(1000) == 0
+        assert cache.get(gen, 0) is not None
+
+    def test_grow_then_fill_to_new_capacity(self):
+        cache = BlockCache(20)
+        gen = cache.register_reader()
+        cache.resize(60)
+        for offset in range(6):
+            cache.put(gen, offset, b"x" * 10)
+        assert cache.used_bytes == 60
+        assert all(cache.get(gen, offset) for offset in range(6))
+
+
+class TestResizeValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockCache(10).resize(-1)
+
+
+class TestResizeConcurrency:
+    def test_concurrent_readers_never_observe_stale_generation(self):
+        """Readers racing a resize must never get evicted-reader data.
+
+        ``evict_reader`` drops a generation; a concurrent resize
+        squeezes capacity. Whatever interleaving happens, a get on the
+        dropped generation must return None and live-generation hits
+        must return the exact bytes that were put.
+        """
+        cache = BlockCache(10_000)
+        live = cache.register_reader()
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                value = cache.get(live, 7)
+                if value is not None and value != b"L" * 50:
+                    errors.append("corrupt live block")
+                    return
+
+        def churn() -> None:
+            while not stop.is_set():
+                dead = cache.register_reader()
+                cache.put(dead, 7, b"D" * 50)
+                cache.evict_reader(dead)
+                if cache.get(dead, 7) is not None:
+                    errors.append("stale generation visible")
+                    return
+
+        def resizer() -> None:
+            size = 10_000
+            while not stop.is_set():
+                size = 200 if size == 10_000 else 10_000
+                cache.resize(size)
+                cache.put(live, 7, b"L" * 50)
+
+        cache.put(live, 7, b"L" * 50)
+        threads = [
+            threading.Thread(target=fn)
+            for fn in (reader, reader, churn, resizer)
+        ]
+        for thread in threads:
+            thread.start()
+        stop_timer = threading.Timer(0.5, stop.set)
+        stop_timer.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        stop_timer.cancel()
+        stop.set()
+        assert not errors
+        assert cache.used_bytes <= cache.capacity_bytes

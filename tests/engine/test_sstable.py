@@ -75,6 +75,28 @@ class TestWriteRead:
         reader.close()
 
 
+class TestKeyBoundsPruning:
+    def test_out_of_range_keys_skip_the_bloom_filter(self, tmp_path):
+        """Keys outside [min_key, max_key] must be dismissed before the
+        Bloom filter is even consulted — the bounds comparison is the
+        cheap first line of defence on multi-run lookups."""
+        entries = [(f"m{i:04d}".encode(), b"v") for i in range(50)]
+        stats = write_run(tmp_path / "p.run", entries)
+        reader = SSTableReader(stats.path)
+
+        class AlwaysYes:
+            def might_contain(self, key):
+                return True
+
+        reader._bloom = AlwaysYes()
+        assert not reader.might_contain(b"a-below-range")
+        assert not reader.might_contain(b"z-above-range")
+        assert reader.might_contain(b"m0025")
+        assert reader.get(b"a-below-range") == (False, None)
+        assert reader.get(b"m0025") == (True, b"v")
+        reader.close()
+
+
 class TestWriterDiscipline:
     def test_out_of_order_keys_rejected(self, tmp_path):
         writer = SSTableWriter(str(tmp_path / "g.run"))

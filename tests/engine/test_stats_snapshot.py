@@ -132,3 +132,73 @@ class TestRefreshGauges:
                 stats.disk_components
             )
             assert gauges["engine_wal_bytes"] == stats.wal_bytes
+
+    def test_block_cache_counters_mirrored(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            for i in range(600):
+                store.put(f"k{i:06d}".encode(), b"v" * 64)
+            store.maintenance()
+            for i in range(600):
+                store.get(f"k{i:06d}".encode())
+            store.refresh_gauges()
+            snap = store.obs.registry.snapshot()
+            counters = {c["name"]: c["value"] for c in snap["counters"]}
+            gauges = {g["name"]: g["value"] for g in snap["gauges"]}
+            cache = store._compaction.block_cache
+            assert counters["engine_block_cache_hits_total"] == cache.hits
+            assert counters["engine_block_cache_misses_total"] == (
+                cache.misses
+            )
+            assert counters["engine_block_cache_evictions_total"] == (
+                cache.evictions
+            )
+            assert gauges["engine_block_cache_capacity_bytes"] == (
+                cache.capacity_bytes
+            )
+            assert gauges["engine_block_cache_used_bytes"] == (
+                cache.used_bytes
+            )
+            assert cache.hits + cache.misses > 0
+
+    def test_cache_series_lint_clean(self, tmp_path):
+        from repro.obs import lint_exposition, render_prometheus
+
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            for i in range(300):
+                store.put(f"k{i:06d}".encode(), b"v" * 64)
+            store.maintenance()
+            store.get(b"k000000")
+            store.set_memory_budget(64 * 1024, 32 * 1024)
+            store.refresh_gauges()
+            text = render_prometheus(store.obs.registry.snapshot())
+            assert "engine_block_cache_hits_total" in text
+            assert "memory_budget_bytes" in text
+            assert lint_exposition(text) == []
+
+
+class TestSealedMemtableBytes:
+    def test_stats_counts_sealed_memtables_awaiting_flush(self, tmp_path):
+        """Regression: memtable_bytes reported only the active memtable,
+        hiding the sealed ones still buffered in memory — admission saw
+        an empty store while N memtables awaited flush."""
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            for i in range(40):
+                store.put(f"k{i:04d}".encode(), b"v" * 100)
+            active_only = store.stats().memtable_bytes
+            with store._lock:
+                store._seal_active()
+            stats = store.stats()
+            assert stats.sealed_memtables >= 1
+            # The sealed bytes did not vanish from the report.
+            assert stats.memtable_bytes >= active_only
+            assert stats.memtable_bytes > 0
+
+    def test_memory_signals_agree_with_stats(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "db"), OPTIONS) as store:
+            for i in range(40):
+                store.put(f"k{i:04d}".encode(), b"v" * 100)
+            with store._lock:
+                store._seal_active()
+            assert store.memory_signals().memtable_bytes == (
+                store.stats().memtable_bytes
+            )

@@ -1,0 +1,103 @@
+"""Tests for the deterministic budget-splitting arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import (
+    MIN_MEMTABLE_BYTES,
+    MemoryBudget,
+    apportion_bytes,
+)
+
+
+class TestApportionBytes:
+    def test_exact_sum(self):
+        shares = apportion_bytes(100, [1.0, 1.0, 1.0])
+        assert sum(shares) == 100
+        assert shares == [34, 33, 33]
+
+    def test_proportionality(self):
+        shares = apportion_bytes(1000, [3.0, 1.0])
+        assert shares == [750, 250]
+
+    def test_floor_honored_for_zero_weight(self):
+        shares = apportion_bytes(100, [1.0, 0.0], floor=10)
+        assert shares[1] >= 10
+        assert sum(shares) == 100
+
+    def test_all_zero_weights_split_evenly(self):
+        assert apportion_bytes(90, [0.0, 0.0, 0.0]) == [30, 30, 30]
+
+    def test_deterministic_tie_break_prefers_lower_index(self):
+        # 10 bytes over three equal weights: 3.33 each, one leftover
+        # byte; equal remainders resolve to the lowest shard id.
+        assert apportion_bytes(10, [1.0, 1.0, 1.0]) == [4, 3, 3]
+
+    def test_empty_weights(self):
+        assert apportion_bytes(100, []) == []
+
+    def test_pool_below_floors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apportion_bytes(10, [1.0, 1.0], floor=6)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apportion_bytes(10, [1.0, -1.0])
+
+    def test_repeatable(self):
+        weights = [0.7, 1.3, 2.9, 0.1]
+        first = apportion_bytes(12345, weights, floor=16)
+        assert all(
+            apportion_bytes(12345, weights, floor=16) == first
+            for _ in range(5)
+        )
+
+
+class TestMemoryBudget:
+    def test_split_accounts_for_every_byte(self):
+        budget = MemoryBudget(4 * 2**20, 3)
+        shares = budget.split(0.5, [1, 1, 1], [1, 1, 1])
+        assert shares.total_bytes == 4 * 2**20
+        assert len(shares.memtable_bytes) == 3
+        assert len(shares.cache_bytes) == 3
+
+    def test_write_fraction_clamped(self):
+        budget = MemoryBudget(
+            4 * 2**20, 1, min_write_fraction=0.2, max_write_fraction=0.8
+        )
+        assert budget.split(0.05, [1], [1]).write_fraction == 0.2
+        assert budget.split(0.99, [1], [1]).write_fraction == 0.8
+
+    def test_memtable_floor_survives_skewed_weights(self):
+        budget = MemoryBudget(4 * 2**20, 4)
+        shares = budget.split(0.5, [1000.0, 0.0, 0.0, 0.0], [1, 1, 1, 1])
+        assert all(
+            share >= MIN_MEMTABLE_BYTES for share in shares.memtable_bytes
+        )
+
+    def test_mapping_weights(self):
+        budget = MemoryBudget(2 * 2**20, 2)
+        shares = budget.split(0.5, {0: 3.0, 1: 1.0}, {1: 1.0})
+        assert shares.memtable_bytes[0] > shares.memtable_bytes[1]
+        assert shares.cache_bytes[1] > shares.cache_bytes[0]
+
+    def test_wrong_weight_count_rejected(self):
+        budget = MemoryBudget(2 * 2**20, 2)
+        with pytest.raises(ConfigurationError):
+            budget.split(0.5, [1.0], [1.0, 1.0])
+
+    def test_budget_too_small_for_floors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget(MIN_MEMTABLE_BYTES, 4)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget(0, 1)
+
+    def test_bad_fraction_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget(2**20, 1, min_write_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            MemoryBudget(
+                2**20, 1, min_write_fraction=0.8, max_write_fraction=0.2
+            )

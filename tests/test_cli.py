@@ -299,6 +299,37 @@ class TestClusterParsersAndValidation:
         assert code == 2
         assert "--shards" in capsys.readouterr().err
 
+    def test_memory_budget_defaults_disabled(self):
+        assert build_parser().parse_args(
+            ["serve", "/tmp/db"]
+        ).memory_budget is None
+        args = build_parser().parse_args(["cluster-serve", "/tmp/db"])
+        assert args.memory_budget is None
+        assert args.memory_rebalance_interval == 1.0
+
+    def test_serve_non_positive_memory_budget_exits_with_message(
+        self, capsys
+    ):
+        code = main(["serve", "/tmp/db", "--memory-budget", "0"])
+        assert code == 2
+        assert "--memory-budget" in capsys.readouterr().err
+        code = main(["serve", "/tmp/db", "--memory-budget", "-8"])
+        assert code == 2
+        assert "--memory-budget" in capsys.readouterr().err
+
+    def test_cluster_serve_non_positive_memory_budget_exits(self, capsys):
+        code = main(["cluster-serve", "/tmp/db", "--memory-budget", "-1"])
+        assert code == 2
+        assert "--memory-budget" in capsys.readouterr().err
+
+    def test_non_positive_rebalance_interval_exits(self, capsys):
+        code = main([
+            "serve", "/tmp/db", "--memory-budget", "8",
+            "--memory-rebalance-interval", "0",
+        ])
+        assert code == 2
+        assert "--memory-rebalance-interval" in capsys.readouterr().err
+
     def test_loadgen_negative_rate_exits_with_message(self, capsys):
         code = main([
             "loadgen", "--mode", "open", "--rate", "-5",
