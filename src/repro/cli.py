@@ -171,6 +171,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.background or args.maintenance_threads > 1
         ),
         maintenance_threads=args.maintenance_threads,
+        scrub_interval=args.scrub_interval,
+        scrub_rate_bytes_per_s=int(args.scrub_rate_mib * 2**20),
     )
 
     async def run() -> None:
@@ -303,6 +305,8 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             args.background or args.maintenance_threads > 1
         ),
         maintenance_threads=args.maintenance_threads,
+        scrub_interval=args.scrub_interval,
+        scrub_rate_bytes_per_s=int(args.scrub_rate_mib * 2**20),
     )
     admission = build_cluster_admission(
         args.scope, args.admission, args.shards, **_admission_params(args)
@@ -326,6 +330,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             read_from_replica=args.read_from_replica,
             memory_budget=memory_budget,
             memory_rebalance_interval=args.memory_rebalance_interval,
+            repair_interval=args.repair_interval,
         )
         async with cluster:
             host, port = cluster.address
@@ -406,11 +411,55 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import asdict
+
     from .engine import verify_store
 
-    report = verify_store(args.directory)
+    report = verify_store(args.directory, policy=args.policy)
     print(report.summary())
+    if args.json_out is not None:
+        payload = asdict(report)
+        payload["clean"] = report.clean
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
     return 0 if report.clean else 1
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    """Run one synchronous scrub pass over a store and report it."""
+    import json
+
+    from .engine import LSMStore, StoreOptions
+
+    options = StoreOptions(
+        block_cache_bytes=0,
+        scrub_rate_bytes_per_s=int(args.scrub_rate_mib * 2**20),
+    )
+    with LSMStore.open(args.directory, options) as store:
+        summary = store.scrub_pass()
+        status = store.corruption_status()
+    print(
+        f"scrub pass: {summary['last_pass']['runs']} run(s), "
+        f"{summary['last_pass']['blocks']} block(s), "
+        f"{summary['last_pass']['bytes']} byte(s) verified, "
+        f"{summary['last_pass']['findings']} finding(s)"
+    )
+    for entry in status["quarantined"]:
+        print(
+            f"quarantined: run {entry['run_id']} level {entry['level']} "
+            f"({entry['reason']})"
+        )
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"scrub": summary, "quarantined": status["quarantined"]},
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+    return 0 if not status["quarantined"] else 1
 
 
 def _cmd_crashsim(args: argparse.Namespace) -> int:
@@ -447,7 +496,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
-    from .faults import run_chaos
+    from .faults import run_chaos, run_corruption_chaos
 
     if args.shards < 2:
         raise ReproError(
@@ -460,6 +509,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"[0, {args.shards})"
         )
     _check_replication(args)
+    if args.corrupt_at_rest:
+        if args.replicas < 1:
+            raise ReproError(
+                "--corrupt-at-rest needs --replicas >= 1 "
+                "(repair is replica-backed)"
+            )
+        report = asyncio.run(
+            run_corruption_chaos(
+                args.directory,
+                num_shards=args.shards,
+                ops=args.ops,
+                target_shard=args.kill_shard,
+                corrupt_at=args.kill_at,
+                seed=args.seed,
+                op_interval=args.op_interval_ms / 1000.0,
+                replicas=args.replicas,
+                ack_policy=args.ack_policy,
+            )
+        )
+        print(report.summary())
+        if args.json_out is not None:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, indent=2)
+                handle.write("\n")
+        return 0 if report.ok else 1
     report = asyncio.run(
         run_chaos(
             args.directory,
@@ -584,6 +658,17 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="background flush/merge workers per store "
              "(>1 implies --background)",
     )
+    parser.add_argument(
+        "--scrub-interval", type=float, default=0.0,
+        help="seconds between background integrity-scrub passes over "
+             "the live runs (default: 0, disabled); scrub I/O is "
+             "debited against the maintenance rate budget",
+    )
+    parser.add_argument(
+        "--scrub-rate-mib", type=float, default=0.0,
+        help="additional dedicated scrub throttle in MiB/s "
+             "(default: 0, unthrottled beyond the shared budget)",
+    )
 
 
 def _add_memory_args(parser: argparse.ArgumentParser) -> None:
@@ -700,7 +785,33 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="audit a storage-engine directory's integrity"
     )
     verify_cmd.add_argument("directory", help="LSMStore data directory")
+    verify_cmd.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the full report as JSON to this file",
+    )
+    verify_cmd.add_argument(
+        "--policy", default=None,
+        choices=["leveling", "tiering", "size-tiered"],
+        help="merge policy the store ran with; 'leveling' additionally "
+        "enforces the partitioned-level no-overlap invariant",
+    )
     verify_cmd.set_defaults(handler=_cmd_verify)
+
+    scrub_cmd = commands.add_parser(
+        "scrub",
+        help="run one synchronous integrity-scrub pass over a store's "
+             "live runs; exits non-zero if anything was quarantined",
+    )
+    scrub_cmd.add_argument("directory", help="LSMStore data directory")
+    scrub_cmd.add_argument(
+        "--scrub-rate-mib", type=float, default=0.0,
+        help="dedicated scrub throttle in MiB/s (default: unthrottled)",
+    )
+    scrub_cmd.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the scrub summary as JSON to this file",
+    )
+    scrub_cmd.set_defaults(handler=_cmd_scrub)
 
     crashsim_cmd = commands.add_parser(
         "crashsim",
@@ -756,6 +867,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_replication_args(chaos_cmd)
     chaos_cmd.add_argument(
+        "--corrupt-at-rest", action="store_true",
+        help="instead of killing a backend, flip at-rest bytes in the "
+             "target shard leader's run files mid-load and score "
+             "detection, quarantine, replica-backed repair, and the "
+             "zero-wrong-answers audit (needs --replicas >= 1; "
+             "--kill-shard/--kill-at pick the target and the point)",
+    )
+    chaos_cmd.add_argument(
         "--json-out", default=None, metavar="PATH",
         help="also write the full report as JSON to this file",
     )
@@ -810,6 +929,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--pump-budget", type=int, default=None,
         help="maintenance pump calls shared per round "
              "(default: one per shard)",
+    )
+    cluster_serve_cmd.add_argument(
+        "--repair-interval", type=float, default=0.0,
+        help="seconds between leader checks for quarantined runs to "
+             "rebuild from a follower (default: 0, disabled; needs "
+             "--replicas >= 1 to have anything to rebuild from)",
     )
     _add_admission_args(cluster_serve_cmd)
     _add_engine_args(cluster_serve_cmd)

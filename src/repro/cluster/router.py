@@ -164,6 +164,7 @@ _NEUTRAL_STATS = StoreStats(
     num_memtables=2,
     disk_components=0,
     components_per_level={},
+    quarantined_runs=0,
     merges_completed=0,
     write_stalls=0,
     stall_seconds_total=0.0,
@@ -988,9 +989,12 @@ class LocalCluster:
         replication_timeout: float | None = None,
         memory_budget: int | None = None,
         memory_rebalance_interval: float = 1.0,
+        repair_interval: float = 0.0,
     ) -> None:
         if replicas < 0:
             raise ConfigurationError("replicas cannot be negative")
+        if repair_interval < 0:
+            raise ConfigurationError("repair_interval cannot be negative")
         if read_from_replica and replicas == 0:
             raise ConfigurationError(
                 "read_from_replica needs at least one replica per shard"
@@ -1038,6 +1042,7 @@ class LocalCluster:
         self._read_from_replica = read_from_replica
         self._replication_timeout = replication_timeout
         self._memory_rebalance_interval = memory_rebalance_interval
+        self._repair_interval = repair_interval
         self.backends: list[KVServer] = []
         self.replica_stores: list[list] = []
         self.replica_servers: list[list] = []
@@ -1088,6 +1093,7 @@ class LocalCluster:
             role="leader",
             ack_policy=self._ack_policy,
             replication_timeout=timeout,
+            repair_interval=self._repair_interval,
         )
         await leader.start()
         await leader.become_leader(

@@ -17,10 +17,11 @@ from .iterators import reconcile_get, reconciling_iterator
 from .manifest import Manifest, RunRecord
 from .memtable import MemTable
 from .options import StoreOptions, TOMBSTONE
+from .quarantine import QuarantineEntry, QuarantineSet
 from .ratelimiter import RateLimiter, SyncPolicy
 from .secondary import IndexedStore, decode_secondary_key, encode_secondary_key
 from .sstable import RunStats, SSTableReader, SSTableWriter
-from .wal import WriteAheadLog
+from .wal import WalScan, WriteAheadLog, scan_wal
 
 __all__ = [
     "BlockCache",
@@ -33,6 +34,8 @@ __all__ = [
     "MemorySignals",
     "MemTable",
     "MergeJob",
+    "QuarantineEntry",
+    "QuarantineSet",
     "RateLimiter",
     "RunRecord",
     "RunStats",
@@ -42,8 +45,10 @@ __all__ = [
     "StoreStats",
     "SyncPolicy",
     "TOMBSTONE",
+    "WalScan",
     "WriteAheadLog",
     "WriteTiming",
+    "scan_wal",
     "build_policy",
     "build_scheduler",
     "verify_store",

@@ -36,14 +36,19 @@ from ..core.schedulers import (
     MergeScheduler,
     SingleThreadedScheduler,
 )
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, CorruptionError
 from ..obs import events as obs_events
 from .blockcache import BlockCache
 from .iterators import reconciling_iterator
 from .manifest import Manifest
 from .options import StoreOptions, TOMBSTONE
+from .quarantine import QuarantineEntry, QuarantineSet
 from .ratelimiter import RateLimiter, SyncPolicy
 from .sstable import SSTableReader, SSTableWriter
+
+#: Upper key bound recorded when a run is quarantined before its meta
+#: block could be read — wide enough that any plausible key is covered.
+_UNBOUNDED_MAX_KEY = b"\xff" * 256
 
 
 def build_policy(options: StoreOptions) -> MergePolicy:
@@ -220,15 +225,50 @@ class CompactionManager:
         self._components: dict[int, Component] = {}
         self._jobs: dict[int, MergeJob] = {}
         self._merge_count = 0
+        self._quarantine = QuarantineSet(directory)
         self._recover_components()
 
     # -- bootstrap/recovery --------------------------------------------
 
     def _recover_components(self) -> None:
+        records = self._manifest.live_runs()
+        # A merge or repair that retired a run also retired its
+        # quarantine; drop registry entries the manifest no longer backs.
+        self._quarantine.retain({record.run_id for record in records})
         live_files = set()
-        for record in self._manifest.live_runs():
+        for record in records:
             path = os.path.join(self._directory, record.filename)
-            reader = SSTableReader(path, block_cache=self._block_cache)
+            live_files.add(record.filename)
+            try:
+                reader = SSTableReader(path, block_cache=self._block_cache)
+            except (CorruptionError, OSError) as error:
+                # The run cannot even be opened (bad footer, index, or
+                # meta block), but its data may still be recoverable
+                # from a replica: keep it in the tree as a quarantined,
+                # readerless component instead of refusing to start.
+                # Without a meta block its key bounds are unknown, so
+                # the quarantine fences the whole keyspace.
+                size = os.path.getsize(path) if os.path.exists(path) else 0
+                self._components[record.run_id] = Component(
+                    uid=record.run_id,
+                    level=record.level,
+                    size_bytes=float(size),
+                    entry_count=0.0,
+                    handle=record,
+                )
+                if record.run_id not in self._quarantine:
+                    self._quarantine.add(
+                        QuarantineEntry(
+                            run_id=record.run_id,
+                            filename=record.filename,
+                            level=record.level,
+                            min_key=b"",
+                            max_key=_UNBOUNDED_MAX_KEY,
+                            reason=str(error),
+                            source="read",
+                        )
+                    )
+                continue
             self._readers[record.run_id] = reader
             self._components[record.run_id] = Component(
                 uid=record.run_id,
@@ -237,7 +277,6 @@ class CompactionManager:
                 entry_count=float(reader.entry_count),
                 handle=record,
             )
-            live_files.add(record.filename)
         # Orphaned run files are crash leftovers from unfinished merges.
         for name in os.listdir(self._directory):
             if name.endswith(".run") and name not in live_files:
@@ -253,13 +292,101 @@ class CompactionManager:
         return TreeSnapshot(ordered)
 
     def readers_newest_first(self) -> list[SSTableReader]:
-        """Run readers ordered newest data first (query order)."""
+        """Readable run readers ordered newest data first (query order).
+
+        Quarantined runs are excluded — callers that must *fail* rather
+        than silently skip them use :meth:`read_plan`, which keeps the
+        quarantine markers in probe position.
+        """
         records = sorted(
             self._components.values(),
             key=lambda c: c.handle.sequence,
             reverse=True,
         )
-        return [self._readers[c.uid] for c in records]
+        return [
+            self._readers[c.uid]
+            for c in records
+            if c.uid not in self._quarantine
+        ]
+
+    def read_plan(
+        self,
+    ) -> list[tuple[int, SSTableReader | QuarantineEntry]]:
+        """Probe plan, newest data first: ``(run_id, element)`` where the
+        element is a live reader — or the :class:`QuarantineEntry`
+        fencing that run off, held *in probe position* so a point lookup
+        knows exactly when its answer would have depended on the corrupt
+        run (newer sources can still answer soundly)."""
+        ordered = sorted(
+            self._components.values(),
+            key=lambda c: c.handle.sequence,
+            reverse=True,
+        )
+        plan: list[tuple[int, SSTableReader | QuarantineEntry]] = []
+        for component in ordered:
+            entry = self._quarantine.get(component.uid)
+            if entry is not None:
+                plan.append((component.uid, entry))
+            else:
+                plan.append((component.uid, self._readers[component.uid]))
+        return plan
+
+    @property
+    def quarantine(self) -> QuarantineSet:
+        """The persisted quarantine registry (query under the store lock)."""
+        return self._quarantine
+
+    def scrub_targets(self) -> list[tuple[int, str]]:
+        """``(run_id, path)`` of every readable live run, stable order —
+        the work list one scrub pass walks."""
+        return sorted(
+            (uid, reader.path)
+            for uid, reader in self._readers.items()
+            if uid not in self._quarantine
+        )
+
+    def _in_flight(self, run_id: int) -> bool:
+        return any(
+            any(c.uid == run_id for c in job.descriptor.inputs)
+            for job in self._jobs.values()
+        )
+
+    def quarantine_run(
+        self, run_id: int, reason: str, source: str
+    ) -> QuarantineEntry | None:
+        """Fence a live run off from reads and merges (under the lock).
+
+        Returns the new entry, or None when the run is not live or is
+        already quarantined (nothing changed). Pending unclaimed merges
+        that would consume the run are abandoned so the policy cannot
+        merge *around* it — a merge output stamped with a newer sequence
+        would shadow the quarantined run's repaired data.
+        """
+        component = self._components.get(run_id)
+        if component is None or run_id in self._quarantine:
+            return None
+        reader = self._readers.get(run_id)
+        if reader is not None:
+            min_key, max_key = reader.min_key, reader.max_key
+        else:
+            min_key, max_key = b"", _UNBOUNDED_MAX_KEY
+        entry = QuarantineEntry(
+            run_id=run_id,
+            filename=component.handle.filename,
+            level=component.level,
+            min_key=min_key,
+            max_key=max_key,
+            reason=reason,
+            source=source,
+        )
+        self._quarantine.add(entry)
+        for job in list(self._jobs.values()):
+            if not job.claimed and any(
+                c.uid == run_id for c in job.descriptor.inputs
+            ):
+                self._jobs.pop(job.descriptor.uid, None)
+                job.abandon()
+        return entry
 
     @property
     def component_count(self) -> int:
@@ -375,6 +502,16 @@ class CompactionManager:
         for descriptor in self._policy.select_merges(
             self.snapshot(), self._uids, active
         ):
+            # Quarantined inputs are filtered *here*, not hidden from
+            # the snapshot: the policy must keep seeing the run (it
+            # still occupies its level and counts against the component
+            # constraint), but merging it — or merging its neighbours
+            # over it into a newer-stamped output — would either read
+            # corrupt blocks or invert shadowing once the run is
+            # repaired at its original sequence.
+            if any(c.uid in self._quarantine for c in descriptor.inputs):
+                descriptor.release_inputs()
+                continue
             self._start_job(descriptor)
 
     def _start_job(self, descriptor: MergeDescriptor) -> None:
@@ -438,6 +575,10 @@ class CompactionManager:
             reader.close()
             os.remove(reader.path)
             del self._components[run_id]
+            # A run quarantined while this merge was already in flight:
+            # the merge read every one of its blocks with checksums
+            # intact, so the output supersedes it soundly.
+            self._quarantine.remove(run_id)
         if records:
             record = records[0]
             reader = SSTableReader(stats.path, block_cache=self._block_cache)
@@ -541,6 +682,102 @@ class CompactionManager:
         job.claimed = False
         self._jobs.pop(job.descriptor.uid, None)
         job.abandon()
+
+    # -- quarantine repair ---------------------------------------------
+
+    def begin_repair(self, run_id: int) -> tuple[int, SSTableWriter] | None:
+        """Open the replacement writer for a quarantined run (under lock).
+
+        Returns ``(new_run_id, writer)``, or None when the run is not
+        live, not quarantined, or still feeding an in-flight merge (the
+        merge will either finish — lifting the quarantine itself — or
+        fail and unblock a later repair attempt).
+        """
+        component = self._components.get(run_id)
+        if (
+            component is None
+            or run_id not in self._quarantine
+            or self._in_flight(run_id)
+        ):
+            return None
+        new_run_id = self._manifest.allocate_run_id()
+        writer = SSTableWriter(
+            os.path.join(self._directory, f"{new_run_id:08d}.run"),
+            block_bytes=self._options.block_bytes,
+            bloom_bits_per_key=self._options.bloom_bits_per_key,
+            expected_keys=int(component.entry_count) or 1024,
+            rate_limiter=self._rate_limiter,
+            sync_policy=SyncPolicy(self._options.bytes_per_sync),
+            fault_plan=self._options.fault_plan,
+        )
+        return new_run_id, writer
+
+    def publish_repair(self, run_id: int, new_run_id: int, stats) -> bool:
+        """Swap a rebuilt run in for a quarantined one (under the lock).
+
+        The replacement keeps the old run's level and — critically — its
+        *sequence stamp*: the rebuilt data re-enters reconciliation at
+        exactly the shadowing position the corrupt run held, so values
+        flushed or merged while the repair ran keep winning. An empty
+        rebuild (the replica held nothing in the run's bounds) simply
+        retires the run. Lifts the quarantine on success.
+        """
+        component = self._components.get(run_id)
+        if component is None or run_id not in self._quarantine:
+            return False
+        added = []
+        if stats.entry_count > 0:
+            added.append(
+                (new_run_id, component.level, os.path.basename(stats.path))
+            )
+        records = self._manifest.replace_runs(
+            [run_id], added, sequence=component.handle.sequence
+        )
+        old_reader = self._readers.pop(run_id, None)
+        if old_reader is not None:
+            old_reader.close()
+        old_path = os.path.join(self._directory, component.handle.filename)
+        if os.path.exists(old_path):
+            os.remove(old_path)
+        del self._components[run_id]
+        if records:
+            record = records[0]
+            reader = SSTableReader(stats.path, block_cache=self._block_cache)
+            self._readers[record.run_id] = reader
+            self._components[record.run_id] = Component(
+                uid=record.run_id,
+                level=record.level,
+                size_bytes=float(reader.data_bytes),
+                entry_count=float(reader.entry_count),
+                handle=record,
+            )
+        elif os.path.exists(stats.path):
+            os.remove(stats.path)
+        self._quarantine.remove(run_id)
+        self._schedule_merges()
+        return True
+
+    def drop_run(self, run_id: int) -> bool:
+        """Retire a quarantined run with no replacement (under the lock).
+
+        Only sound when an authoritative snapshot supersedes the whole
+        store — a replica reset installs the leader's full state above
+        every run, so nothing the dropped run contained (or shadowed)
+        can resurface. Refuses while an in-flight merge reads the run.
+        """
+        component = self._components.get(run_id)
+        if component is None or self._in_flight(run_id):
+            return False
+        self._manifest.replace_runs([run_id], [])
+        reader = self._readers.pop(run_id, None)
+        if reader is not None:
+            reader.close()
+        path = os.path.join(self._directory, component.handle.filename)
+        if os.path.exists(path):
+            os.remove(path)
+        del self._components[run_id]
+        self._quarantine.remove(run_id)
+        return True
 
     def step(self) -> bool:
         """Advance one scheduler-chosen merge by one chunk.

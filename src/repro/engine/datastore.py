@@ -28,18 +28,42 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
-from ..errors import ClosedError, ConfigurationError, WriteStalledError
+from ..errors import (
+    ClosedError,
+    ConfigurationError,
+    CorruptionError,
+    DataCorruptError,
+    WriteStalledError,
+)
 from ..obs import Observability
 from ..obs import events as obs_events
+from ..scrub import Scrubber
 from .compaction import CompactionManager
 from .iterators import reconcile_get, reconciling_iterator
 from .manifest import Manifest
 from .memtable import MemTable
 from .options import StoreOptions, TOMBSTONE
+from .quarantine import QuarantineEntry
+from .ratelimiter import RateLimiter
 from .wal import WriteAheadLog
+
+
+class _ReaderCorruption(Exception):
+    """Internal tag: which run's reader raised mid-probe.
+
+    Never escapes the store — it exists so get/scan can tell *which* run
+    failed its checksum (the probe generators know, their consumers
+    don't) before deciding to retry, quarantine, or re-serve.
+    """
+
+    def __init__(self, run_id: int, error: CorruptionError) -> None:
+        super().__init__(str(error))
+        self.run_id = run_id
+        self.error = error
 
 
 @dataclass(frozen=True)
@@ -70,6 +94,9 @@ class StoreStats:
     throttle_sleep_seconds: float
     block_cache_hit_rate: float
     block_cache_used_bytes: int
+    #: Runs excluded from reads pending repair (default keeps older
+    #: positional constructions — test fixtures, wire rebuilds — valid).
+    quarantined_runs: int = 0
 
     @property
     def memory_fill(self) -> float:
@@ -176,6 +203,30 @@ class LSMStore:
         self._m_maintenance_failures = self._obs.registry.counter(
             "engine_maintenance_failures_total",
             help="Maintenance tasks (flush or merge chunk) that raised.",
+        )
+        self._m_corruption = {
+            source: self._obs.registry.counter(
+                "engine_corruption_detected_total",
+                labels={"source": source},
+                help="Runs quarantined after persistent corruption, "
+                "by detection source.",
+            )
+            for source in ("read", "scrub")
+        }
+        self._m_repairs = self._obs.registry.counter(
+            "engine_runs_repaired_total",
+            help="Quarantined runs rebuilt from replica data.",
+        )
+        self._scrubber = Scrubber(
+            interval=self._options.scrub_interval,
+            chunk_bytes=self._compaction.chunk_bytes,
+            rate_limiter=self._compaction.rate_limiter,
+            scrub_limiter=(
+                RateLimiter(self._options.scrub_rate_bytes_per_s)
+                if self._options.scrub_rate_bytes_per_s
+                else None
+            ),
+            obs=self._obs,
         )
         self._active = MemTable(seed=0)
         self._sealed: list[MemTable] = []
@@ -633,6 +684,9 @@ class LSMStore:
         the scarcest resource, and a full sealed queue stalls rotations.
         Only one flush may be claimed at a time (see ``_flush_claimed``);
         merges are claimed through the compaction manager's scheduler.
+        Scrub chunks rank last: verification is the only maintenance
+        work with no deadline, so it soaks up idle worker capacity
+        without ever delaying a flush or merge claim.
         """
         if self._sealed and not self._flush_claimed:
             memtable = self._sealed[0]
@@ -642,6 +696,9 @@ class LSMStore:
         job = self._compaction.claim_merge()
         if job is not None:
             return ("merge", job)
+        scrub = self._scrubber.claim(self._compaction.scrub_targets())
+        if scrub is not None:
+            return ("scrub", scrub)
         return None
 
     def _execute_task(self, task) -> None:
@@ -666,11 +723,21 @@ class LSMStore:
                     self._flush_claimed = False
                     self._wal_checkpoint()
                     self._work_available.notify_all()
-            else:
+            elif kind == "merge":
                 _, job = task
                 finished = job.advance(self._compaction.chunk_bytes)
                 with self._lock:
                     self._compaction.release_merge(job, finished)
+                    self._work_available.notify_all()
+            else:  # scrub
+                _, scrub = task
+                result = self._scrubber.execute(scrub)
+                with self._lock:
+                    self._scrubber.publish(result)
+                    if result.finding is not None:
+                        self._quarantine_locked(
+                            result.run_id, result.finding, "scrub"
+                        )
                     self._work_available.notify_all()
         except Exception:  # noqa: BLE001 — worker must survive any task
             with self._lock:
@@ -681,7 +748,9 @@ class LSMStore:
 
         A failed flush keeps its memtable sealed (the data is still in
         the WAL and remains readable); a failed merge is abandoned so
-        the policy may reschedule the same inputs later.
+        the policy may reschedule the same inputs later; a failed scrub
+        chunk releases the scrubber's claim and skips the current run
+        (the next pass revisits it).
         """
         if task[0] == "flush":
             writer = task[3]
@@ -690,9 +759,14 @@ class LSMStore:
             except Exception:  # noqa: BLE001 — best-effort cleanup
                 pass
             self._flush_claimed = False
-        else:
+        elif task[0] == "merge":
             try:
                 self._compaction.fail_merge(task[1])
+            except Exception:  # noqa: BLE001 — best-effort cleanup
+                pass
+        else:
+            try:
+                self._scrubber.fail(task[1])
             except Exception:  # noqa: BLE001 — best-effort cleanup
                 pass
         self._m_maintenance_failures.inc()
@@ -887,21 +961,79 @@ class LSMStore:
     # -- reads -----------------------------------------------------------
 
     def get(self, key: bytes) -> bytes | None:
-        """Point lookup; None when absent (or deleted)."""
+        """Point lookup; None when absent (or deleted).
+
+        Corruption containment: the probe walks sources newest-first, so
+        a quarantined run only poisons the lookup when the probe actually
+        *reaches* it — a newer memtable or run holding the key answers
+        soundly, and a key outside the quarantined bounds never meets it
+        at all. When the probe would depend on the quarantined run, the
+        lookup fails fast with :class:`~repro.errors.DataCorruptError`
+        rather than silently skipping the run (which could resurrect a
+        deleted key or serve a stale value). A fresh checksum failure is
+        re-read once — transient errors pass the second time — and a
+        second failure quarantines the run before the error surfaces.
+        """
+        last_failure: _ReaderCorruption | None = None
+        for _attempt in range(2):
+            with self._lock:
+                self._check_open()
+                memtables = [self._active] + list(reversed(self._sealed))
+                plan = self._compaction.read_plan()
+                try:
+                    found, value = reconcile_get(
+                        self._probe(key, memtables, plan)
+                    )
+                except _ReaderCorruption as failure:
+                    last_failure = failure
+                    continue
+                return value if found else None
+        # Two consecutive failed probes: the damage is persistent.
         with self._lock:
             self._check_open()
-            memtables = [self._active] + list(reversed(self._sealed))
-            readers = self._compaction.readers_newest_first()
+            self._quarantine_locked(
+                last_failure.run_id, str(last_failure.error), "read"
+            )
+            entry = self._compaction.quarantine.get(last_failure.run_id)
+            if entry is not None and entry.covers(key):
+                raise DataCorruptError(
+                    f"run {entry.run_id} is corrupt and its bounds cover "
+                    f"the requested key",
+                    run_id=entry.run_id,
+                    min_key=entry.min_key,
+                    max_key=entry.max_key,
+                ) from last_failure.error
+        # The failing run was retired (or moved) under a concurrent
+        # merge between probes — answer from the healthy remainder.
+        return self.get(key)
 
-            def probe():
-                for memtable in memtables:
-                    yield memtable.get(key)
-                for reader in readers:
-                    if reader.might_contain(key):
-                        yield reader.get(key)
+    @staticmethod
+    def _probe(key, memtables, plan):
+        for memtable in memtables:
+            yield memtable.get(key)
+        for run_id, element in plan:
+            if isinstance(element, QuarantineEntry):
+                if element.covers(key):
+                    raise DataCorruptError(
+                        f"run {element.run_id} is quarantined and its "
+                        f"bounds cover the requested key",
+                        run_id=element.run_id,
+                        min_key=element.min_key,
+                        max_key=element.max_key,
+                    )
+                continue
+            if element.might_contain(key):
+                try:
+                    yield element.get(key)
+                except CorruptionError as error:
+                    raise _ReaderCorruption(run_id, error) from error
 
-            found, value = reconcile_get(probe())
-            return value if found else None
+    @staticmethod
+    def _tagged_items(run_id, reader, lo, hi):
+        try:
+            yield from reader.items(lo, hi)
+        except CorruptionError as error:
+            raise _ReaderCorruption(run_id, error) from error
 
     def scan(
         self,
@@ -914,27 +1046,290 @@ class LSMStore:
         Materializes the result under the store lock (snapshot-consistent
         and safe against concurrent flushes) — callers wanting streaming
         iteration over huge ranges should scan in key-range pages.
+
+        Corruption containment: a range overlapping any quarantined
+        run's bounds fails fast with
+        :class:`~repro.errors.DataCorruptError` — every key in a scan
+        result is a claim that no deleted key reappears and no stale
+        value shadows a newer one, and a skipped run voids that claim
+        for the whole overlap. Ranges provably outside the quarantined
+        bounds keep serving. Fresh checksum failures follow the same
+        retry-once-then-quarantine discipline as :meth:`get`.
+        """
+        last_failure: _ReaderCorruption | None = None
+        for _attempt in range(2):
+            with self._lock:
+                self._check_open()
+                entry = self._compaction.quarantine.overlapping(lo, hi)
+                if entry is not None:
+                    raise DataCorruptError(
+                        f"scan range intersects quarantined run "
+                        f"{entry.run_id}",
+                        run_id=entry.run_id,
+                        min_key=entry.min_key,
+                        max_key=entry.max_key,
+                    )
+                sources = [
+                    memtable.items(lo, hi)
+                    for memtable in (
+                        [self._active] + list(reversed(self._sealed))
+                    )
+                ]
+                sources += [
+                    self._tagged_items(run_id, element, lo, hi)
+                    for run_id, element in self._compaction.read_plan()
+                    if not isinstance(element, QuarantineEntry)
+                ]
+                try:
+                    results = []
+                    for key, value in reconciling_iterator(sources):
+                        results.append((key, value))
+                        if limit is not None and len(results) >= limit:
+                            break
+                except _ReaderCorruption as failure:
+                    last_failure = failure
+                    continue
+            return iter(results)
+        with self._lock:
+            self._check_open()
+            self._quarantine_locked(
+                last_failure.run_id, str(last_failure.error), "read"
+            )
+        # Re-dispatch: fails fast if the now-quarantined run overlaps
+        # the range, serves normally if the damage lay outside it.
+        return self.scan(lo, hi, limit)
+
+    def multi_get(self, keys: list[bytes]) -> dict[bytes, bytes | None]:
+        """Batched point lookups."""
+        return {key: self.get(key) for key in keys}
+
+    # -- corruption survival ---------------------------------------------
+
+    def _quarantine_locked(
+        self, run_id: int, reason: str, source: str
+    ) -> QuarantineEntry | None:
+        """Fence a run off (caller holds the lock); None when the run is
+        no longer live or was already quarantined."""
+        entry = self._compaction.quarantine_run(run_id, reason, source)
+        if entry is None:
+            return None
+        self._m_corruption[source].inc()
+        self._obs.tracer.emit(
+            obs_events.CORRUPTION_QUARANTINE,
+            run_id=run_id,
+            level=entry.level,
+            source=source,
+            reason=reason,
+            min_key=entry.min_key.hex(),
+            max_key=entry.max_key.hex(),
+        )
+        return entry
+
+    def quarantine_run(
+        self, run_id: int, reason: str, source: str = "read"
+    ) -> bool:
+        """Quarantine a live run by id (operator/test hook).
+
+        The organic paths — a double checksum failure on the read path,
+        a scrub finding — quarantine automatically; this is the manual
+        override. Returns False when the run is not live or already
+        quarantined.
         """
         with self._lock:
             self._check_open()
+            return self._quarantine_locked(run_id, reason, source) is not None
+
+    def live_runs(self) -> list:
+        """The manifest's live run records, oldest first.
+
+        Read-only operator/test hook: repair tooling and integrity
+        tests need run identity (id, level, filename) without reaching
+        into store internals.
+        """
+        with self._lock:
+            self._check_open()
+            return self._manifest.live_runs()
+
+    def quarantined_entries(self) -> list[QuarantineEntry]:
+        """The current quarantine registry, stable order."""
+        with self._lock:
+            self._check_open()
+            return self._compaction.quarantine.entries()
+
+    def corruption_status(self) -> dict:
+        """JSON-safe quarantine + scrub progress (STATS verb, CLI)."""
+        with self._lock:
+            self._check_open()
+            return {
+                "quarantined": [
+                    entry.to_wire()
+                    for entry in self._compaction.quarantine.entries()
+                ],
+                "scrub": self._scrubber.summary(),
+            }
+
+    def repair_run(
+        self, run_id: int, items: list[tuple[bytes, bytes]]
+    ) -> bool:
+        """Rebuild a quarantined run from replica-fetched data.
+
+        ``items`` must be a replica's *live view* of the run's key
+        bounds, captured at (or after) this store's WAL position when
+        the fetch was issued — the caller (the leader's repair ticker)
+        enforces that freshness via the FETCH_RANGE ack cursor.
+
+        The rebuilt run is the fetched items **plus a tombstone for
+        every key inside the bounds that other local sources still hold
+        but the replica does not**: the corrupt run may have been the
+        only thing shadowing an older value beneath it, and without the
+        pinned tombstone the swap would resurrect that value. The
+        replacement is written off-lock (it is ordinary maintenance
+        I/O, debited against the shared rate limiter) and swapped in at
+        the old run's level and sequence, lifting the quarantine.
+        Returns False when the run is no longer live, not quarantined,
+        or still feeding an in-flight merge.
+        """
+        with self._lock:
+            self._check_open()
+            entry = self._compaction.quarantine.get(run_id)
+            begin = (
+                self._compaction.begin_repair(run_id)
+                if entry is not None
+                else None
+            )
+            if begin is None:
+                return False
+            new_run_id, writer = begin
+            lo = entry.min_key
+            hi = entry.max_key + b"\x00"  # half-open cover of [min, max]
+            fetched = {
+                key: value for key, value in items if entry.covers(key)
+            }
             sources = [
                 memtable.items(lo, hi)
                 for memtable in [self._active] + list(reversed(self._sealed))
             ]
             sources += [
-                reader.items(lo, hi)
-                for reader in self._compaction.readers_newest_first()
+                element.items(lo, hi)
+                for other_id, element in self._compaction.read_plan()
+                if other_id != run_id
+                and not isinstance(element, QuarantineEntry)
             ]
-            results = []
-            for key, value in reconciling_iterator(sources):
-                results.append((key, value))
-                if limit is not None and len(results) >= limit:
-                    break
-        return iter(results)
+            local_keys = set()
+            for key, _value in reconciling_iterator(
+                sources, keep_tombstones=True
+            ):
+                local_keys.add(key)
+            entries = [
+                (key, fetched[key] if key in fetched else TOMBSTONE)
+                for key in sorted(set(fetched) | local_keys)
+            ]
+        try:
+            for key, value in entries:
+                writer.add(key, value)
+            stats = writer.finish()
+        except Exception:
+            writer.abandon()
+            raise
+        with self._lock:
+            self._check_open()
+            if not self._compaction.publish_repair(
+                run_id, new_run_id, stats
+            ):
+                if os.path.exists(stats.path):
+                    os.remove(stats.path)
+                return False
+            self._m_repairs.inc()
+            self._obs.tracer.emit(
+                obs_events.RUN_REPAIRED,
+                run_id=run_id,
+                replacement=new_run_id,
+                entries=stats.entry_count,
+                source=entry.source,
+            )
+            self._work_available.notify_all()
+            return True
 
-    def multi_get(self, keys: list[bytes]) -> dict[bytes, bytes | None]:
-        """Batched point lookups."""
-        return {key: self.get(key) for key in keys}
+    def apply_reset(self, ops: list[tuple[bytes, bytes | None]]) -> None:
+        """Replace the visible state with an authoritative snapshot.
+
+        The replica-reset primitive: after this call, a scan returns
+        exactly ``ops``. Unlike a scan-and-diff built on :meth:`scan`,
+        this works while local runs are quarantined — the snapshot
+        supersedes the entire store, so the quarantined runs are simply
+        *dropped* (their unreadable contents need no tombstones: a key
+        only they held is either in the snapshot, which rewrites it
+        above them, or absent from it, which dropping realizes). Keys
+        visible in the readable remainder but absent from the snapshot
+        are tombstoned before the drop so nothing beneath a dropped run
+        resurfaces.
+        """
+        with self._lock:
+            self._check_open()
+            snapshot_keys = {key for key, _value in ops}
+            sources = [
+                memtable.items()
+                for memtable in [self._active] + list(reversed(self._sealed))
+            ]
+            sources += [
+                element.items()
+                for _run_id, element in self._compaction.read_plan()
+                if not isinstance(element, QuarantineEntry)
+            ]
+            batch: list[tuple[bytes, bytes | None]] = [
+                (key, TOMBSTONE)
+                for key, _value in reconciling_iterator(sources)
+                if key not in snapshot_keys
+            ]
+            batch.extend(ops)
+            if batch:
+                self.write_batch(batch)
+            for entry in self._compaction.quarantine.entries():
+                self._compaction.drop_run(entry.run_id)
+
+    # -- scrubbing --------------------------------------------------------
+
+    def scrub_tick(self) -> bool:
+        """Advance the scrubber by one claimed chunk, inline.
+
+        The same claim/execute/publish cycle a maintenance worker runs;
+        this is the hook for stores without background workers (and for
+        the serving tier's ticker). Returns False when nothing was
+        claimable — the scrubber is idle, not yet due, or another
+        executor holds the claim.
+        """
+        with self._lock:
+            self._check_open()
+            task = self._scrubber.claim(self._compaction.scrub_targets())
+        if task is None:
+            return False
+        result = self._scrubber.execute(task)
+        with self._lock:
+            self._scrubber.publish(result)
+            if result.finding is not None:
+                self._quarantine_locked(result.run_id, result.finding, "scrub")
+            self._work_available.notify_all()
+        return True
+
+    def scrub_pass(self) -> dict:
+        """Force one full scrub pass, synchronously; returns its summary.
+
+        Ignores the configured interval (``repro scrub`` and tests call
+        this on stores with scrubbing disabled). With background workers
+        active the pass may be partly executed by them; this call simply
+        drives and waits until the pass that it forced completes.
+        """
+        with self._lock:
+            self._check_open()
+            passes_before = self._scrubber.passes_completed
+            self._scrubber.force_due()
+        while True:
+            with self._lock:
+                self._check_open()
+                if self._scrubber.passes_completed != passes_before:
+                    return self._scrubber.summary()
+            if not self.scrub_tick():
+                time.sleep(0.005)
 
     # -- introspection ---------------------------------------------------
 
@@ -972,6 +1367,7 @@ class LSMStore:
             num_memtables=self._options.num_memtables,
             disk_components=self._compaction.component_count,
             components_per_level=components_per_level,
+            quarantined_runs=len(self._compaction.quarantine),
             merges_completed=self._compaction.merges_completed,
             write_stalls=self._stall_count,
             stall_seconds_total=self._stall_seconds,
@@ -1028,6 +1424,10 @@ class LSMStore:
             "engine_write_stalled",
             help="1 when the write gate is closed right now.",
         ).set(1.0 if stats.write_stalled else 0.0)
+        registry.gauge(
+            "engine_quarantined_runs",
+            help="Runs currently fenced off from reads as corrupt.",
+        ).set(float(stats.quarantined_runs))
         with self._lock:
             queue_depth = (
                 len(self._sealed) + self._compaction.merge_jobs_in_flight

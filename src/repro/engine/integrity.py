@@ -16,7 +16,9 @@ from dataclasses import dataclass, field
 
 from ..errors import CorruptionError
 from .manifest import Manifest
+from .quarantine import QuarantineSet
 from .sstable import SSTableReader
+from .wal import scan_wal
 
 
 @dataclass
@@ -28,7 +30,14 @@ class IntegrityReport:
     problems: list[str] = field(default_factory=list)
     orphan_files: list[str] = field(default_factory=list)
     wal_bytes: int = 0
+    #: ``clean`` | ``torn`` | ``corrupt`` — torn is a normal crash tail
+    #: (replay stops at the prefix); corrupt means an *interior* frame
+    #: is damaged and everything after it is unreachable.
+    wal_state: str = "clean"
     components_per_level: dict[int, int] = field(default_factory=dict)
+    #: Run ids the store has quarantined (informational: already
+    #: contained, excluded from reads, awaiting repair).
+    quarantined_runs: list[int] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -50,6 +59,11 @@ class IntegrityReport:
         ]
         lines += [f"  problem: {problem}" for problem in self.problems]
         lines += [f"  orphan:  {name}" for name in self.orphan_files]
+        if self.quarantined_runs:
+            lines.append(
+                f"  quarantined: runs {self.quarantined_runs} "
+                f"(excluded from reads, awaiting repair)"
+            )
         return "\n".join(lines)
 
 
@@ -91,12 +105,51 @@ def _verify_run(reader: SSTableReader, report: IntegrityReport, name: str) -> No
         report.problems.append(f"{name}: key bounds do not match metadata")
 
 
-def verify_store(directory: str) -> IntegrityReport:
-    """Audit every live run referenced by the store's manifest."""
+def _check_partitioned_levels(
+    by_level: dict[int, list], report: IntegrityReport
+) -> None:
+    """Flag overlapping files inside partitioned levels.
+
+    Under the leveling policy every level >= 1 is a sorted partition of
+    the keyspace: files must cover disjoint key ranges, or reads would
+    consult the wrong file and merges would silently drop entries.
+    Level 0 is exempt (freshly flushed runs legitimately overlap).
+    """
+    for level, spans in sorted(by_level.items()):
+        if level == 0 or len(spans) < 2:
+            continue
+        ordered = sorted(spans)
+        for (_, prev_max, prev_name), (next_min, _, next_name) in zip(
+            ordered, ordered[1:]
+        ):
+            if next_min <= prev_max:
+                report.problems.append(
+                    f"level {level}: {prev_name} (max {prev_max!r}) overlaps "
+                    f"{next_name} (min {next_min!r}) in a partitioned level"
+                )
+
+
+def verify_store(directory: str, policy: str | None = None) -> IntegrityReport:
+    """Audit every live run referenced by the store's manifest.
+
+    ``policy`` is the merge policy the store was run with; when it is
+    ``"leveling"`` the audit additionally enforces the partitioned-level
+    invariant (no overlapping files within a level >= 1). Tiering
+    policies legitimately stack overlapping runs per level, so the check
+    is skipped unless the caller asserts the policy.
+    """
     report = IntegrityReport()
     wal_path = os.path.join(directory, "wal.log")
     if os.path.exists(wal_path):
         report.wal_bytes = os.path.getsize(wal_path)
+        wal_scan = scan_wal(wal_path)
+        report.wal_state = wal_scan.state
+        if wal_scan.state == "corrupt":
+            report.problems.append(
+                f"wal.log: interior frame corrupt after "
+                f"{wal_scan.valid_bytes} bytes "
+                f"({wal_scan.remaining_bytes} bytes unreachable)"
+            )
     manifest = Manifest(directory)
     try:
         live = manifest.live_runs()
@@ -122,14 +175,20 @@ def verify_store(directory: str) -> IntegrityReport:
                 continue
             try:
                 _verify_run(reader, report, record.filename)
-                by_level.setdefault(record.level, []).append(
-                    (reader.min_key, reader.max_key, record.filename)
-                )
+                if reader.entry_count:
+                    by_level.setdefault(record.level, []).append(
+                        (reader.min_key, reader.max_key, record.filename)
+                    )
                 report.runs_checked += 1
             except CorruptionError as error:
                 report.problems.append(f"{record.filename}: {error}")
             finally:
                 reader.close()
+        if policy == "leveling":
+            _check_partitioned_levels(by_level, report)
+        report.quarantined_runs = [
+            entry.run_id for entry in QuarantineSet(directory).entries()
+        ]
     finally:
         manifest.close()
     return report

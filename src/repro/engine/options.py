@@ -76,6 +76,18 @@ class StoreOptions:
         while others advance different merges, sharing the rate-limiter
         budget. The default of 1 preserves the single-maintenance-thread
         behaviour (now with I/O off the store lock).
+    scrub_interval:
+        Seconds between background scrub passes over the on-disk runs
+        (0, the default, disables scrubbing). The scrubber runs on the
+        maintenance worker pool at lower priority than flushes and
+        merges, verifying one data block's checksum per claim, so a
+        pass's I/O is spread across many claims instead of bursting.
+    scrub_rate_bytes_per_s:
+        Dedicated throttle for scrub reads (0 = unthrottled beyond the
+        shared maintenance limiter). Scrub I/O is *also* debited against
+        ``rate_limit_bytes_per_s``'s budget, so verification provably
+        competes with — never adds to — the maintenance I/O the
+        foreground already absorbs.
     sync_writes:
         fsync the WAL on every commit batch (durability over speed).
     fault_plan:
@@ -109,6 +121,8 @@ class StoreOptions:
     stall_mode: str = "block"
     background_maintenance: bool = False
     maintenance_threads: int = 1
+    scrub_interval: float = 0.0
+    scrub_rate_bytes_per_s: int = 0
     sync_writes: bool = False
     fault_plan: object | None = None
     obs: object | None = None
@@ -161,6 +175,10 @@ class StoreOptions:
             raise ConfigurationError(
                 "need at least one maintenance worker"
             )
+        if self.scrub_interval < 0:
+            raise ConfigurationError("scrub interval cannot be negative")
+        if self.scrub_rate_bytes_per_s < 0:
+            raise ConfigurationError("scrub rate cannot be negative")
 
     def with_(self, **overrides) -> "StoreOptions":
         """Functional update."""

@@ -260,7 +260,10 @@ class SSTableReader:
         ) = _FOOTER.unpack(footer)
         if magic != _MAGIC:
             raise CorruptionError(f"{path}: bad magic {magic!r}")
-        index_payload = _check_crc(self._read_at(index_off, index_len), "index")
+        index_payload = _check_crc(
+            self._read_at(index_off, index_len),
+            f"{path}: index block at offset {index_off} ({index_len} bytes)",
+        )
         self._index: list[tuple[bytes, int, int]] = []
         pos = 0
         while pos < len(index_payload):
@@ -272,10 +275,18 @@ class SSTableReader:
             pos += _INDEX_ENTRY.size
             self._index.append((first_key, offset, length))
         self._bloom = BloomFilter.from_bytes(
-            _check_crc(self._read_at(bloom_off, bloom_len), "bloom")
+            _check_crc(
+                self._read_at(bloom_off, bloom_len),
+                f"{path}: bloom block at offset {bloom_off} "
+                f"({bloom_len} bytes)",
+            )
         )
         meta = json.loads(
-            _check_crc(self._read_at(meta_off, meta_len), "meta").decode("utf-8")
+            _check_crc(
+                self._read_at(meta_off, meta_len),
+                f"{path}: meta block at offset {meta_off} "
+                f"({meta_len} bytes)",
+            ).decode("utf-8")
         )
         self._entries = int(meta["entries"])
         self._tombstones = int(meta["tombstones"])
@@ -326,15 +337,49 @@ class SSTableReader:
         return blob
 
     def _read_block(self, offset: int, length: int) -> bytes:
-        """Read (and checksum-verify) one data block, cache-aware."""
+        """Read (and checksum-verify) one data block, cache-aware.
+
+        Only verified payloads enter the cache, so a cached block can
+        never be corrupt — a :class:`CorruptionError` from here always
+        reflects what is on disk right now.
+        """
         if self._cache is not None:
             cached = self._cache.get(self._generation, offset)
             if cached is not None:
                 return cached
-        payload = _check_crc(self._read_at(offset, length), "data")
+        payload = _check_crc(
+            self._read_at(offset, length),
+            f"{self._path}: data block at offset {offset} ({length} bytes)",
+        )
         if self._cache is not None:
             self._cache.put(self._generation, offset, payload)
         return payload
+
+    @property
+    def block_count(self) -> int:
+        """Number of data blocks (the scrub cursor's per-run extent)."""
+        return len(self._index)
+
+    def block_span(self, block_idx: int) -> tuple[int, int]:
+        """``(offset, length)`` of one data block — what a scrubber bills
+        against the maintenance rate limiter before verifying it."""
+        _, offset, length = self._index[block_idx]
+        return offset, length
+
+    def verify_block(self, block_idx: int) -> list[bytes]:
+        """Checksum-verify and decode one data block; returns its keys in
+        file order (the scrubber's raw material for order and bounds
+        checks). Always reads from disk (never the cache), so it observes
+        at-rest rot; raises :class:`CorruptionError` with the file path,
+        offset, and length on a bad block."""
+        if self._closed:
+            raise ConfigurationError("reader is closed")
+        _, offset, length = self._index[block_idx]
+        payload = _check_crc(
+            self._read_at(offset, length),
+            f"{self._path}: data block at offset {offset} ({length} bytes)",
+        )
+        return [key for key, _value in _decode_block(payload)]
 
     def _block_for(self, key: bytes) -> int:
         lo, hi = 0, len(self._index) - 1

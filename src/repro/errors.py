@@ -37,6 +37,30 @@ class CorruptionError(StorageError):
     """On-disk data failed a checksum or structural validation check."""
 
 
+class DataCorruptError(StorageError):
+    """A read could not be answered soundly: a required run is corrupt.
+
+    Raised by :meth:`~repro.engine.datastore.LSMStore.get`/``scan`` when
+    the requested key (or range) intersects a quarantined run — serving
+    the read by skipping the run could silently return a stale or
+    missing value, so the store fails fast instead. ``min_key``/
+    ``max_key`` bound the affected key range; keys provably outside it
+    keep serving normally. Surfaced on the wire as ``DATA_CORRUPT``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        run_id: int = -1,
+        min_key: bytes = b"",
+        max_key: bytes = b"",
+    ) -> None:
+        super().__init__(message)
+        self.run_id = run_id
+        self.min_key = min_key
+        self.max_key = max_key
+
+
 class WriteStalledError(StorageError):
     """A non-blocking write was rejected because the tree is stalled.
 

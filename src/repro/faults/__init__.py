@@ -22,7 +22,12 @@ replayable:
   restore it, and report recovery time + error budget.
 """
 
-from .chaos import ChaosReport, run_chaos
+from .chaos import (
+    ChaosReport,
+    CorruptionChaosReport,
+    run_chaos,
+    run_corruption_chaos,
+)
 from .crashsim import (
     CrashSimReport,
     apply_ops,
@@ -38,6 +43,7 @@ __all__ = [
     "KINDS",
     "SITES",
     "ChaosReport",
+    "CorruptionChaosReport",
     "CrashSimReport",
     "FaultPlan",
     "FaultRule",
@@ -47,6 +53,7 @@ __all__ = [
     "build_workload",
     "fault_scenarios",
     "run_chaos",
+    "run_corruption_chaos",
     "run_crash_harness",
     "wal_prefix_sweep",
 ]

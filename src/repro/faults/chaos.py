@@ -35,7 +35,9 @@ wall-clock enters only through the breaker cooldown and pacing sleeps.
 from __future__ import annotations
 
 import asyncio
+import os
 import random
+import struct
 import time
 from dataclasses import asdict, dataclass, field
 
@@ -162,6 +164,324 @@ class ChaosReport:
         payload["recovered"] = self.recovered
         payload["ok"] = self.ok
         return payload
+
+
+@dataclass
+class CorruptionChaosReport:
+    """Scorecard of one corrupt-at-rest chaos run.
+
+    The bar is *zero wrong answers*: every read during and after the
+    corruption either returned the model's value or failed loudly with
+    ``DATA_CORRUPT`` — silent damage never leaked into a response — and
+    the quarantined run was rebuilt from a follower before the end.
+    """
+
+    ops_total: int = 0
+    acked: int = 0
+    reads_total: int = 0
+    corrupt_reads: int = 0  # reads answered DATA_CORRUPT (honest refusal)
+    wrong_answers: int = 0  # reads returning data that contradicts the model
+    other_errors: int = 0
+    injections: int = 0
+    corrupted_files: list[str] = field(default_factory=list)
+    detected: bool = False
+    detection_sources: list[str] = field(default_factory=list)
+    quarantined_seen: int = 0
+    runs_repaired: int = 0
+    repair_seconds: float = -1.0
+    final_quarantined: int = -1
+    lost_acked: int = 0
+    replicas: int = 0
+    ack_policy: str = "leader_only"
+    scrub: dict = field(default_factory=dict)
+
+    @property
+    def repaired(self) -> bool:
+        """Did the quarantine clear through a replica-backed rebuild?"""
+        return self.runs_repaired >= 1 and self.final_quarantined == 0
+
+    @property
+    def ok(self) -> bool:
+        """Detect, contain, repair — and never answer wrong."""
+        return (
+            self.injections >= 1
+            and self.detected
+            and self.quarantined_seen >= 1
+            and self.repaired
+            and self.wrong_answers == 0
+            and self.lost_acked == 0
+            and self.other_errors == 0
+        )
+
+    def summary(self) -> str:
+        """Multi-line human summary for the CLI."""
+        lines = [
+            f"ops: {self.ops_total} total, {self.acked} acked, "
+            f"{self.reads_total} reads, {self.other_errors} other errors",
+            f"injections: {self.injections} "
+            f"(files {self.corrupted_files})",
+            "detection: "
+            + (
+                f"via {sorted(set(self.detection_sources))}"
+                if self.detected
+                else "NEVER DETECTED"
+            ),
+            f"containment: {self.quarantined_seen} run(s) quarantined, "
+            f"{self.corrupt_reads} read(s) refused with DATA_CORRUPT, "
+            f"{self.wrong_answers} wrong answer(s)",
+            "repair: "
+            + (
+                f"{self.runs_repaired} run(s) rebuilt from a follower in "
+                f"{self.repair_seconds * 1000:.0f} ms"
+                if self.repaired
+                else (
+                    f"NOT REPAIRED ({self.final_quarantined} still "
+                    f"quarantined)"
+                )
+            ),
+            f"lost acked writes: {self.lost_acked}",
+            f"verdict: {'OK' if self.ok else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view including the derived verdict fields."""
+        payload = asdict(self)
+        payload["repaired"] = self.repaired
+        payload["ok"] = self.ok
+        return payload
+
+
+_SSTABLE_FOOTER = struct.Struct("<QIQIQI8s")
+
+
+def _flip_run_byte(directory: str, rng: random.Random) -> str | None:
+    """Flip one data-region byte of a seeded-random live run file.
+
+    Returns the corrupted filename, or None when the directory has no
+    run with a non-empty data region. The flip lands strictly below
+    ``index_off`` so it damages a data block (the read/scrub paths'
+    CRC territory), never the footer that opening the file depends on.
+    """
+    candidates = sorted(
+        name for name in os.listdir(directory) if name.endswith(".run")
+    )
+    rng.shuffle(candidates)
+    for name in candidates:
+        path = os.path.join(directory, name)
+        try:
+            with open(path, "r+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size < _SSTABLE_FOOTER.size:
+                    continue
+                handle.seek(size - _SSTABLE_FOOTER.size)
+                index_off = _SSTABLE_FOOTER.unpack(
+                    handle.read(_SSTABLE_FOOTER.size)
+                )[0]
+                if index_off <= 0 or index_off > size:
+                    continue
+                offset = rng.randrange(index_off)
+                handle.seek(offset)
+                original = handle.read(1)
+                if not original:
+                    continue
+                handle.seek(offset)
+                handle.write(bytes([original[0] ^ 0xFF]))
+                handle.flush()
+                os.fsync(handle.fileno())
+            return name
+        except OSError:
+            continue  # raced a merge deleting the file: try another
+    return None
+
+
+async def run_corruption_chaos(
+    directory: str,
+    num_shards: int = 2,
+    ops: int = 300,
+    target_shard: int = 0,
+    corrupt_at: float = 0.4,
+    seed: int = 0,
+    keyspace: int = 256,
+    value_bytes: int = 32,
+    op_interval: float = 0.002,
+    repair_deadline: float = 15.0,
+    options: StoreOptions | None = None,
+    replicas: int = 1,
+    ack_policy: str = "leader_only",
+) -> CorruptionChaosReport:
+    """Flip at-rest bytes in a leader run mid-load; score the survival.
+
+    The schedule is seeded and keyed by op index like :func:`run_chaos`:
+    the same arguments corrupt the same shard at the same point in the
+    same stream. The target shard's leader engine gets one data-block
+    byte flipped at ``corrupt_at``; the load keeps reading and writing
+    throughout, counting every response against the model. After the
+    load, a forced scrub pass guarantees detection even if no read
+    happened to touch the damaged block, and the run waits out the
+    leader's repair ticker until the quarantine clears.
+
+    Requires ``replicas >= 1`` — repair is replica-backed by design; a
+    single-copy store can only contain, not heal.
+    """
+    if replicas < 1:
+        raise ConfigurationError(
+            "corrupt-at-rest chaos needs replicas >= 1 to repair from"
+        )
+    if not 0.0 < corrupt_at < 1.0:
+        raise ConfigurationError("need 0 < corrupt_at < 1")
+    if not 0 <= target_shard < num_shards:
+        raise ConfigurationError(f"no such shard {target_shard}")
+    report = CorruptionChaosReport(replicas=replicas, ack_policy=ack_policy)
+    rng = random.Random(seed)
+    corrupt_index = int(ops * corrupt_at)
+    model: dict[bytes, bytes] = {}
+    corrupted_at = 0.0
+
+    cluster = LocalCluster(
+        directory,
+        num_shards=num_shards,
+        # Small memtables so the load actually produces on-disk runs to
+        # corrupt; no block cache so reads observe the disk; a fast
+        # scrub cadence so background detection competes with the load.
+        options=options
+        or StoreOptions(
+            block_cache_bytes=0,
+            memtable_bytes=4096,
+            scrub_interval=0.2,
+        ),
+        shard_client_options=dict(
+            max_retries=1,
+            timeout=2.0,
+            backoff_base=0.01,
+            backoff_max=0.05,
+        ),
+        replicas=replicas,
+        ack_policy=ack_policy,
+        repair_interval=0.1,
+    )
+    async with cluster:
+        host, port = cluster.address
+        engine = cluster.store.engine(target_shard)
+        client = KVClient(host, port, max_retries=0, timeout=5.0)
+
+        def inject() -> str | None:
+            # Make sure at least one run exists, then flip a byte in a
+            # seeded-random one.
+            if not any(
+                name.endswith(".run")
+                for name in os.listdir(engine.directory)
+            ):
+                engine.flush()
+            return _flip_run_byte(engine.directory, rng)
+
+        async def audit_get(key: bytes) -> None:
+            report.reads_total += 1
+            try:
+                stored = await client.get(key)
+            except RequestFailedError as error:
+                if error.code == protocol.CODE_DATA_CORRUPT:
+                    # The honest outcome: refusal, never a wrong value.
+                    report.corrupt_reads += 1
+                    report.detected = True
+                    if "read" not in report.detection_sources:
+                        report.detection_sources.append("read")
+                else:
+                    report.other_errors += 1
+                return
+            except ServerError:
+                report.other_errors += 1
+                return
+            if stored != model.get(key):
+                report.wrong_answers += 1
+
+        try:
+            for index in range(ops):
+                if index == corrupt_index:
+                    name = await asyncio.to_thread(inject)
+                    if name is not None:
+                        report.injections += 1
+                        report.corrupted_files.append(name)
+                        corrupted_at = time.monotonic()
+                key = f"key-{rng.randrange(keyspace):06d}".encode()
+                value = f"{index:08d}".encode() + bytes(
+                    rng.randrange(256)
+                    for _ in range(max(0, value_bytes - 8))
+                )
+                report.ops_total += 1
+                try:
+                    await client.put(key, value)
+                except ServerError:
+                    report.other_errors += 1
+                else:
+                    report.acked += 1
+                    model[key] = value
+                if model and rng.random() < 0.5:
+                    probe = rng.choice(sorted(model))
+                    await audit_get(probe)
+                await asyncio.sleep(op_interval)
+
+            # Detection guarantee: if neither a read nor the background
+            # scrubber tripped over the damage yet (the load may never
+            # have touched that block, or a merge may have retired the
+            # file first), inject again and force a synchronous scrub
+            # pass — bounded, seeded retries.
+            for _attempt in range(3):
+                if engine.quarantined_entries():
+                    break
+                status = await asyncio.to_thread(engine.scrub_pass)
+                if status["findings"] or engine.quarantined_entries():
+                    break
+                name = await asyncio.to_thread(inject)
+                if name is not None:
+                    report.injections += 1
+                    report.corrupted_files.append(name)
+                    corrupted_at = time.monotonic()
+            quarantined = engine.quarantined_entries()
+            report.quarantined_seen = max(
+                report.quarantined_seen, len(quarantined)
+            )
+            if quarantined:
+                report.detected = True
+                sources = {entry.source for entry in quarantined}
+                for source in sorted(sources):
+                    if source not in report.detection_sources:
+                        report.detection_sources.append(source)
+
+            # Wait out the leader's repair ticker: the quarantine must
+            # clear through a replica-backed rebuild, not a drop.
+            deadline = time.monotonic() + repair_deadline
+            while time.monotonic() < deadline:
+                if not engine.quarantined_entries():
+                    break
+                await asyncio.sleep(0.05)
+            report.final_quarantined = len(engine.quarantined_entries())
+            if report.final_quarantined == 0 and corrupted_at:
+                report.repair_seconds = time.monotonic() - corrupted_at
+            report.runs_repaired = sum(
+                1
+                for event in engine.obs.tracer.events(-1, None)
+                if event.kind == "run_repaired"
+            )
+            report.scrub = engine.corruption_status()["scrub"]
+
+            # The final audit: every acked write must read back, and a
+            # repaired store must answer all of them — no refusals left.
+            verifier = KVClient(host, port, max_retries=6, timeout=5.0)
+            try:
+                for key, value in model.items():
+                    try:
+                        stored = await verifier.get(key)
+                    except ServerError:
+                        stored = None
+                    if stored != value:
+                        report.lost_acked += 1
+            finally:
+                await verifier.aclose()
+        finally:
+            await client.aclose()
+    return report
 
 
 def _percentile(samples: list[float], pct: float) -> float:

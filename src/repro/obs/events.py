@@ -39,6 +39,9 @@ MAINTENANCE_WORKER = "maintenance_worker"
 MEMORY_REBALANCE = "memory_rebalance"
 REPLICA_PROMOTE = "replica_promote"
 SHIP_STALL = "ship_stall"
+CORRUPTION_QUARANTINE = "corruption_quarantine"
+SCRUB_PASS = "scrub_pass"
+RUN_REPAIRED = "run_repaired"
 
 EVENT_KINDS = frozenset(
     {
@@ -56,6 +59,9 @@ EVENT_KINDS = frozenset(
         MEMORY_REBALANCE,
         REPLICA_PROMOTE,
         SHIP_STALL,
+        CORRUPTION_QUARANTINE,
+        SCRUB_PASS,
+        RUN_REPAIRED,
     }
 )
 

@@ -14,11 +14,16 @@ contract on follower reads, and the promotion/fencing rules.
 
 from .applier import ReplicaApplier
 from .policy import ACK_POLICIES, acks_required, validate_ack_policy
-from .server import DEFAULT_REPLICATION_TIMEOUT, ReplicatedKVServer
+from .server import (
+    DEFAULT_REPAIR_INTERVAL,
+    DEFAULT_REPLICATION_TIMEOUT,
+    ReplicatedKVServer,
+)
 from .shipper import WalShipper
 
 __all__ = [
     "ACK_POLICIES",
+    "DEFAULT_REPAIR_INTERVAL",
     "DEFAULT_REPLICATION_TIMEOUT",
     "ReplicaApplier",
     "ReplicatedKVServer",

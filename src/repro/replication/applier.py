@@ -52,6 +52,7 @@ class ReplicaApplier:
 
     def status(self) -> dict:
         """Cursor and counters, as the REPLICATE ack reports them."""
+        quarantined = len(self._store.quarantined_entries())
         with self._lock:
             return {
                 "epoch": self._epoch,
@@ -61,6 +62,10 @@ class ReplicaApplier:
                 "frames_applied": self._frames_applied,
                 "frames_skipped": self._frames_skipped,
                 "resets": self._resets,
+                # A follower advertising quarantined runs is telling the
+                # leader its local state is damaged: the shipper answers
+                # by sending a full reset snapshot, which heals it.
+                "quarantined": quarantined,
             }
 
     @property
@@ -137,16 +142,16 @@ class ReplicaApplier:
         self._frames_applied += 1
 
     def _reset_locked(self, ops, generation: int, end: int) -> None:
-        """Replace the local state with a leader snapshot atomically."""
-        snapshot_keys = {key for key, _value in ops}
-        batch = [
-            (key, None)
-            for key, _value in self._store.scan()
-            if key not in snapshot_keys
-        ]
-        batch.extend(ops)
-        if batch:
-            self._store.write_batch(batch)
+        """Replace the local state with a leader snapshot atomically.
+
+        Delegated to :meth:`LSMStore.apply_reset` rather than a local
+        scan-and-diff: the store computes the deletions from its
+        *readable* state (a plain ``scan`` would fail fast on a
+        quarantined run) and drops every quarantined run afterwards —
+        sound because the snapshot supersedes the whole store, so a
+        reset is also the follower's corruption-repair path.
+        """
+        self._store.apply_reset(list(ops))
         self._generation = generation
         self._applied = end
         self._ship_tail = end

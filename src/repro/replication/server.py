@@ -28,6 +28,8 @@ from ..engine.datastore import LSMStore
 from ..errors import (
     ConfigurationError,
     ReplicaGapError,
+    RequestFailedError,
+    RetriesExhaustedError,
     StaleEpochError,
     WriteStalledError,
 )
@@ -43,6 +45,10 @@ from .shipper import WalShipper
 #: Default bound on how long a leader waits for follower acks before
 #: answering ``STALLED`` (the write is applied locally; a retry is safe).
 DEFAULT_REPLICATION_TIMEOUT = 2.0
+
+#: How often a leader checks its quarantine registry for runs it can
+#: rebuild from a follower (0 disables the repair loop).
+DEFAULT_REPAIR_INTERVAL = 0.0
 
 
 def _default_follower_factory(host: str, port: int) -> KVClient:
@@ -67,11 +73,14 @@ class ReplicatedKVServer(KVServer):
         ack_policy: str = "leader_only",
         replication_timeout: float = DEFAULT_REPLICATION_TIMEOUT,
         follower_factory=None,
+        repair_interval: float = DEFAULT_REPAIR_INTERVAL,
     ) -> None:
         if role not in ("leader", "follower"):
             raise ConfigurationError(f"unknown replica role {role!r}")
         if replication_timeout <= 0:
             raise ConfigurationError("replication_timeout must be positive")
+        if repair_interval < 0:
+            raise ConfigurationError("repair_interval cannot be negative")
         super().__init__(
             store, admission, host, port, write_deadline, metrics_port
         )
@@ -85,6 +94,8 @@ class ReplicatedKVServer(KVServer):
         self._applier = ReplicaApplier(store)
         self._applier.prime(epoch, *store.wal_position())
         self._shipper: WalShipper | None = None
+        self._repair_interval = repair_interval
+        self._repair_task: asyncio.Task | None = None
 
     # -- introspection ---------------------------------------------------
 
@@ -135,7 +146,21 @@ class ReplicatedKVServer(KVServer):
         self._role = "follower"
         self._epoch = epoch
 
+    async def start(self) -> tuple[str, int]:
+        address = await super().start()
+        if self._repair_interval > 0:
+            self._repair_task = asyncio.get_running_loop().create_task(
+                self._repair_loop(), name="run-repair"
+            )
+        return address
+
     async def aclose(self) -> None:
+        if self._repair_task is not None:
+            self._repair_task.cancel()
+            await asyncio.gather(
+                self._repair_task, return_exceptions=True
+            )
+            self._repair_task = None
         if self._shipper is not None:
             await self._shipper.stop()
             self._shipper = None
@@ -240,6 +265,41 @@ class ReplicatedKVServer(KVServer):
             )
         return self._ack_response(self._applier.status())
 
+    async def _op_fetch_range(self, message: dict) -> dict:
+        """Serve a leader's repair fetch: our view of ``[lo, hi]``.
+
+        Epoch-fenced like every replication verb. The applier status is
+        read *before* the scan so the reported cursor is a lower bound
+        on the state the scan observed — the caller compares that cursor
+        against its own committed position, and "cursor fresh enough"
+        then implies "snapshot fresh enough". A scan that hits our own
+        quarantined run raises :class:`DataCorruptError`, which dispatch
+        turns into ``DATA_CORRUPT`` — a damaged copy refuses to feed a
+        repair.
+        """
+        epoch, lo, hi = protocol.fetch_range_payload(message)
+        if epoch < self._epoch:
+            return protocol.error_response(
+                protocol.CODE_STALE_EPOCH,
+                f"fetch epoch {epoch} < replica epoch {self._epoch}",
+            )
+        if epoch > self._epoch:
+            if self._role == "leader":
+                await self._step_down(epoch)
+            else:
+                self._epoch = epoch
+        status = self._applier.status()
+        hi_exclusive = hi + b"\x00"  # wire bounds are inclusive
+        items = await asyncio.to_thread(
+            lambda: list(self._store.scan(lo, hi_exclusive))
+        )
+        response = self._ack_response(status)
+        response["items"] = [
+            [protocol.b64encode(key), protocol.b64encode(value)]
+            for key, value in items
+        ]
+        return response
+
     def _ack_response(self, status: dict) -> dict:
         return protocol.ok_response(
             epoch=status["epoch"],
@@ -247,6 +307,7 @@ class ReplicatedKVServer(KVServer):
             applied=status["applied"],
             ship_tail=status["ship_tail"],
             role=self._role,
+            quarantined=status.get("quarantined", 0),
         )
 
     # -- reads with a staleness contract ---------------------------------
@@ -262,6 +323,81 @@ class ReplicatedKVServer(KVServer):
                 0, status["ship_tail"] - status["applied"]
             )
         return response
+
+    # -- replica-backed repair -------------------------------------------
+
+    async def _repair_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._repair_interval)
+            try:
+                await self.repair_pass()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 — repair must keep ticking
+                continue
+
+    async def repair_pass(self) -> int:
+        """Try to rebuild every quarantined run from a follower.
+
+        Returns how many runs were repaired. A pass is a no-op on a
+        follower (its repair path is the shipper's reset snapshot) and
+        on a leader with no followers attached.
+        """
+        if self._role != "leader" or self._shipper is None:
+            return 0
+        entries = await asyncio.to_thread(self._store.quarantined_entries)
+        if not entries:
+            return 0
+        repaired = 0
+        for entry in entries:
+            if await self._repair_one(entry):
+                repaired += 1
+        return repaired
+
+    async def _repair_one(self, entry) -> bool:
+        """Rebuild one quarantined run from the freshest follower copy.
+
+        Staleness safety: the leader captures its own WAL position *P*
+        first, then only accepts a fetched snapshot whose ack cursor is
+        ``>= P`` — the follower provably holds every write the leader
+        has committed, so substituting its view of the key range cannot
+        roll back acknowledged data. (A *higher* generation also
+        qualifies: WAL truncation is gated on every follower acking the
+        whole previous generation.)
+        """
+        shipper = self._shipper
+        if shipper is None:
+            return False
+        position = await asyncio.to_thread(self._store.wal_position)
+        cursors = shipper.acked_cursors()
+        # Most-caught-up follower first; unknown cursors last.
+        order = sorted(
+            range(len(cursors)),
+            key=lambda index: cursors[index] or (-1, -1),
+            reverse=True,
+        )
+        for index in order:
+            client = shipper.follower_client(index)
+            try:
+                fetched = await client.fetch_range(
+                    self._epoch, entry.min_key, entry.max_key
+                )
+            except (
+                RequestFailedError,
+                RetriesExhaustedError,
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+            ):
+                continue
+            if (fetched["generation"], fetched["applied"]) < position:
+                continue  # behind our committed state: unsafe to use
+            repaired = await asyncio.to_thread(
+                self._store.repair_run, entry.run_id, fetched["items"]
+            )
+            if repaired:
+                return True
+        return False
 
     # -- stats -----------------------------------------------------------
 

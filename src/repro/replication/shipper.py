@@ -33,7 +33,11 @@ import contextlib
 import threading
 
 from ..engine.wal import WriteAheadLog
-from ..errors import RequestFailedError, RetriesExhaustedError
+from ..errors import (
+    DataCorruptError,
+    RequestFailedError,
+    RetriesExhaustedError,
+)
 from ..obs import events as obs_events
 from ..server import protocol
 from .policy import acks_required, validate_ack_policy
@@ -145,6 +149,19 @@ class WalShipper:
                     for index, acked in enumerate(self._acked)
                 ],
             }
+
+    def follower_client(self, index: int):
+        """The pooled client for follower ``index`` (repair path)."""
+        return self._followers[index]
+
+    def acked_cursors(self) -> list:
+        """Per-follower acked ``(generation, applied)`` cursors (or None).
+
+        The repair ticker ranks followers by this to fetch a quarantined
+        run's key range from the most caught-up copy first.
+        """
+        with self._lock:
+            return list(self._acked)
 
     def _lag_locked(self, index: int) -> int:
         generation, tail_offset = self._tail
@@ -268,7 +285,15 @@ class WalShipper:
     async def _record_ack(self, index: int, ack: dict) -> None:
         cursor = (ack["generation"], ack["applied"])
         with self._lock:
-            self._cursors[index] = cursor
+            if ack.get("quarantined", 0) > 0:
+                # The follower is advertising damaged local runs. Its
+                # cursor is still honest about the WAL prefix it applied,
+                # but its *materialized state* is not that prefix any
+                # more — so force the next ship to be a full reset
+                # snapshot, which replaces the damage wholesale.
+                self._cursors[index] = None
+            else:
+                self._cursors[index] = cursor
             self._acked[index] = cursor
             self._m_applied[index].set(float(ack["applied"]))
             self._refresh_lag_locked(index)
@@ -310,6 +335,14 @@ class WalShipper:
                 OSError,
                 asyncio.TimeoutError,
             ) as error:
+                await self._note_stall(index, error)
+                continue
+            except DataCorruptError as error:
+                # The *leader's* snapshot scan hit its own quarantined
+                # run (only reachable while shipping a reset). Back off
+                # like a stall: the repair ticker will rebuild the run
+                # from a healthy follower, after which the reset scan
+                # succeeds again.
                 await self._note_stall(index, error)
                 continue
             self._clear_stall(index)

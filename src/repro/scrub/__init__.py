@@ -1,0 +1,18 @@
+"""Background integrity scrubbing (:mod:`repro.scrub`).
+
+The scrubber is the proactive half of the engine's corruption-survival
+story: where the read path only *reacts* to checksum failures it happens
+to hit, the scrubber walks every live run block by block on the
+maintenance worker pool, re-verifying CRCs, key ordering, and meta-block
+bounds against what is actually on disk — so cold data's bit rot is
+found and quarantined before a query ever depends on it.
+
+Scrub I/O is debited against the same maintenance rate limiter that
+paces flushes and merges (plus an optional dedicated scrub throttle), so
+verification provably competes with — never adds to — the background I/O
+budget the foreground already absorbs.
+"""
+
+from .scrubber import ScrubResult, ScrubTask, Scrubber
+
+__all__ = ["ScrubResult", "ScrubTask", "Scrubber"]

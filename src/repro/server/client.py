@@ -364,6 +364,7 @@ class KVClient:
             "generation": int(response.get("generation", 0)),
             "applied": int(response.get("applied", 0)),
             "role": str(response.get("role", "follower")),
+            "quarantined": int(response.get("quarantined", 0)),
         }
 
     async def replicate(self, message: dict) -> dict:
@@ -390,3 +391,26 @@ class KVClient:
         return self._replica_ack(
             await self.request(protocol.promote_request(epoch, peers))
         )
+
+    async def fetch_range(
+        self, epoch: int, lo: bytes, hi: bytes
+    ) -> dict:
+        """Fetch a follower's view of the *inclusive* key range [lo, hi].
+
+        The repair path's verb: a leader with a quarantined run asks a
+        follower for that run's key range so it can rebuild the file
+        from replicated data. Returns ``{"items": [(key, value), ...]}``
+        plus the follower's ack cursor (``epoch``/``generation``/
+        ``applied``) — the caller must check the cursor is at least as
+        fresh as its own shipped position before trusting the snapshot.
+        Fencing rejections (``STALE_EPOCH``) surface immediately.
+        """
+        response = await self.request(
+            protocol.fetch_range_request(epoch, lo, hi)
+        )
+        ack = self._replica_ack(response)
+        ack["items"] = [
+            (protocol.b64decode(key), protocol.b64decode(value))
+            for key, value in response.get("items", [])
+        ]
+        return ack

@@ -53,11 +53,14 @@ def classify_error(error: BaseException) -> str:
     """Bucket one failed operation's exception for :class:`LoadResult`.
 
     Protocol rejections keep their wire code (lower-cased:
-    ``shard_down``, ``stalled``, ``not_leader``, ...); transport
-    failures split into ``timeout`` / ``connection_reset`` /
+    ``shard_down``, ``stalled``, ``not_leader``, ``data_corrupt``, ...);
+    transport failures split into ``timeout`` / ``connection_reset`` /
     ``connection_refused`` / ``connection_error`` / ``protocol``. A
     retry-exhausted wrapper is classified by its *last* cause — that is
-    the failure mode the client actually gave up on.
+    the failure mode the client actually gave up on. Keeping
+    ``data_corrupt`` as its own bucket matters operationally: it is an
+    *integrity* refusal (the answer would require a quarantined run),
+    not a transport blip, and it is not retryable.
     """
     if isinstance(error, RetriesExhaustedError):
         if error.last_error is None:
@@ -92,6 +95,13 @@ class LoadResult:
     #: Failed ops bucketed by :func:`classify_error`; values sum to
     #: ``error_count``.
     errors_by_type: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def data_corrupt_count(self) -> int:
+        """Ops refused with ``DATA_CORRUPT`` — integrity failures, kept
+        separate from transport errors so a corruption event cannot hide
+        inside a generic error count."""
+        return self.errors_by_type.get("data_corrupt", 0)
 
     @property
     def throughput(self) -> float:

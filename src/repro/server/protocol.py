@@ -47,7 +47,7 @@ _LENGTH = struct.Struct(">I")
 #: Every verb the service understands.
 VERBS = frozenset(
     {"PUT", "GET", "DEL", "BATCH", "SCAN", "STATS", "PING",
-     "METRICS", "EVENTS", "REPLICATE", "PROMOTE"}
+     "METRICS", "EVENTS", "REPLICATE", "PROMOTE", "FETCH_RANGE"}
 )
 
 #: Error codes a response may carry.
@@ -67,6 +67,11 @@ CODE_REPLICA_GAP = "REPLICA_GAP"
 #: A replication frame carried an epoch older than the follower's — a
 #: deposed leader is still shipping and must stop (fencing).
 CODE_STALE_EPOCH = "STALE_EPOCH"
+#: The read intersects a quarantined (corrupt) run and cannot be
+#: answered soundly. Not retryable — the data stays unavailable until a
+#: repair rebuilds the run. ``min_key``/``max_key`` (hex) bound the
+#: affected range; keys outside it keep serving.
+CODE_DATA_CORRUPT = "DATA_CORRUPT"
 
 
 def b64encode(raw: bytes) -> str:
@@ -245,6 +250,42 @@ def promote_request(
     if peers:
         message["peers"] = [[host, port] for host, port in peers]
     return message
+
+
+def fetch_range_request(
+    epoch: int, lo: bytes | None, hi: bytes | None
+) -> dict:
+    """Ask a follower for its live view of ``[lo, hi]`` (inclusive).
+
+    The repair verb: a leader rebuilding a quarantined run fetches the
+    run's key bounds from its most-caught-up follower. ``epoch`` fences
+    the fetch — a follower that has adopted a newer epoch answers
+    ``STALE_EPOCH``, so a deposed leader can never repair from (and then
+    serve over) a group that moved on. The response carries the
+    follower's ack cursor alongside the items, letting the leader verify
+    the view is at least as fresh as its own WAL position at fetch time.
+    """
+    return {
+        "op": "FETCH_RANGE",
+        "epoch": epoch,
+        "lo": None if lo is None else b64encode(lo),
+        "hi": None if hi is None else b64encode(hi),
+    }
+
+
+def fetch_range_payload(
+    message: dict,
+) -> tuple[int, bytes | None, bytes | None]:
+    """Decode a FETCH_RANGE request's epoch and inclusive bounds."""
+    epoch = message.get("epoch", -1)
+    if not isinstance(epoch, int) or isinstance(epoch, bool):
+        raise ProtocolError("fetch_range epoch must be an integer")
+    lo, hi = message.get("lo"), message.get("hi")
+    return (
+        epoch,
+        None if lo is None else b64decode(lo),
+        None if hi is None else b64decode(hi),
+    )
 
 
 def _encode_ops(ops: list[tuple[bytes, bytes | None]]) -> list:

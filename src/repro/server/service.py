@@ -31,6 +31,7 @@ from ..engine.datastore import LSMStore
 from ..errors import (
     ClosedError,
     ConfigurationError,
+    DataCorruptError,
     ProtocolError,
     WriteStalledError,
 )
@@ -258,6 +259,18 @@ class FramedServer:
             )
         except ClosedError as error:
             return protocol.error_response(protocol.CODE_CLOSED, str(error))
+        except DataCorruptError as error:
+            # Containment, not a crash: the engine quarantined a run and
+            # refuses to answer unsoundly. Tell the client *which* key
+            # range is affected so it can route around or wait for the
+            # repair path; everything outside the range still serves.
+            response = protocol.error_response(
+                protocol.CODE_DATA_CORRUPT, str(error)
+            )
+            response["run_id"] = error.run_id
+            response["min_key"] = error.min_key.hex()
+            response["max_key"] = error.max_key.hex()
+            return response
         except Exception as error:  # noqa: BLE001 — a request must answer
             return protocol.error_response(
                 protocol.CODE_INTERNAL, f"{type(error).__name__}: {error}"
@@ -539,6 +552,12 @@ class KVServer(FramedServer):
             "replication is not enabled on this server",
         )
 
+    async def _op_fetch_range(self, message: dict) -> dict:
+        return protocol.error_response(
+            protocol.CODE_BAD_REQUEST,
+            "replication is not enabled on this server",
+        )
+
     # -- observability ----------------------------------------------------
 
     def _sync_registry(self) -> dict:
@@ -573,8 +592,13 @@ class KVServer(FramedServer):
         """Structured metrics for METRICS and the scrape endpoint."""
         return await asyncio.to_thread(self._sync_registry)
 
+    def _stats_with_corruption(self) -> tuple:
+        return self._store.stats(), self._store.corruption_status()
+
     async def _op_stats(self, message: dict) -> dict:
-        stats = await asyncio.to_thread(self._store.stats)
+        stats, corruption = await asyncio.to_thread(
+            self._stats_with_corruption
+        )
         engine = asdict(stats)
         engine["components_per_level"] = {
             str(level): count
@@ -583,6 +607,7 @@ class KVServer(FramedServer):
         return protocol.ok_response(
             engine=engine,
             server=self.metrics.snapshot(),
+            corruption=corruption,
             admission_mode=self._admission.mode,
         )
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import TOMBSTONE, WriteAheadLog
+from repro.engine import TOMBSTONE, WriteAheadLog, scan_wal
 from repro.errors import ConfigurationError
 
 
@@ -146,6 +146,30 @@ class TestCrashConsistency:
         ops = list(WriteAheadLog.replay(path))
         assert ops == [(b"a", b"1")]
 
+    def test_interior_corruption_stops_replay_at_frame_boundary(
+        self, tmp_path
+    ):
+        # The replayed prefix must be deterministic: exactly the frames
+        # before the damaged one, no matter where inside the frame —
+        # header, CRC, or payload — the damage landed.
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append([(b"a", b"1")])
+        first_frame_end = log.size_bytes
+        log.append([(b"b", b"2")])
+        second_frame_end = log.size_bytes
+        log.append([(b"c", b"3")])
+        log.close()
+        pristine = open(path, "rb").read()
+        for offset in range(first_frame_end, second_frame_end):
+            blob = bytearray(pristine)
+            blob[offset] ^= 0xFF
+            with open(path, "wb") as damaged:
+                damaged.write(bytes(blob))
+            assert list(WriteAheadLog.replay(path)) == [(b"a", b"1")], (
+                f"replay prefix changed with damage at byte {offset}"
+            )
+
     def test_append_after_reopen(self, tmp_path):
         path = str(tmp_path / "wal.log")
         log = WriteAheadLog(path)
@@ -155,3 +179,62 @@ class TestCrashConsistency:
         log.append([(b"b", b"2")])
         log.close()
         assert list(WriteAheadLog.replay(path)) == [(b"a", b"1"), (b"b", b"2")]
+
+
+class TestScanWal:
+    def _three_frames(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        boundaries = []
+        for key in (b"a", b"b", b"c"):
+            log.append([(key, key * 2)])
+            boundaries.append(log.size_bytes)
+        log.close()
+        return path, boundaries
+
+    def test_clean_log(self, tmp_path):
+        path, boundaries = self._three_frames(tmp_path)
+        scan = scan_wal(path)
+        assert scan.state == "clean"
+        assert scan.frames == 3
+        assert scan.valid_bytes == scan.total_bytes == boundaries[-1]
+        assert scan.remaining_bytes == 0
+
+    def test_missing_log_is_clean(self, tmp_path):
+        scan = scan_wal(str(tmp_path / "absent.log"))
+        assert scan.state == "clean"
+        assert scan.frames == 0
+
+    def test_torn_tail(self, tmp_path):
+        path, boundaries = self._three_frames(tmp_path)
+        with open(path, "r+b") as damaged:
+            damaged.truncate(boundaries[-1] - 3)
+        scan = scan_wal(path)
+        assert scan.state == "torn"
+        assert scan.frames == 2
+        assert scan.valid_bytes == boundaries[1]
+        assert scan.remaining_bytes > 0
+
+    def test_interior_corruption(self, tmp_path):
+        path, boundaries = self._three_frames(tmp_path)
+        with open(path, "r+b") as damaged:
+            damaged.seek(boundaries[0] + 10)
+            damaged.write(b"\xff")
+        scan = scan_wal(path)
+        assert scan.state == "corrupt"
+        assert scan.frames == 1
+        assert scan.valid_bytes == boundaries[0]
+        assert scan.remaining_bytes == boundaries[-1] - boundaries[0]
+        # Replay's stop point agrees with the scan's verdict.
+        assert list(WriteAheadLog.replay(path)) == [(b"a", b"aa")]
+
+    def test_damaged_final_frame_reads_as_torn(self, tmp_path):
+        # A bad *last* frame is indistinguishable from a torn append;
+        # only damage with more log after it proves interior rot.
+        path, boundaries = self._three_frames(tmp_path)
+        with open(path, "r+b") as damaged:
+            damaged.seek(boundaries[2] - 2)
+            damaged.write(b"\xff")
+        scan = scan_wal(path)
+        assert scan.state == "torn"
+        assert scan.frames == 2

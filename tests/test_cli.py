@@ -125,6 +125,91 @@ class TestVerifyCommand:
         assert "PROBLEM" in capsys.readouterr().out
 
 
+    def test_json_out_carries_the_full_report(self, tmp_path, capsys):
+        import json
+
+        from repro.engine import LSMStore, StoreOptions
+
+        with LSMStore.open(
+            str(tmp_path / "db"), StoreOptions(memtable_bytes=16 * 1024)
+        ) as store:
+            for i in range(500):
+                store.put(f"k{i:05d}".encode(), b"v")
+        out_path = tmp_path / "report.json"
+        assert main(
+            ["verify", str(tmp_path / "db"), "--json-out", str(out_path)]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["clean"] is True
+        assert payload["runs_checked"] >= 0
+        assert payload["wal_state"] in ("clean", "torn", "corrupt")
+        assert payload["quarantined_runs"] == []
+
+    def test_policy_flag_parses(self):
+        args = build_parser().parse_args(
+            ["verify", "/tmp/db", "--policy", "leveling"]
+        )
+        assert args.policy == "leveling"
+
+
+class TestScrubCommand:
+    def _build(self, tmp_path):
+        from repro.engine import LSMStore, StoreOptions
+
+        with LSMStore.open(
+            str(tmp_path / "db"), StoreOptions(memtable_bytes=16 * 1024)
+        ) as store:
+            for i in range(500):
+                store.put(f"k{i:05d}".encode(), b"v" * 32)
+            store.flush()
+
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        self._build(tmp_path)
+        assert main(["scrub", str(tmp_path / "db")]) == 0
+        assert "quarantined: 0" not in capsys.readouterr().err
+
+    def test_corrupt_store_exits_nonzero_and_reports(
+        self, tmp_path, capsys
+    ):
+        import json
+        import os
+
+        self._build(tmp_path)
+        runs = [
+            f for f in os.listdir(tmp_path / "db") if f.endswith(".run")
+        ]
+        victim = tmp_path / "db" / runs[0]
+        blob = bytearray(victim.read_bytes())
+        blob[16] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        out_path = tmp_path / "scrub.json"
+        code = main(
+            ["scrub", str(tmp_path / "db"), "--json-out", str(out_path)]
+        )
+        assert code == 1
+        assert "quarantined" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["quarantined"]
+        assert payload["scrub"]["passes_completed"] >= 1
+
+
+class TestCorruptAtRestParser:
+    def test_flag_defaults(self):
+        args = build_parser().parse_args(
+            ["chaos", "/tmp/scratch", "--corrupt-at-rest"]
+        )
+        assert args.corrupt_at_rest is True
+        assert args.replicas >= 0
+
+    def test_requires_a_replica(self, tmp_path):
+        assert main(
+            [
+                "chaos", str(tmp_path), "--corrupt-at-rest",
+                "--replicas", "0",
+            ]
+        ) == 2
+
+
 class TestCrashsimCommand:
     def test_defaults(self):
         args = build_parser().parse_args(["crashsim", "/tmp/scratch"])

@@ -33,6 +33,12 @@ class TestClassifyError:
                 RequestFailedError("NOT_LEADER", "follower"),
                 "not_leader",
             ),
+            (
+                # Integrity refusals get their own bucket: an operator
+                # must be able to tell corruption from transport noise.
+                RequestFailedError("DATA_CORRUPT", "run 3 quarantined"),
+                "data_corrupt",
+            ),
             (asyncio.TimeoutError(), "timeout"),
             (TimeoutError(), "timeout"),
             (ConnectionResetError(), "connection_reset"),
@@ -64,6 +70,23 @@ class TestClassifyError:
         wrapped = RetriesExhaustedError("gave up", last_error=None)
         assert classify_error(wrapped) == "retries_exhausted"
 
+    def test_data_corrupt_is_distinct_from_every_transport_bucket(self):
+        corrupt = classify_error(
+            RequestFailedError("DATA_CORRUPT", "quarantined")
+        )
+        transports = {
+            classify_error(error)
+            for error in (
+                asyncio.TimeoutError(),
+                ConnectionResetError(),
+                ConnectionRefusedError(),
+                ProtocolError("x"),
+                OSError("x"),
+            )
+        }
+        assert corrupt == "data_corrupt"
+        assert corrupt not in transports
+
 
 class TestLoadResultSummary:
     def test_summary_names_the_buckets_most_frequent_first(self):
@@ -76,6 +99,17 @@ class TestLoadResultSummary:
             errors_by_type={"timeout": 1, "stalled": 3},
         )
         assert "(stalled: 3, timeout: 1)" in result.summary()
+
+    def test_data_corrupt_count_reads_its_bucket(self):
+        result = LoadResult(
+            label="run",
+            op_count=5,
+            error_count=3,
+            duration_seconds=1.0,
+            latencies=[0.01] * 5,
+            errors_by_type={"data_corrupt": 2, "timeout": 1},
+        )
+        assert result.data_corrupt_count == 2
 
     def test_summary_without_errors_has_no_bucket_list(self):
         result = LoadResult(
