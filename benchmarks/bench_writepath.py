@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Write-path wire x commit matrix under closed-loop overload (BENCH_9).
+
+Two hot-path claims ride this benchmark. The binary wire removes the
+base64+JSON tax from every PUT, and group commit amortizes the
+per-write fsync across concurrent writers — so ``binary`` with
+``group_commit`` must beat legacy ``json`` with per-op fsync by at
+least 2x on acknowledged writes per second. The same seeded
+closed-loop workload (N concurrent clients, each issuing its next
+write the moment the previous one returns, ``sync_writes=True``
+throughout) runs against all four {wire} x {group commit} corners of
+one in-process KVServer, reporting ops/s and P50/P99 client latency
+per corner.
+
+Run with the repo sources on the path::
+
+    PYTHONPATH=src python benchmarks/bench_writepath.py --quick
+
+Emits ``BENCH_9.json`` (override with ``--output``). Each corner runs
+``--repeats`` times and keeps its best run (standard best-of-N to damp
+scheduler noise on shared machines). Exits non-zero if any client
+errored, if a corner recorded zero group-commit syncs while group
+commit was on, or if binary+group-commit failed to clear the speedup
+floor over json+per-op-fsync: 2x at full size, strictly-beats (1x) in
+``--quick`` CI smoke runs, where one-core runners make the full ratio
+too noisy to gate on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import shutil
+import sys
+import tempfile
+
+from repro.engine import LSMStore, StoreOptions
+from repro.server import KVServer, closed_loop
+
+#: The acceptance bar: fast corner over legacy corner, in ops/s.
+SPEEDUP_FLOOR = 2.0
+
+
+def build_options(group_commit: bool, args: argparse.Namespace) -> StoreOptions:
+    return StoreOptions(
+        # Large enough that no flush lands inside the measured window:
+        # this benchmark isolates the commit path, not maintenance.
+        memtable_bytes=64 * 2**20,
+        block_cache_bytes=0,
+        # Per-write durability is what makes the commit discipline
+        # visible: without fsyncs both corners collapse into the same
+        # buffered append.
+        sync_writes=True,
+        group_commit=group_commit,
+    )
+
+
+def _metric(store: LSMStore, name: str) -> float:
+    snapshot = store.obs.registry.snapshot()
+    return sum(
+        entry["value"]
+        for entry in snapshot["counters"]
+        if entry["name"] == name
+    )
+
+
+async def run_corner(
+    directory: str, wire: str, group_commit: bool, args: argparse.Namespace
+) -> dict:
+    options = build_options(group_commit, args)
+    with LSMStore.open(directory, options) as store:
+        server = KVServer(store, host="127.0.0.1", port=0, wire="binary")
+        async with server:
+            host, port = server.address
+            result = await closed_loop(
+                host,
+                port,
+                clients=args.clients,
+                ops_per_client=args.ops // args.clients,
+                value_bytes=args.value_bytes,
+                keyspace=args.keyspace,
+                seed=args.seed,
+                label=f"{wire}+{'gc' if group_commit else 'fsync/op'}",
+                client_options={"wire": wire},
+            )
+        profile = result.latency_profile((50.0, 99.0))
+        batches = _metric(store, "engine_group_commit_batches_total")
+        syncs = _metric(store, "engine_group_commit_syncs_total")
+    return {
+        "wire": wire,
+        "group_commit": group_commit,
+        "ops": result.op_count,
+        "errors": result.error_count,
+        "duration_seconds": round(result.duration_seconds, 4),
+        "throughput_ops_per_s": round(result.throughput, 1),
+        "p50_ms": round(profile[50.0] * 1e3, 3),
+        "p99_ms": round(profile[99.0] * 1e3, 3),
+        "group_commit_batches": int(batches),
+        "group_commit_syncs": int(syncs),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=8_000)
+    parser.add_argument(
+        "--clients", type=int, default=32,
+        help="concurrent closed-loop clients; enough to keep the "
+        "group-commit leader's queue non-empty during its fsync",
+    )
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument(
+        "--value-bytes", type=int, default=4096,
+        help="payload size; large enough that the JSON wire's base64 "
+        "tax shows up alongside the per-op fsync",
+    )
+    parser.add_argument("--keyspace", type=int, default=4_096)
+    parser.add_argument("--output", default="BENCH_9.json")
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="runs per corner; the best one is reported",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizing (fewer ops, same shape, 1x speedup gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.ops = min(args.ops, 2_000)
+    floor = 1.0 if args.quick else SPEEDUP_FLOOR
+
+    corners = []
+    for wire in ("json", "binary"):
+        for group_commit in (False, True):
+            tag = f"{wire}-{'gc' if group_commit else 'nogc'}"
+            corner = None
+            for _ in range(max(1, args.repeats)):
+                directory = tempfile.mkdtemp(
+                    prefix=f"bench-writepath-{tag}-"
+                )
+                try:
+                    attempt = asyncio.run(
+                        run_corner(directory, wire, group_commit, args)
+                    )
+                finally:
+                    shutil.rmtree(directory, ignore_errors=True)
+                if (
+                    corner is None
+                    or attempt["throughput_ops_per_s"]
+                    > corner["throughput_ops_per_s"]
+                ):
+                    corner = attempt
+            corners.append(corner)
+            print(
+                f"{tag:>11}: {corner['throughput_ops_per_s']:8.0f} ops/s, "
+                f"p50 {corner['p50_ms']:.2f}ms p99 {corner['p99_ms']:.2f}ms, "
+                f"{corner['group_commit_syncs']} group syncs"
+            )
+
+    by_corner = {
+        (corner["wire"], corner["group_commit"]): corner
+        for corner in corners
+    }
+    legacy = by_corner[("json", False)]
+    fast = by_corner[("binary", True)]
+    speedup = (
+        fast["throughput_ops_per_s"] / legacy["throughput_ops_per_s"]
+        if legacy["throughput_ops_per_s"]
+        else 0.0
+    )
+    payload = {
+        "benchmark": "writepath_wire_group_commit",
+        "config": {
+            "ops": args.ops,
+            "clients": args.clients,
+            "seed": args.seed,
+            "value_bytes": args.value_bytes,
+            "keyspace": args.keyspace,
+            "quick": args.quick,
+        },
+        "corners": corners,
+        "speedup_binary_gc_over_json_fsync": round(speedup, 3),
+        "speedup_floor": floor,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"speedup (binary+gc / json+fsync-per-op): {speedup:.2f}x "
+        f"-> {args.output}"
+    )
+
+    failed = []
+    for corner in corners:
+        tag = f"{corner['wire']}-{'gc' if corner['group_commit'] else 'nogc'}"
+        if corner["errors"]:
+            failed.append(f"{tag} had {corner['errors']} client errors")
+        if corner["group_commit"] and corner["group_commit_syncs"] == 0:
+            failed.append(f"{tag} never performed a group-commit sync")
+        if corner["group_commit"] and (
+            corner["group_commit_batches"] != corner["ops"]
+        ):
+            failed.append(
+                f"{tag} lost batches: {corner['group_commit_batches']} "
+                f"committed vs {corner['ops']} acked"
+            )
+    # Quick mode gates on strict ordering (speedup > 1x); the full run
+    # demands the 2x floor itself.
+    too_slow = speedup <= floor if args.quick else speedup < floor
+    if too_slow:
+        failed.append(
+            f"binary+group-commit only reached {speedup:.2f}x over "
+            f"json+fsync-per-op (floor: {floor}x)"
+        )
+    for line in failed:
+        print(f"FAILED: {line}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

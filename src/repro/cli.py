@@ -173,6 +173,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         maintenance_threads=args.maintenance_threads,
         scrub_interval=args.scrub_interval,
         scrub_rate_bytes_per_s=int(args.scrub_rate_mib * 2**20),
+        sync_writes=args.sync_writes,
+        group_commit=args.group_commit,
     )
 
     async def run() -> None:
@@ -195,6 +197,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 metrics_port=args.metrics_port,
                 memory_arbiter=arbiter,
                 memory_interval=args.memory_rebalance_interval,
+                wire=args.wire,
             )
             async with server:
                 host, port = server.address
@@ -246,6 +249,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         distribution=getattr(args, "distribution", "uniform"),
         theta=getattr(args, "theta", 0.99),
+        client_options={"wire": args.wire},
     )
 
     async def run():
@@ -307,6 +311,8 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         maintenance_threads=args.maintenance_threads,
         scrub_interval=args.scrub_interval,
         scrub_rate_bytes_per_s=int(args.scrub_rate_mib * 2**20),
+        sync_writes=args.sync_writes,
+        group_commit=args.group_commit,
     )
     admission = build_cluster_admission(
         args.scope, args.admission, args.shards, **_admission_params(args)
@@ -331,6 +337,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             memory_budget=memory_budget,
             memory_rebalance_interval=args.memory_rebalance_interval,
             repair_interval=args.repair_interval,
+            wire=args.wire,
         )
         async with cluster:
             host, port = cluster.address
@@ -496,6 +503,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
+    from .engine import StoreOptions
     from .faults import run_chaos, run_corruption_chaos
 
     if args.shards < 2:
@@ -509,6 +517,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"[0, {args.shards})"
         )
     _check_replication(args)
+    options = None
+    if args.group_commit:
+        options = StoreOptions(
+            block_cache_bytes=0,
+            sync_writes=True,
+            group_commit=True,
+            # Keep the corruption runner's small-memtable/scrub shape so
+            # its at-rest byte flips still land on live run files.
+            **(
+                dict(memtable_bytes=4096, scrub_interval=0.2)
+                if args.corrupt_at_rest
+                else {}
+            ),
+        )
     if args.corrupt_at_rest:
         if args.replicas < 1:
             raise ReproError(
@@ -526,6 +548,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 op_interval=args.op_interval_ms / 1000.0,
                 replicas=args.replicas,
                 ack_policy=args.ack_policy,
+                options=options,
             )
         )
         print(report.summary())
@@ -548,6 +571,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             replicas=args.replicas,
             ack_policy=args.ack_policy,
             read_from_replica=args.read_from_replica,
+            options=options,
         )
     )
     print(report.summary())
@@ -669,6 +693,17 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="additional dedicated scrub throttle in MiB/s "
              "(default: 0, unthrottled beyond the shared budget)",
     )
+    parser.add_argument(
+        "--sync-writes", action="store_true",
+        help="fsync the WAL before acknowledging each write "
+             "(default: rely on OS buffering)",
+    )
+    parser.add_argument(
+        "--group-commit", action="store_true",
+        help="coalesce concurrent writers into one WAL write+fsync "
+             "per group (amortizes --sync-writes; see "
+             "docs/engine-concurrency.md)",
+    )
 
 
 def _add_memory_args(parser: argparse.ArgumentParser) -> None:
@@ -703,11 +738,22 @@ def _memory_budget_bytes(args: argparse.Namespace) -> int | None:
     return int(args.memory_budget * 2**20)
 
 
+def _add_wire_arg(
+    parser: argparse.ArgumentParser, default: str = "binary"
+) -> None:
+    parser.add_argument(
+        "--wire", choices=("binary", "json"), default=default,
+        help="wire encoding for hot verbs (default: %(default)s); "
+             "servers in binary mode still accept legacy JSON clients",
+    )
+
+
 def _add_loadgen_args(
     parser: argparse.ArgumentParser, default_distribution: str = "uniform"
 ) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7379)
+    _add_wire_arg(parser)
     parser.add_argument(
         "--mode", choices=("closed", "open", "two-phase"),
         default="two-phase",
@@ -875,6 +921,12 @@ def build_parser() -> argparse.ArgumentParser:
              "--kill-shard/--kill-at pick the target and the point)",
     )
     chaos_cmd.add_argument(
+        "--group-commit", action="store_true",
+        help="run every shard engine with sync_writes + group commit, "
+             "so the zero-lost-acked-writes audit covers grouped WAL "
+             "fsyncs",
+    )
+    chaos_cmd.add_argument(
         "--json-out", default=None, metavar="PATH",
         help="also write the full report as JSON to this file",
     )
@@ -891,6 +943,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="expose Prometheus text metrics over HTTP on this port "
              "(0 picks a free port; default: disabled)",
     )
+    _add_wire_arg(serve_cmd)
     _add_admission_args(serve_cmd)
     _add_engine_args(serve_cmd)
     _add_memory_args(serve_cmd)
@@ -936,6 +989,7 @@ def build_parser() -> argparse.ArgumentParser:
              "rebuild from a follower (default: 0, disabled; needs "
              "--replicas >= 1 to have anything to rebuild from)",
     )
+    _add_wire_arg(cluster_serve_cmd)
     _add_admission_args(cluster_serve_cmd)
     _add_engine_args(cluster_serve_cmd)
     _add_memory_args(cluster_serve_cmd)

@@ -210,6 +210,7 @@ class ClusterRouter(FramedServer):
         obs: Observability | None = None,
         memory_fn: Callable[[], object] | None = None,
         memory_interval: float = 1.0,
+        wire: str = "binary",
     ) -> None:
         if not backends:
             raise ConfigurationError("a cluster needs at least one backend")
@@ -221,7 +222,7 @@ class ClusterRouter(FramedServer):
             raise ConfigurationError(
                 "replica_backends must list one follower set per shard"
             )
-        super().__init__(host, port, metrics_port=metrics_port)
+        super().__init__(host, port, metrics_port=metrics_port, wire=wire)
         # A caller may share its bundle (LocalCluster hands the memory
         # arbiter the same one) so arbiter events surface through the
         # router's EVENTS verb alongside its own.
@@ -243,6 +244,11 @@ class ClusterRouter(FramedServer):
         options = dict(
             DEFAULT_SHARD_CLIENT_OPTIONS, **(shard_client_options or {})
         )
+        # Shard hops default to the router's own wire: a binary router
+        # keeps keys as raw bytes end to end instead of re-base64ing at
+        # every hop. Callers can still pin shard connections to JSON via
+        # shard_client_options.
+        options.setdefault("wire", wire)
         self._clients = []
         for index, (backend_host, backend_port) in enumerate(
             self._backends
@@ -990,6 +996,7 @@ class LocalCluster:
         memory_budget: int | None = None,
         memory_rebalance_interval: float = 1.0,
         repair_interval: float = 0.0,
+        wire: str = "binary",
     ) -> None:
         if replicas < 0:
             raise ConfigurationError("replicas cannot be negative")
@@ -1043,6 +1050,7 @@ class LocalCluster:
         self._replication_timeout = replication_timeout
         self._memory_rebalance_interval = memory_rebalance_interval
         self._repair_interval = repair_interval
+        self._wire = wire
         self.backends: list[KVServer] = []
         self.replica_stores: list[list] = []
         self.replica_servers: list[list] = []
@@ -1147,6 +1155,7 @@ class LocalCluster:
                     else None
                 ),
                 memory_interval=self._memory_rebalance_interval,
+                wire=self._wire,
             )
             return await self.router.start()
         except BaseException:

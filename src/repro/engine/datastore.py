@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -164,6 +165,28 @@ class WriteTiming:
     wal_end: int = -1
 
 
+class _CommitEntry:
+    """One writer's parked commit batch in the group-commit queue.
+
+    The parked writer waits until a leader marks it ``done``, then reads
+    either ``result`` — its batch's ``(generation, offset, length)`` WAL
+    span — or ``error``. ``nbytes`` is the batch's raw key+value size,
+    used to honour the group byte cap without encoding frames twice.
+    """
+
+    __slots__ = ("batch", "nbytes", "done", "result", "error")
+
+    def __init__(self, batch: list[tuple[bytes, bytes | None]]) -> None:
+        self.batch = batch
+        self.nbytes = sum(
+            len(key) + (0 if value is TOMBSTONE else len(value))
+            for key, value in batch
+        )
+        self.done = False
+        self.result: tuple[int, int, int] | None = None
+        self.error: BaseException | None = None
+
+
 class LSMStore:
     """An LSM-tree key-value store driven by the paper's core machinery."""
 
@@ -249,6 +272,24 @@ class LSMStore:
         # sequence stamps, so publishing them out of order would corrupt
         # the newest-first reconciliation order.
         self._flush_claimed = False
+        # Group commit: parked writers queue on their own condition (NOT
+        # the store lock) so the leader can fsync with the store lock
+        # released — that window is where the next group forms.
+        self._gc_cond = threading.Condition(threading.Lock())
+        self._gc_queue: deque[_CommitEntry] = deque()
+        self._gc_leader_busy = False
+        # Frames appended but not yet applied/acked (a group mid-sync);
+        # WAL checkpoints are deferred while non-zero so a truncation
+        # can't discard them.
+        self._wal_syncs_in_flight = 0
+        self._m_gc_batches = self._obs.registry.counter(
+            "engine_group_commit_batches_total",
+            help="Commit batches that rode a group-commit frame group.",
+        )
+        self._m_gc_syncs = self._obs.registry.counter(
+            "engine_group_commit_syncs_total",
+            help="Group-commit fsyncs (one per group, not per batch).",
+        )
         self._replay_wal()
         self._workers: list[threading.Thread] = []
         if self._options.background_maintenance:
@@ -289,6 +330,12 @@ class LSMStore:
             self._work_available.notify_all()
         for worker in self._workers:
             worker.join(timeout=30.0)
+        # Let in-flight commit groups finish (parked writers racing the
+        # close self-organize into leaders and fail with ClosedError).
+        with self._gc_cond:
+            self._gc_cond.notify_all()
+            while self._gc_leader_busy or self._gc_queue:
+                self._gc_cond.wait(timeout=0.05)
         with self._lock:
             self._flush_all_memtables()
             self._compaction.drain()
@@ -400,30 +447,181 @@ class LSMStore:
         """Atomically log and apply a batch of puts/deletes."""
         if not batch:
             raise ConfigurationError("empty batch")
+        if self._options.group_commit:
+            self._commit_grouped(batch)
+            return
         with self._lock:
             self._check_open()
             self._wait_for_headroom()
-            offset, length = self._wal.append(batch)
-            for key, value in batch:
-                if value is TOMBSTONE:
-                    self._active.delete(key)
-                else:
-                    self._active.put(key, value)
-            self._notify_commit(offset, length, batch)
-            self._maybe_rotate()
+            self._apply_locked(batch)
 
     def _write(self, key: bytes, value) -> None:
+        batch = [(key, value)]
+        if self._options.group_commit:
+            self._commit_grouped(batch)
+            return
         with self._lock:
             self._check_open()
             self._wait_for_headroom()
-            batch = [(key, value)]
-            offset, length = self._wal.append(batch)
+            self._apply_locked(batch)
+
+    def _apply_locked(
+        self, batch: list[tuple[bytes, bytes | None]]
+    ) -> tuple[int, int, int]:
+        """Append, apply, and announce one batch (store lock held).
+
+        The classic per-writer commit: WAL append (fsyncing per
+        ``sync_writes``), memtable apply, replication notify, rotation
+        check. Returns the batch's ``(generation, offset, length)``.
+        """
+        offset, length = self._wal.append(batch)
+        generation = self._wal.generation
+        for key, value in batch:
             if value is TOMBSTONE:
                 self._active.delete(key)
             else:
                 self._active.put(key, value)
-            self._notify_commit(offset, length, batch)
-            self._maybe_rotate()
+        self._notify_commit(offset, length, batch)
+        self._maybe_rotate()
+        return generation, offset, length
+
+    # -- group commit ----------------------------------------------------
+
+    def _commit_grouped(
+        self, batch: list[tuple[bytes, bytes | None]]
+    ) -> tuple[int, int, int]:
+        """Commit ``batch`` through the group-commit queue.
+
+        Admission (open check + headroom gate) happens under the store
+        lock exactly as in the classic path; the commit itself is then
+        handed to the leader/follower protocol of :meth:`_gc_park`.
+        """
+        with self._lock:
+            self._check_open()
+            self._wait_for_headroom()
+        return self._gc_park(batch)
+
+    def _gc_park(
+        self, batch: list[tuple[bytes, bytes | None]]
+    ) -> tuple[int, int, int]:
+        """Park a batch in the commit queue; lead if first in line.
+
+        Every parked writer waits until its entry is marked done — by
+        itself (as leader) or by another writer's leadership term. The
+        queue head becomes leader whenever no term is in progress, so
+        leadership hands over without a dedicated thread, and everything
+        that queued while the previous leader was fsyncing rides the
+        next group.
+        """
+        entry = _CommitEntry(batch)
+        group: list[_CommitEntry] | None = None
+        with self._gc_cond:
+            self._gc_queue.append(entry)
+            while not entry.done:
+                if not self._gc_leader_busy and self._gc_queue[0] is entry:
+                    self._gc_leader_busy = True
+                    group = self._take_group_locked()
+                    break
+                self._gc_cond.wait()
+        if group is not None:
+            try:
+                self._commit_group(group)
+            finally:
+                with self._gc_cond:
+                    self._gc_leader_busy = False
+                    for member in group:
+                        member.done = True
+                    self._gc_cond.notify_all()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.result is not None
+        return entry.result
+
+    def _take_group_locked(self) -> list[_CommitEntry]:
+        """Drain one group off the queue head (gc condition held).
+
+        Always takes at least the leader's own entry; stops at the
+        configured byte/batch caps so one giant group can't starve the
+        queue or balloon the rollback window.
+        """
+        options = self._options
+        group = [self._gc_queue.popleft()]
+        total = group[0].nbytes
+        while (
+            self._gc_queue
+            and len(group) < options.group_commit_max_ops
+            and total + self._gc_queue[0].nbytes
+            <= options.group_commit_max_bytes
+        ):
+            entry = self._gc_queue.popleft()
+            group.append(entry)
+            total += entry.nbytes
+        return group
+
+    def _commit_group(self, group: list[_CommitEntry]) -> None:
+        """One leadership term: append the group, sync once, apply all.
+
+        The frames land under the store lock (buffered write — fast),
+        but the fsync runs with every lock released: that window is
+        where the next group forms. Failures before the sync completes
+        roll the WAL back to the group's start (nothing was acked), so
+        the cursor and the file keep agreeing.
+        """
+        try:
+            with self._lock:
+                self._check_open()
+                generation = self._wal.generation
+                spans = self._wal.append_group(
+                    [entry.batch for entry in group]
+                )
+                group_start = spans[0][0]
+                group_end = spans[-1][0] + spans[-1][1]
+                self._wal_syncs_in_flight += 1
+        except BaseException as error:
+            for entry in group:
+                entry.error = error
+            return
+        try:
+            synced = False
+            if self._options.sync_writes:
+                try:
+                    self._wal.sync()
+                except BaseException as error:
+                    with self._lock:
+                        if self._wal.size_bytes == group_end:
+                            try:
+                                self._wal.rollback(group_start)
+                            except OSError:
+                                pass  # rollback already failed the log closed
+                        else:
+                            # Someone moved the log under us (should be
+                            # impossible while syncs are in flight) —
+                            # refuse to guess.
+                            self._wal.fail_closed()
+                    for entry in group:
+                        entry.error = error
+                    return
+                synced = True
+            with self._lock:
+                listener = self._commit_listener
+                for entry, (offset, length) in zip(group, spans):
+                    for key, value in entry.batch:
+                        if value is TOMBSTONE:
+                            self._active.delete(key)
+                        else:
+                            self._active.put(key, value)
+                    if listener is not None:
+                        listener.on_commit(
+                            generation, offset, length, entry.batch
+                        )
+                    entry.result = (generation, offset, length)
+                self._m_gc_batches.inc(len(group))
+                if synced:
+                    self._m_gc_syncs.inc()
+                self._maybe_rotate()
+        finally:
+            with self._lock:
+                self._wal_syncs_in_flight -= 1
 
     # -- timed writes (serving-tier latency breakdown) -------------------
 
@@ -453,6 +651,26 @@ class LSMStore:
         to attach an engine/I-O/stall breakdown to each response.
         """
         clock = self._obs.clock
+        if self._options.group_commit:
+            started = clock()
+            with self._lock:
+                self._check_open()
+                stall_before = self._stall_seconds
+                self._wait_for_headroom()
+                stall_seconds = self._stall_seconds - stall_before
+            # The park covers queueing + the group's append and fsync;
+            # that whole wait is this write's commit I/O.
+            io_started = clock()
+            generation, offset, length = self._gc_park(batch)
+            finished = clock()
+            return WriteTiming(
+                engine_seconds=finished - started,
+                io_seconds=finished - io_started,
+                stall_seconds=stall_seconds,
+                wal_generation=generation,
+                wal_offset=offset,
+                wal_end=offset + length,
+            )
         with self._lock:
             self._check_open()
             started = clock()
@@ -586,6 +804,11 @@ class LSMStore:
         # A replication listener may veto the truncation while follower
         # shipping cursors still point into the log — the checkpoint is
         # simply retried at the next flush.
+        # A group whose frames are appended but whose fsync/apply is
+        # still in flight lives only in the WAL tail — truncating now
+        # would discard it, so the checkpoint waits for the next flush.
+        if self._wal_syncs_in_flight:
+            return
         if not self._sealed and len(self._active) == 0:
             listener = self._commit_listener
             if listener is not None and not listener.may_truncate(
@@ -1283,7 +1506,13 @@ class LSMStore:
             ]
             batch.extend(ops)
             if batch:
-                self.write_batch(batch)
+                # Commit inline even under group_commit: this thread
+                # holds the store lock, so parking in the commit queue
+                # would deadlock against the leader needing the lock —
+                # and a reset must not interleave with other writers
+                # anyway.
+                self._wait_for_headroom()
+                self._apply_locked(batch)
             for entry in self._compaction.quarantine.entries():
                 self._compaction.drop_run(entry.run_id)
 

@@ -90,6 +90,20 @@ class StoreOptions:
         foreground already absorbs.
     sync_writes:
         fsync the WAL on every commit batch (durability over speed).
+    group_commit:
+        Batch concurrent writers' WAL appends into frame groups: one
+        leader drains the commit queue, appends every parked batch as
+        consecutive frames, and issues a *single* fsync for the group
+        (the RocksDB/LevelDB group-commit discipline). Each batch keeps
+        its own frame and ``(generation, offset, length)``, so
+        replication cursors and ack policies are unchanged. Most useful
+        with ``sync_writes=True``, where it amortises the per-commit
+        fsync across every writer parked during the previous sync.
+    group_commit_max_bytes:
+        Cap on the encoded payload bytes one commit group may gather
+        before the leader stops draining the queue.
+    group_commit_max_ops:
+        Cap on the number of batches one commit group may gather.
     fault_plan:
         Optional :class:`repro.faults.FaultPlan` (duck-typed on a
         ``wrap(file, site)`` method) injected into the WAL, manifest,
@@ -124,6 +138,9 @@ class StoreOptions:
     scrub_interval: float = 0.0
     scrub_rate_bytes_per_s: int = 0
     sync_writes: bool = False
+    group_commit: bool = False
+    group_commit_max_bytes: int = 1 * 2**20
+    group_commit_max_ops: int = 1024
     fault_plan: object | None = None
     obs: object | None = None
 
@@ -174,6 +191,14 @@ class StoreOptions:
         if self.maintenance_threads < 1:
             raise ConfigurationError(
                 "need at least one maintenance worker"
+            )
+        if self.group_commit_max_bytes < 1:
+            raise ConfigurationError(
+                "group commit byte cap must be positive"
+            )
+        if self.group_commit_max_ops < 1:
+            raise ConfigurationError(
+                "group commit must admit at least one batch"
             )
         if self.scrub_interval < 0:
             raise ConfigurationError("scrub interval cannot be negative")

@@ -16,7 +16,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WalFailedError
 from .options import TOMBSTONE
 
 _FRAME_HEADER = struct.Struct("<II")  # payload length, crc32
@@ -49,6 +49,43 @@ class WalScan:
         return self.total_bytes - self.valid_bytes
 
 
+def _walk_frames(log, position: int, total: int):
+    """Walk frames from ``position``: the one shared parser.
+
+    Yields ``("frame", start, end, ops)`` for every intact frame, then
+    exactly one terminator ``(state, pos, pos, None)`` where ``state``
+    is ``"clean"`` (every byte parsed), ``"torn"`` (partial or damaged
+    *final* frame — normal crash residue), or ``"corrupt"`` (a CRC or
+    decode failure with more log after it). Both :func:`scan_wal` and
+    :meth:`WriteAheadLog.stream_frames` consume this walker, so a frame
+    classifies identically everywhere.
+    """
+    while True:
+        header = log.read(_FRAME_HEADER.size)
+        if len(header) < _FRAME_HEADER.size:
+            yield ("clean" if not header else "torn"), position, position, None
+            return
+        length, crc = _FRAME_HEADER.unpack(header)
+        payload = log.read(length)
+        if len(payload) < length:
+            yield "torn", position, position, None
+            return
+        ops = None
+        if zlib.crc32(payload) & 0xFFFFFFFF == crc:
+            ops = _decode_ops(payload)
+        if ops is None:
+            # A bad *last* frame is indistinguishable from a torn
+            # append racing a crash; only damage followed by more
+            # log proves an interior frame rotted.
+            frame_end = position + _FRAME_HEADER.size + length
+            state = "corrupt" if frame_end < total else "torn"
+            yield state, position, position, None
+            return
+        end = position + _FRAME_HEADER.size + length
+        yield "frame", position, end, ops
+        position = end
+
+
 def scan_wal(path: str) -> WalScan:
     """Classify a WAL file's replayable prefix (see :class:`WalScan`)."""
     if not os.path.exists(path):
@@ -58,30 +95,12 @@ def scan_wal(path: str) -> WalScan:
     position = 0
     state = "clean"
     with open(path, "rb") as log:
-        while True:
-            header = log.read(_FRAME_HEADER.size)
-            if not header:
-                break  # clean end
-            if len(header) < _FRAME_HEADER.size:
-                state = "torn"
-                break
-            length, crc = _FRAME_HEADER.unpack(header)
-            payload = log.read(length)
-            if len(payload) < length:
-                state = "torn"
-                break
-            if (
-                zlib.crc32(payload) & 0xFFFFFFFF != crc
-                or _decode_ops(payload) is None
-            ):
-                # A bad *last* frame is indistinguishable from a torn
-                # append racing a crash; only damage followed by more
-                # log proves an interior frame rotted.
-                frame_end = position + _FRAME_HEADER.size + length
-                state = "corrupt" if frame_end < total else "torn"
-                break
-            frames += 1
-            position += _FRAME_HEADER.size + length
+        for kind, _start, end, _ops in _walk_frames(log, 0, total):
+            if kind == "frame":
+                frames += 1
+                position = end
+            else:
+                state = kind
     return WalScan(
         state=state, frames=frames, valid_bytes=position, total_bytes=total
     )
@@ -132,6 +151,7 @@ class WriteAheadLog:
         self._sync = sync
         self._fault_plan = fault_plan
         self._generation = 0
+        self._failed = False
         existed = os.path.exists(path)
         self._file = self._wrap(open(path, "ab"))
         self._bytes = os.path.getsize(path)
@@ -159,6 +179,48 @@ class WriteAheadLog:
         generation, and every :meth:`truncate` starts a new one."""
         return self._generation
 
+    @staticmethod
+    def encode_frame(batch: list[tuple[bytes, bytes | None]]) -> bytes:
+        """Encode one commit batch as a self-delimiting CRC frame."""
+        if not batch:
+            raise ConfigurationError("empty commit batch")
+        payload = bytearray()
+        for key, value in batch:
+            if value is TOMBSTONE:
+                payload += _OP.pack(_OP_DELETE, len(key), 0) + key
+            else:
+                payload += _OP.pack(_OP_PUT, len(key), len(value)) + key + value
+        header = _FRAME_HEADER.pack(
+            len(payload), zlib.crc32(bytes(payload)) & 0xFFFFFFFF
+        )
+        return header + bytes(payload)
+
+    def _check_usable(self) -> None:
+        if self._failed:
+            raise WalFailedError(
+                f"write-ahead log {self._path!r} is failed closed after an "
+                "unrecoverable append error"
+            )
+
+    def _restore_cursor(self) -> None:
+        """Drop any partially appended bytes after a failed write/fsync.
+
+        The cursor (``self._bytes``) is only advanced once the whole
+        append succeeded, so on error the physical file may hold torn or
+        even complete-but-unsynced frames past it. Nothing beyond the
+        cursor was acked or applied, so truncating back to it keeps the
+        log and the cursor agreeing. If even that fails, the log fails
+        closed rather than hand out offsets that lie.
+        """
+        try:
+            try:
+                self._file.flush()
+            except OSError:
+                pass
+            os.ftruncate(self._file.fileno(), self._bytes)
+        except OSError:
+            self._failed = True
+
     def append(
         self, batch: list[tuple[bytes, bytes | None]]
     ) -> tuple[int, int]:
@@ -168,25 +230,70 @@ class WriteAheadLog:
         (replication shipping, incremental tooling) can address it later
         via :meth:`replay_from` or :meth:`stream_frames`.
         """
-        if not batch:
-            raise ConfigurationError("empty commit batch")
-        payload = bytearray()
-        for key, value in batch:
-            if value is TOMBSTONE:
-                payload += _OP.pack(_OP_DELETE, len(key), 0) + key
-            else:
-                payload += _OP.pack(_OP_PUT, len(key), len(value)) + key + value
-        frame = _FRAME_HEADER.pack(
-            len(payload), zlib.crc32(bytes(payload)) & 0xFFFFFFFF
-        )
-        self._file.write(frame + payload)
-        self._file.flush()
-        if self._sync:
-            fsync_file(self._file)
+        self._check_usable()
+        frame = self.encode_frame(batch)
+        try:
+            self._file.write(frame)
+            self._file.flush()
+            if self._sync:
+                fsync_file(self._file)
+        except Exception:
+            self._restore_cursor()
+            raise
         offset = self._bytes
-        length = len(frame) + len(payload)
+        length = len(frame)
         self._bytes = offset + length
         return offset, length
+
+    def append_group(
+        self, batches: list[list[tuple[bytes, bytes | None]]]
+    ) -> list[tuple[int, int]]:
+        """Append several batches as consecutive frames in one write.
+
+        Each batch keeps its own frame (so per-batch offsets stay
+        addressable for replication cursors), but the group lands with a
+        single ``write``+``flush`` and **no** fsync — the group-commit
+        leader syncs once for the whole group via :meth:`sync`. Returns
+        one ``(offset, length)`` per batch, in order.
+        """
+        self._check_usable()
+        frames = [self.encode_frame(batch) for batch in batches]
+        try:
+            self._file.write(b"".join(frames))
+            self._file.flush()
+        except Exception:
+            self._restore_cursor()
+            raise
+        spans: list[tuple[int, int]] = []
+        offset = self._bytes
+        for frame in frames:
+            spans.append((offset, len(frame)))
+            offset += len(frame)
+        self._bytes = offset
+        return spans
+
+    def sync(self) -> None:
+        """fsync everything appended so far (group-commit leader sync)."""
+        self._check_usable()
+        fsync_file(self._file)
+
+    def rollback(self, offset: int) -> None:
+        """Physically discard unacked bytes back to ``offset``.
+
+        Used when a group's fsync failed and nothing past ``offset`` was
+        applied or acked; fails the log closed if the truncate itself
+        fails.
+        """
+        try:
+            os.ftruncate(self._file.fileno(), offset)
+        except OSError:
+            self._failed = True
+            raise
+        self._bytes = offset
+
+    def fail_closed(self) -> None:
+        """Mark the log unusable: every later append raises."""
+        self._failed = True
 
     def truncate(self) -> None:
         """Discard the log (all buffered state reached durable runs)."""
@@ -219,26 +326,14 @@ class WriteAheadLog:
             raise ConfigurationError("wal offset must be non-negative")
         if not os.path.exists(path):
             return
+        total = os.path.getsize(path)
         with open(path, "rb") as log:
             if offset:
                 log.seek(offset)
-            position = offset
-            while True:
-                header = log.read(_FRAME_HEADER.size)
-                if len(header) < _FRAME_HEADER.size:
-                    return  # clean end or torn header
-                length, crc = _FRAME_HEADER.unpack(header)
-                payload = log.read(length)
-                if len(payload) < length:
-                    return  # torn frame
-                if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-                    return  # corrupt frame: stop streaming here
-                ops = _decode_ops(payload)
-                if ops is None:
-                    return
-                end = position + _FRAME_HEADER.size + length
-                yield position, end, ops
-                position = end
+            for kind, start, end, ops in _walk_frames(log, offset, total):
+                if kind != "frame":
+                    return  # clean end, torn tail, or corrupt frame
+                yield start, end, ops
 
     @staticmethod
     def replay_from(

@@ -61,6 +61,17 @@ class DataCorruptError(StorageError):
         self.max_key = max_key
 
 
+class WalFailedError(StorageError):
+    """The write-ahead log failed closed after an unrecoverable error.
+
+    Raised on any append once a failed write could not be rolled back:
+    the in-memory cursor and the physical file may disagree, so handing
+    out further ``(offset, length)`` spans would poison replication
+    cursors and ``wal_position()``. Recovery requires reopening the
+    store (which replays the intact prefix).
+    """
+
+
 class WriteStalledError(StorageError):
     """A non-blocking write was rejected because the tree is stalled.
 

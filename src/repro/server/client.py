@@ -29,7 +29,7 @@ from ..errors import (
     RequestFailedError,
     RetriesExhaustedError,
 )
-from . import protocol
+from . import binproto, protocol
 
 #: Error codes worth retrying: both mean "try again shortly" — the
 #: backend is stalled, or its shard's circuit breaker is cooling down.
@@ -90,9 +90,12 @@ class KVClient:
         sleep=None,
         jitter: bool = True,
         jitter_seed: int | None = None,
+        wire: str = "json",
     ) -> None:
         if pool_size < 1:
             raise ConfigurationError("pool needs at least one connection")
+        if wire not in ("binary", "json"):
+            raise ConfigurationError(f"unknown wire mode {wire!r}")
         if timeout <= 0:
             raise ConfigurationError("timeout must be positive")
         if max_retries < 0:
@@ -108,6 +111,11 @@ class KVClient:
         self._backoff_multiplier = backoff_multiplier
         self._backoff_max = backoff_max
         self._sleep = sleep if sleep is not None else asyncio.sleep
+        # "binary" announces the magic byte on every new connection and
+        # speaks the opcode wire (raw keys/values, no base64/JSON on the
+        # hot verbs); "json" (the default) is the legacy framing every
+        # server version understands.
+        self._wire_binary = wire == "binary"
         self._jitter = jitter
         self._jitter_rng = random.Random(jitter_seed)
         self._idle: asyncio.Queue[_Connection] = asyncio.Queue()
@@ -148,6 +156,10 @@ class KVClient:
             except BaseException:
                 self._open_count -= 1
                 raise
+            if self._wire_binary:
+                # Negotiate once per connection; the byte rides ahead of
+                # the first frame (no extra round trip).
+                writer.write(binproto.MAGIC_BYTE)
             return _Connection(reader, writer)
         return await self._idle.get()
 
@@ -184,10 +196,25 @@ class KVClient:
     async def _round_trip(self, message: dict) -> dict:
         connection = await self._acquire()
         try:
-            await protocol.write_message(connection.writer, message)
-            response = await asyncio.wait_for(
-                protocol.read_message(connection.reader), self._timeout
-            )
+            if self._wire_binary:
+                await binproto.write_request(connection.writer, message)
+                payload = await asyncio.wait_for(
+                    binproto.read_frame(connection.reader), self._timeout
+                )
+                response = (
+                    None if payload is None
+                    else binproto.decode_response(payload)
+                )
+            else:
+                # Forwarded messages (the cluster router re-sends what
+                # its own connection decoded) may carry binary-shaped
+                # fields; restore the JSON wire forms first.
+                await protocol.write_message(
+                    connection.writer, protocol.jsonify_request(message)
+                )
+                response = await asyncio.wait_for(
+                    protocol.read_message(connection.reader), self._timeout
+                )
             if response is None:
                 # Clean EOF mid-request: the connection is dead and must
                 # not go back into the pool looking healthy.
@@ -246,21 +273,41 @@ class KVClient:
 
     async def put(self, key: bytes, value: bytes) -> None:
         """Insert or update one key."""
+        if self._wire_binary:
+            # Raw bytes straight into the opcode encoder — the whole
+            # point of the binary wire is skipping base64 + json here.
+            await self.request({"op": "PUT", "key": key, "value": value})
+            return
         await self.request(protocol.put_request(key, value))
 
     async def get(self, key: bytes) -> bytes | None:
         """Point lookup; None when absent."""
-        response = await self.request(protocol.get_request(key))
+        if self._wire_binary:
+            response = await self.request({"op": "GET", "key": key})
+        else:
+            response = await self.request(protocol.get_request(key))
         value = response.get("value")
-        return None if value is None else protocol.b64decode(value)
+        if value is None or isinstance(value, bytes):
+            return value
+        return protocol.b64decode(value)
 
     async def delete(self, key: bytes) -> None:
         """Delete one key."""
+        if self._wire_binary:
+            await self.request({"op": "DEL", "key": key})
+            return
         await self.request(protocol.delete_request(key))
 
     async def batch(self, ops: list[tuple[bytes, bytes | None]]) -> int:
         """Atomically apply a list of (key, value-or-None) operations."""
-        response = await self.request(protocol.batch_request(ops))
+        if self._wire_binary:
+            message = {
+                "op": "BATCH",
+                "ops": [tuple(op) for op in ops],
+            }
+            response = await self.request(message)
+        else:
+            response = await self.request(protocol.batch_request(ops))
         return int(response.get("count", len(ops)))
 
     async def scan(

@@ -87,6 +87,57 @@ def b64decode(text: str) -> bytes:
         raise ProtocolError(f"invalid base64 field: {error}") from error
 
 
+def jsonify(obj):
+    """Recursively convert raw ``bytes`` fields to base64 text.
+
+    Responses that crossed a binary shard connection (a GET value, say)
+    carry raw bytes; before such a dict can be written to a JSON
+    connection — or embedded in a binary JSON envelope — every bytes
+    leaf must take the base64 form the JSON wire documents.
+    """
+    if isinstance(obj, (bytes, bytearray)):
+        return b64encode(bytes(obj))
+    if isinstance(obj, dict):
+        return {field: jsonify(value) for field, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(value) for value in obj]
+    return obj
+
+
+def jsonify_request(message: dict) -> dict:
+    """Rewrite a binary-shaped request into the JSON wire shape.
+
+    The cluster router forwards whatever message its own connection
+    decoded; when a binary-origin request (raw bytes key/value, BATCH
+    ops as tuples) must travel on to a JSON-wire backend, this restores
+    the documented base64/list forms. JSON-shaped fields pass through
+    untouched.
+    """
+    out = {
+        field: value
+        for field, value in message.items()
+        if not field.startswith("_")
+    }
+    for field in ("key", "value"):
+        if isinstance(out.get(field), (bytes, bytearray)):
+            out[field] = b64encode(bytes(out[field]))
+    ops = out.get("ops")
+    if out.get("op") == "BATCH" and isinstance(ops, list):
+        encoded = []
+        for entry in ops:
+            if isinstance(entry, tuple) and len(entry) == 2:
+                key, value = entry
+                key = b64encode(bytes(key))
+                if value is None:
+                    encoded.append(["del", key])
+                else:
+                    encoded.append(["put", key, b64encode(bytes(value))])
+            else:
+                encoded.append(entry)
+        out["ops"] = encoded
+    return out
+
+
 # -- framing -------------------------------------------------------------
 
 
@@ -111,6 +162,13 @@ def decode_frame(frame: bytes) -> dict:
     payload = frame[_LENGTH.size : _LENGTH.size + length]
     if len(payload) < length:
         raise ProtocolError("truncated frame")
+    trailing = len(frame) - _LENGTH.size - length
+    if trailing:
+        # Silently dropping extra bytes would desynchronize a stream
+        # parser built on this — surface the framing bug instead.
+        raise ProtocolError(
+            f"{trailing} trailing bytes after the declared payload"
+        )
     return _parse_payload(payload)
 
 
@@ -124,12 +182,19 @@ def _parse_payload(payload: bytes) -> dict:
     return message
 
 
-async def read_message(reader: StreamReader) -> dict | None:
-    """Read one framed message; ``None`` on clean EOF."""
+async def read_message(
+    reader: StreamReader, first: bytes = b""
+) -> dict | None:
+    """Read one framed message; ``None`` on clean EOF.
+
+    ``first`` carries bytes already consumed from the stream (the
+    server peeks one byte to negotiate the wire encoding); they count
+    as the start of this frame's length prefix.
+    """
     try:
-        header = await reader.readexactly(_LENGTH.size)
+        header = first + await reader.readexactly(_LENGTH.size - len(first))
     except IncompleteReadError as error:
-        if not error.partial:
+        if not error.partial and not first:
             return None  # clean EOF between frames
         raise ProtocolError("connection closed mid-frame") from error
     (length,) = _LENGTH.unpack(header)
@@ -405,28 +470,57 @@ def request_verb(message: dict) -> str:
 
 
 def request_key(message: dict) -> bytes:
-    """Extract the (required) key field of a request."""
+    """Extract the (required) key field of a request.
+
+    Binary-wire requests carry raw bytes; JSON requests carry base64.
+    """
     key = message.get("key")
+    if isinstance(key, (bytes, bytearray)):
+        return bytes(key)
     if not isinstance(key, str):
         raise ProtocolError("request is missing its key")
     return b64decode(key)
 
 
 def request_value(message: dict) -> bytes:
-    """Extract the (required) value field of a request."""
+    """Extract the (required) value field of a request.
+
+    Binary-wire requests carry raw bytes; JSON requests carry base64.
+    """
     value = message.get("value")
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
     if not isinstance(value, str):
         raise ProtocolError("request is missing its value")
     return b64decode(value)
 
 
 def batch_ops(message: dict) -> list[tuple[bytes, bytes | None]]:
-    """Decode a BATCH request's operation list."""
+    """Decode a BATCH request's operation list.
+
+    Accepts the JSON shape (``["put", b64, b64]`` / ``["del", b64]``
+    lists) and the binary decoder's already-raw tuples
+    (``(key_bytes, value_bytes | None)``).
+    """
     raw = message.get("ops")
     if not isinstance(raw, list) or not raw:
         raise ProtocolError("BATCH needs a non-empty ops list")
     ops: list[tuple[bytes, bytes | None]] = []
     for entry in raw:
+        if (
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[0], (bytes, bytearray))
+            and (
+                entry[1] is None
+                or isinstance(entry[1], (bytes, bytearray))
+            )
+        ):
+            key, value = entry
+            ops.append(
+                (bytes(key), None if value is None else bytes(value))
+            )
+            continue
         if not isinstance(entry, list) or not entry:
             raise ProtocolError("malformed batch entry")
         kind = entry[0]

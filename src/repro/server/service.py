@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 
 from ..engine.datastore import LSMStore
@@ -37,7 +38,7 @@ from ..errors import (
 )
 from ..obs import PrometheusEndpoint, render_prometheus
 from ..obs import events as obs_events
-from . import protocol
+from . import binproto, protocol
 from .admission import REJECT, AdmissionController
 
 #: Default bound on how long one admitted write may be absorbed/delayed.
@@ -96,7 +97,16 @@ class FramedServer:
         host: str = "127.0.0.1",
         port: int = 0,
         metrics_port: int | None = None,
+        wire: str = "binary",
+        engine_threads: int = 16,
     ) -> None:
+        if wire not in ("binary", "json"):
+            raise ConfigurationError(f"unknown wire mode {wire!r}")
+        if engine_threads < 1:
+            raise ConfigurationError("engine_threads must be at least 1")
+        # "binary" accepts the per-connection magic-byte negotiation
+        # (JSON clients keep working); "json" is strict legacy framing.
+        self._accept_binary = wire == "binary"
         self._host = host
         self._port = port
         self._server: asyncio.AbstractServer | None = None
@@ -107,6 +117,12 @@ class FramedServer:
         self._exposition: PrometheusEndpoint | None = None
         self._tickers: list[tuple[object, float]] = []
         self._ticker_tasks: list[asyncio.Task] = []
+        # Engine calls are I/O-bound (fsync waits, stall-gate sleeps,
+        # disk reads), so the pool is sized past the CPU count — with
+        # asyncio's default ~cpu+4 threads a group-commit leader's fsync
+        # could only ever cover a handful of parked writers.
+        self._engine_threads = engine_threads
+        self._executor: ThreadPoolExecutor | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -124,11 +140,19 @@ class FramedServer:
             raise ConfigurationError("ticker interval must be positive")
         self._tickers.append((fn, interval))
 
+    async def _in_thread(self, fn, *args):
+        """Run a blocking engine call on the server's own worker pool."""
+        if self._executor is None:
+            raise ConfigurationError("server is not started")
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
     async def _run_ticker(self, fn, interval: float) -> None:
         while True:
             await asyncio.sleep(interval)
             try:
-                await asyncio.to_thread(fn)
+                await self._in_thread(fn)
             except asyncio.CancelledError:
                 raise
             except Exception:  # noqa: BLE001 — upkeep must keep ticking
@@ -138,6 +162,10 @@ class FramedServer:
         """Bind and listen; returns the bound (host, port)."""
         if self._server is not None:
             raise ConfigurationError("server already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._engine_threads,
+            thread_name_prefix="kv-engine",
+        )
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
         )
@@ -203,6 +231,9 @@ class FramedServer:
             await asyncio.gather(*list(self._handlers), return_exceptions=True)
         await self._server.wait_closed()
         self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
 
     async def __aenter__(self) -> "FramedServer":
         await self.start()
@@ -223,16 +254,23 @@ class FramedServer:
         if task is not None:
             self._handlers.add(task)
         try:
-            while True:
-                try:
-                    message = await protocol.read_message(reader)
-                except ProtocolError:
-                    self.metrics.protocol_errors += 1
-                    break  # framing is lost; drop the connection
-                if message is None:
-                    break
-                response = await self._dispatch(message)
-                await protocol.write_message(writer, response)
+            # Wire negotiation: a binary client announces itself with
+            # one magic byte before its first frame; a JSON frame's
+            # first byte is the high byte of a <=16 MiB length prefix,
+            # so the two can never be confused. The peeked byte is
+            # handed back to the JSON reader as frame prefix.
+            try:
+                first = await reader.readexactly(1)
+            except asyncio.IncompleteReadError:
+                first = b""
+            if (
+                first
+                and first[0] == binproto.MAGIC
+                and self._accept_binary
+            ):
+                await self._serve_binary(reader, writer)
+            elif first:
+                await self._serve_json(reader, writer, first)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -243,6 +281,48 @@ class FramedServer:
             writer.close()
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
+
+    async def _serve_json(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes,
+    ) -> None:
+        while True:
+            try:
+                message = await protocol.read_message(reader, first)
+            except ProtocolError:
+                self.metrics.protocol_errors += 1
+                break  # framing is lost; drop the connection
+            first = b""
+            if message is None:
+                break
+            response = await self._dispatch(message)
+            # A response that crossed a binary backend connection (a
+            # router forwarding to binary-wire shards) may carry raw
+            # bytes; rewrite them to the JSON wire's base64 form.
+            await protocol.write_message(writer, protocol.jsonify(response))
+
+    async def _serve_binary(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            try:
+                payload = await binproto.read_frame(reader)
+                if payload is None:
+                    break
+                message = binproto.decode_request(payload)
+            except ProtocolError:
+                self.metrics.protocol_errors += 1
+                break
+            response = await self._dispatch(message)
+            # The per-request latency breakdown was already recorded
+            # into the server histograms; hot binary responses do not
+            # re-ship it (that is half the point of the binary wire).
+            response.pop("breakdown", None)
+            await binproto.write_response(writer, response)
 
     async def _dispatch(self, message: dict) -> dict:
         self.metrics.requests_total += 1
@@ -352,10 +432,11 @@ class KVServer(FramedServer):
         metrics_port: int | None = None,
         memory_arbiter=None,
         memory_interval: float = 1.0,
+        wire: str = "binary",
     ) -> None:
         if write_deadline <= 0:
             raise ConfigurationError("write_deadline must be positive")
-        super().__init__(host, port, metrics_port=metrics_port)
+        super().__init__(host, port, metrics_port=metrics_port, wire=wire)
         self._store = store
         self._admission = admission or AdmissionController()
         self._write_deadline = write_deadline
@@ -397,7 +478,7 @@ class KVServer(FramedServer):
                 # inline stores nothing else advances merges while every
                 # write is bounced, so the stall would never clear.
                 if self._pump_maintenance:
-                    await asyncio.to_thread(self._store.advance_maintenance)
+                    await self._in_thread(self._store.advance_maintenance)
                 self.metrics.writes_rejected += 1
                 self.obs.tracer.emit(
                     obs_events.ADMISSION,
@@ -425,17 +506,17 @@ class KVServer(FramedServer):
                 )
                 admission_wait += decision.delay_seconds
                 if self._pump_maintenance:
-                    await asyncio.to_thread(self._store.advance_maintenance)
+                    await self._in_thread(self._store.advance_maintenance)
                 await asyncio.sleep(decision.delay_seconds)
             try:
-                timing = await asyncio.to_thread(apply)
+                timing = await self._in_thread(apply)
             except WriteStalledError as error:
                 # Rejected writes make no maintenance progress in inline
                 # mode, so the serving layer pumps merges forward — the
                 # stall would otherwise never clear while clients back
                 # off (merge-coupled serving, bLSM-style).
                 if self._pump_maintenance:
-                    await asyncio.to_thread(self._store.advance_maintenance)
+                    await self._in_thread(self._store.advance_maintenance)
                 if (
                     self._admission.absorbs_stalls
                     and loop.time() < deadline
@@ -516,18 +597,23 @@ class KVServer(FramedServer):
     async def _op_get(self, message: dict) -> dict:
         key = protocol.request_key(message)
         self.metrics.reads_total += 1
-        value, engine_seconds = await asyncio.to_thread(
+        value, engine_seconds = await self._in_thread(
             self._timed_read, lambda: self._store.get(key)
         )
+        if message.get(binproto.WIRE_KEY):
+            # Binary connection: ship the value raw, no base64.
+            wire_value = value
+        else:
+            wire_value = None if value is None else protocol.b64encode(value)
         return protocol.ok_response(
-            value=None if value is None else protocol.b64encode(value),
+            value=wire_value,
             breakdown={"engine": engine_seconds},
         )
 
     async def _op_scan(self, message: dict) -> dict:
         lo, hi, limit = protocol.scan_bounds(message)
         self.metrics.reads_total += 1
-        items, engine_seconds = await asyncio.to_thread(
+        items, engine_seconds = await self._in_thread(
             self._timed_read, lambda: list(self._store.scan(lo, hi, limit))
         )
         return protocol.ok_response(
@@ -590,13 +676,13 @@ class KVServer(FramedServer):
 
     async def metrics_snapshot(self) -> dict:
         """Structured metrics for METRICS and the scrape endpoint."""
-        return await asyncio.to_thread(self._sync_registry)
+        return await self._in_thread(self._sync_registry)
 
     def _stats_with_corruption(self) -> tuple:
         return self._store.stats(), self._store.corruption_status()
 
     async def _op_stats(self, message: dict) -> dict:
-        stats, corruption = await asyncio.to_thread(
+        stats, corruption = await self._in_thread(
             self._stats_with_corruption
         )
         engine = asdict(stats)
@@ -619,9 +705,12 @@ async def serve(
     port: int = 0,
     ready: asyncio.Event | None = None,
     metrics_port: int | None = None,
+    wire: str = "binary",
 ) -> None:
     """Convenience runner: start a server and serve until cancelled."""
-    server = KVServer(store, admission, host, port, metrics_port=metrics_port)
+    server = KVServer(
+        store, admission, host, port, metrics_port=metrics_port, wire=wire
+    )
     await server.start()
     if ready is not None:
         ready.set()

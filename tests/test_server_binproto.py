@@ -1,0 +1,217 @@
+"""Binary wire tests: codecs, negotiation, and cross-wire serving."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine import LSMStore, StoreOptions
+from repro.errors import ProtocolError, RetriesExhaustedError
+from repro.server import binproto, protocol
+from repro.server.client import KVClient
+from repro.server.service import KVServer
+
+
+# -- JSON framing regression (trailing bytes) -----------------------------
+
+
+def test_json_frame_trailing_bytes_rejected():
+    frame = protocol.encode_frame({"op": "PING"})
+    with pytest.raises(ProtocolError, match="trailing"):
+        protocol.decode_frame(frame + b"x")
+
+
+# -- request codec --------------------------------------------------------
+
+
+def test_magic_is_unambiguous_against_json_length_prefix():
+    # A JSON frame's first byte is the high byte of a length capped at
+    # 16 MiB, so it can never equal the magic.
+    assert binproto.MAGIC > (protocol.MAX_FRAME_BYTES >> 24)
+
+
+def test_put_request_round_trip():
+    message = {"op": "PUT", "key": b"\x00k", "value": b"\xffv"}
+    decoded = binproto.decode_request(binproto.encode_request(message))
+    assert decoded.pop(binproto.WIRE_KEY) is True
+    assert decoded == message
+
+
+def test_get_and_del_round_trip():
+    for verb in ("GET", "DEL"):
+        decoded = binproto.decode_request(
+            binproto.encode_request({"op": verb, "key": b"k"})
+        )
+        assert decoded["op"] == verb
+        assert decoded["key"] == b"k"
+
+
+def test_batch_round_trip_preserves_order_and_tombstones():
+    ops = [(b"a", b"1"), (b"b", None), (b"c", b"3")]
+    decoded = binproto.decode_request(
+        binproto.encode_request({"op": "BATCH", "ops": ops})
+    )
+    assert decoded["op"] == "BATCH"
+    assert decoded["ops"] == ops
+
+
+def test_base64_fields_also_encode():
+    # The router forwards JSON-origin messages (base64 text fields) to
+    # binary shard connections; both shapes must encode identically.
+    raw = binproto.encode_request({"op": "PUT", "key": b"k", "value": b"v"})
+    b64 = binproto.encode_request(
+        {
+            "op": "PUT",
+            "key": protocol.b64encode(b"k"),
+            "value": protocol.b64encode(b"v"),
+        }
+    )
+    assert raw == b64
+
+
+def test_other_verbs_ride_the_json_envelope():
+    payload = binproto.encode_request({"op": "STATS"})
+    assert payload[0] == binproto.OP_JSON
+    decoded = binproto.decode_request(payload)
+    assert decoded["op"] == "STATS"
+    assert decoded[binproto.WIRE_KEY] is True
+
+
+def test_trailing_bytes_rejected():
+    payload = binproto.encode_request({"op": "GET", "key": b"k"})
+    with pytest.raises(ProtocolError, match="trailing"):
+        binproto.decode_request(payload + b"x")
+
+
+def test_truncated_body_rejected():
+    payload = binproto.encode_request({"op": "PUT", "key": b"k", "value": b"v"})
+    with pytest.raises(ProtocolError):
+        binproto.decode_request(payload[:-1])
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(ProtocolError):
+        binproto.decode_request(b"\x7f")
+
+
+# -- response codec -------------------------------------------------------
+
+
+def test_response_forms():
+    assert binproto.encode_response({"ok": True}) == bytes([binproto.ST_OK])
+    assert binproto.decode_response(bytes([binproto.ST_OK])) == {"ok": True}
+    miss = binproto.encode_response({"ok": True, "value": None})
+    assert binproto.decode_response(miss) == {"ok": True, "value": None}
+    hit = binproto.encode_response({"ok": True, "value": b"\x00v"})
+    assert binproto.decode_response(hit) == {"ok": True, "value": b"\x00v"}
+
+
+def test_error_response_keeps_every_field():
+    error = {"ok": False, "error": "DATA_CORRUPT", "detail": "run-0003"}
+    payload = binproto.encode_response(error)
+    assert payload[0] == binproto.ST_JSON
+    assert binproto.decode_response(payload) == error
+
+
+def test_oversized_binary_frame_rejected():
+    with pytest.raises(ProtocolError):
+        binproto.encode_frame(b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+
+# -- negotiation and cross-wire serving -----------------------------------
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _with_server(tmp_path, wire, scenario):
+    with LSMStore.open(str(tmp_path), StoreOptions()) as store:
+        server = KVServer(store, host="127.0.0.1", port=0, wire=wire)
+        async with server:
+            await scenario(server.address)
+
+
+def test_binary_server_accepts_both_wires(tmp_path):
+    async def scenario(address):
+        host, port = address
+        for wire in ("binary", "json"):
+            client = KVClient(host, port, wire=wire)
+            try:
+                key = b"k-" + wire.encode()
+                await client.put(key, b"v")
+                assert await client.get(key) == b"v"
+                assert await client.get(b"absent") is None
+                await client.batch([(b"b", b"x"), (key, None)])
+                assert await client.get(key) is None
+                await client.delete(b"b")
+            finally:
+                await client.aclose()
+
+    _run(_with_server(tmp_path, "binary", scenario))
+
+
+def test_json_only_server_still_serves_json(tmp_path):
+    async def scenario(address):
+        client = KVClient(*address, wire="json")
+        try:
+            await client.put(b"k", b"v")
+            assert await client.get(b"k") == b"v"
+        finally:
+            await client.aclose()
+
+    _run(_with_server(tmp_path, "json", scenario))
+
+
+def test_raw_magic_negotiation(tmp_path):
+    # Hand-rolled client: magic byte, then binary frames on the socket.
+    async def scenario(address):
+        reader, writer = await asyncio.open_connection(*address)
+        try:
+            writer.write(binproto.MAGIC_BYTE)
+            await binproto.write_request(
+                writer, {"op": "PUT", "key": b"k", "value": b"v"}
+            )
+            frame = await binproto.read_frame(reader)
+            assert binproto.decode_response(frame) == {"ok": True}
+            await binproto.write_request(writer, {"op": "GET", "key": b"k"})
+            frame = await binproto.read_frame(reader)
+            assert binproto.decode_response(frame) == {
+                "ok": True, "value": b"v"
+            }
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    _run(_with_server(tmp_path, "binary", scenario))
+
+
+def test_binary_client_against_json_server_fails_cleanly(tmp_path):
+    # A json-only server reads the magic as a length-prefix byte and
+    # drops the connection; the client must surface an error, not hang.
+    async def scenario(address):
+        client = KVClient(*address, wire="binary", max_retries=1, timeout=2.0)
+        try:
+            with pytest.raises((ProtocolError, RetriesExhaustedError)):
+                await client.put(b"k", b"v")
+        finally:
+            await client.aclose()
+
+    _run(_with_server(tmp_path, "json", scenario))
+
+
+def test_binary_stats_and_scan_envelopes(tmp_path):
+    async def scenario(address):
+        client = KVClient(*address, wire="binary")
+        try:
+            await client.put(b"a", b"1")
+            await client.put(b"b", b"2")
+            stats = await client.stats()
+            assert stats
+            items = await client.scan()
+            assert (b"a", b"1") in items and (b"b", b"2") in items
+        finally:
+            await client.aclose()
+
+    _run(_with_server(tmp_path, "binary", scenario))
