@@ -166,6 +166,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     options = StoreOptions(
         memtable_bytes=int(args.memtable_mib * 2**20),
         policy=args.engine_policy,
+        block_codec=args.block_codec,
+        filter_kind=args.filter_kind,
         stall_mode=args.stall_mode,
         background_maintenance=(
             args.background or args.maintenance_threads > 1
@@ -304,6 +306,8 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
     options = StoreOptions(
         memtable_bytes=int(args.memtable_mib * 2**20),
         policy=args.engine_policy,
+        block_codec=args.block_codec,
+        filter_kind=args.filter_kind,
         stall_mode=args.stall_mode,
         background_maintenance=(
             args.background or args.maintenance_threads > 1
@@ -470,13 +474,18 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
 
 
 def _cmd_crashsim(args: argparse.Namespace) -> int:
-    from .faults import run_crash_harness
+    from .faults import compressed_block_scenarios, run_crash_harness
 
     if args.ops < 2:
         raise ReproError(f"--ops must be at least 2, got {args.ops}")
-    report = run_crash_harness(
-        args.directory, num_ops=args.ops, seed=args.seed
-    )
+    if args.mode == "blocks":
+        # Corruption-at-rest only: flip bytes inside a compressed data
+        # block and require detect -> quarantine with no wrong answers.
+        report = compressed_block_scenarios(args.directory, seed=args.seed)
+    else:
+        report = run_crash_harness(
+            args.directory, num_ops=args.ops, seed=args.seed
+        )
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -667,6 +676,19 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine-policy", choices=("tiering", "leveling", "size-tiered"),
         default="tiering", help="engine merge policy (default: tiering)",
+    )
+    from .engine.blockcodec import available_codecs
+    from .engine.filters import available_filters
+    parser.add_argument(
+        "--block-codec", choices=available_codecs(), default="none",
+        help="per-block compression for new sorted runs (default: "
+             "none); existing runs keep reading and merges rewrite "
+             "them under the new codec",
+    )
+    parser.add_argument(
+        "--filter-kind", choices=available_filters(), default="bloom",
+        help="point-filter implementation for new runs (default: "
+             "bloom; cuckoo supports deletion)",
     )
     parser.add_argument(
         "--stall-mode", choices=("block", "reject"), default="reject",
@@ -862,7 +884,7 @@ def build_parser() -> argparse.ArgumentParser:
     crashsim_cmd = commands.add_parser(
         "crashsim",
         help="crash-recovery harness: WAL truncation sweep + "
-             "injected-fault scenarios",
+             "injected-fault scenarios + compressed-block corruption",
     )
     crashsim_cmd.add_argument(
         "directory", help="scratch directory for crash images"
@@ -872,6 +894,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload length for the WAL sweep (default: 500)",
     )
     crashsim_cmd.add_argument("--seed", type=int, default=0)
+    crashsim_cmd.add_argument(
+        "--mode", choices=("all", "blocks"), default="all",
+        help="'blocks' runs only the compressed-block at-rest "
+             "corruption sweep (default: the full battery)",
+    )
     crashsim_cmd.set_defaults(handler=_cmd_crashsim)
 
     chaos_cmd = commands.add_parser(

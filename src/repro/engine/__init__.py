@@ -9,8 +9,18 @@ and schedulers as the simulator.
 """
 
 from .blockcache import BlockCache
+from .blockcodec import BlockCodec, available_codecs, get_codec, register_codec
 from .bloom import BloomFilter
 from .compaction import CompactionManager, MergeJob, build_policy, build_scheduler
+from .filters import (
+    CuckooFilter,
+    FilterSpec,
+    PointFilter,
+    available_filters,
+    build_filter,
+    load_filter,
+    register_filter,
+)
 from .integrity import IntegrityReport, verify_store
 from .datastore import LSMStore, MemorySignals, StoreStats, WriteTiming
 from .iterators import reconcile_get, reconciling_iterator
@@ -20,12 +30,17 @@ from .options import StoreOptions, TOMBSTONE
 from .quarantine import QuarantineEntry, QuarantineSet
 from .ratelimiter import RateLimiter, SyncPolicy
 from .secondary import IndexedStore, decode_secondary_key, encode_secondary_key
-from .sstable import RunStats, SSTableReader, SSTableWriter
+from .sstable import CURRENT_FORMAT_VERSION, RunStats, SSTableReader, SSTableWriter
 from .wal import WalScan, WriteAheadLog, scan_wal
 
 __all__ = [
     "BlockCache",
+    "BlockCodec",
     "BloomFilter",
+    "CURRENT_FORMAT_VERSION",
+    "CuckooFilter",
+    "FilterSpec",
+    "PointFilter",
     "CompactionManager",
     "IntegrityReport",
     "IndexedStore",
@@ -49,8 +64,15 @@ __all__ = [
     "WriteAheadLog",
     "WriteTiming",
     "scan_wal",
+    "available_codecs",
+    "available_filters",
+    "build_filter",
     "build_policy",
     "build_scheduler",
+    "get_codec",
+    "load_filter",
+    "register_codec",
+    "register_filter",
     "verify_store",
     "decode_secondary_key",
     "encode_secondary_key",

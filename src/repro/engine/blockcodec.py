@@ -1,0 +1,114 @@
+"""Pluggable per-block compression codecs for sorted-run data blocks.
+
+Every version-2 data block starts with a one-byte codec id naming the
+transform applied to its payload (see :mod:`repro.engine.sstable` for
+the framing). The registry maps codec *names* (what ``StoreOptions``
+and the CLI speak) to codec objects, and codec *ids* (what the on-disk
+header stores) back to them, so new codecs can be added without
+touching the file format: register an object with a fresh id and both
+directions resolve.
+
+Two codecs ship by default:
+
+* ``none`` (id 0) — identity; the compatibility baseline. Version-1
+  runs, which predate the block header, behave as if every block used
+  it.
+* ``zlib`` (id 1) — stdlib DEFLATE at the default level; no external
+  dependencies.
+
+Writers may also *fall back* per block: when a codec's output is not
+smaller than its input the block is stored raw under id 0, so the
+header — not the run-level default — is always authoritative for how
+to decode a given block.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ConfigurationError, CorruptionError
+
+#: Codec id shared by the ``none`` codec and per-block raw fallbacks.
+NONE_CODEC_ID = 0
+
+
+@dataclass(frozen=True)
+class BlockCodec:
+    """One registered transform: a name, a wire id, and the two maps."""
+
+    name: str
+    codec_id: int
+    compress: Callable[[bytes], bytes] = field(repr=False)
+    decompress: Callable[[bytes], bytes] = field(repr=False)
+
+
+_BY_NAME: dict[str, BlockCodec] = {}
+_BY_ID: dict[int, BlockCodec] = {}
+
+
+def register_codec(codec: BlockCodec) -> BlockCodec:
+    """Add a codec to the registry; name and id must both be unused."""
+    if not 0 <= codec.codec_id <= 0xFF:
+        raise ConfigurationError(
+            f"codec id {codec.codec_id} does not fit the one-byte header"
+        )
+    if codec.name in _BY_NAME:
+        raise ConfigurationError(f"codec {codec.name!r} already registered")
+    if codec.codec_id in _BY_ID:
+        raise ConfigurationError(
+            f"codec id {codec.codec_id} already registered"
+        )
+    _BY_NAME[codec.name] = codec
+    _BY_ID[codec.codec_id] = codec
+    return codec
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Registered codec names, registration order."""
+    return tuple(_BY_NAME)
+
+
+def get_codec(name: str) -> BlockCodec:
+    """Resolve a codec by configuration name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown block codec {name!r}; "
+            f"available: {', '.join(_BY_NAME)}"
+        ) from None
+
+
+def codec_by_id(codec_id: int) -> BlockCodec:
+    """Resolve a codec by on-disk id.
+
+    An unknown id in a block header means either rot in the header
+    itself or a file from a newer engine — both are unreadable, so this
+    raises :class:`CorruptionError` rather than ``ConfigurationError``.
+    """
+    try:
+        return _BY_ID[codec_id]
+    except KeyError:
+        raise CorruptionError(
+            f"unknown block codec id {codec_id}"
+        ) from None
+
+
+register_codec(
+    BlockCodec(
+        name="none",
+        codec_id=NONE_CODEC_ID,
+        compress=lambda payload: payload,
+        decompress=lambda payload: payload,
+    )
+)
+register_codec(
+    BlockCodec(
+        name="zlib",
+        codec_id=1,
+        compress=lambda payload: zlib.compress(payload, 6),
+        decompress=zlib.decompress,
+    )
+)

@@ -132,9 +132,14 @@ class MergeJob:
             rate_limiter=rate_limiter,
             sync_policy=SyncPolicy(options.bytes_per_sync),
             fault_plan=options.fault_plan,
+            block_codec=options.block_codec,
+            filter_kind=options.filter_kind,
         )
         self._output_path = output_path
-        self._total_input = sum(r.data_bytes for r in readers)
+        # Progress is tracked against *logical* input bytes because the
+        # per-source consumed counters see decompressed entries; for
+        # uncompressed (and all version-1) runs this equals data_bytes.
+        self._total_input = sum(r.logical_bytes for r in readers)
         self.finished = False
         self.stats = None
 
@@ -458,11 +463,39 @@ class CompactionManager:
             rate_limiter=self._rate_limiter,
             sync_policy=SyncPolicy(self._options.bytes_per_sync),
             fault_plan=self._options.fault_plan,
+            block_codec=self._options.block_codec,
+            filter_kind=self._options.filter_kind,
         )
         return run_id, writer
 
+    def _note_run_written(self, stats) -> None:
+        """Block-format metrics for any newly published run: how many
+        data-block bytes it stores physically vs. logically (the
+        store-wide space-amp series), and which point filter it built."""
+        if self._obs is None:
+            return
+        registry = self._obs.registry
+        registry.counter(
+            "engine_block_logical_bytes_total",
+            labels={"codec": stats.codec},
+            help="Pre-compression data-block bytes in published runs, "
+            "by codec.",
+        ).inc(stats.logical_bytes)
+        registry.counter(
+            "engine_block_compressed_bytes_total",
+            labels={"codec": stats.codec},
+            help="Physical (post-codec) data-block bytes in published "
+            "runs, by codec.",
+        ).inc(stats.data_bytes)
+        registry.counter(
+            "engine_filters_built_total",
+            labels={"kind": stats.filter_kind},
+            help="Point filters built for published runs, by kind.",
+        ).inc()
+
     def publish_flush(self, run_id: int, stats) -> None:
         """Install a finished flush's run (call under the store lock)."""
+        self._note_run_written(stats)
         if self._obs is not None:
             self._m_flushes.inc()
             self._m_flush_bytes.inc(stats.data_bytes)
@@ -595,6 +628,8 @@ class CompactionManager:
         descriptor.release_inputs()
         del self._jobs[descriptor.uid]
         self._merge_count += 1
+        if stats.entry_count > 0:
+            self._note_run_written(stats)
         if self._obs is not None:
             level = str(descriptor.target_level)
             self._obs.registry.counter(
@@ -709,6 +744,8 @@ class CompactionManager:
             rate_limiter=self._rate_limiter,
             sync_policy=SyncPolicy(self._options.bytes_per_sync),
             fault_plan=self._options.fault_plan,
+            block_codec=self._options.block_codec,
+            filter_kind=self._options.filter_kind,
         )
         return new_run_id, writer
 
@@ -727,6 +764,7 @@ class CompactionManager:
             return False
         added = []
         if stats.entry_count > 0:
+            self._note_run_written(stats)
             added.append(
                 (new_run_id, component.level, os.path.basename(stats.path))
             )

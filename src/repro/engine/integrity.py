@@ -38,6 +38,13 @@ class IntegrityReport:
     #: Run ids the store has quarantined (informational: already
     #: contained, excluded from reads, awaiting repair).
     quarantined_runs: list[int] = field(default_factory=list)
+    #: Data-block bytes as stored on disk (post-codec) across all
+    #: checked runs.
+    physical_data_bytes: int = 0
+    #: Pre-compression data-block bytes across all checked runs; the
+    #: physical/logical ratio is the store's space amplification from
+    #: the block codec's point of view.
+    logical_data_bytes: int = 0
 
     @property
     def clean(self) -> bool:
@@ -57,6 +64,13 @@ class IntegrityReport:
             f"{self.entries_checked} entries checked",
             f"  tree: {shape}; wal: {self.wal_bytes} bytes",
         ]
+        if self.logical_data_bytes:
+            ratio = self.physical_data_bytes / self.logical_data_bytes
+            lines.append(
+                f"  blocks: {self.physical_data_bytes} physical / "
+                f"{self.logical_data_bytes} logical bytes "
+                f"(space amp {ratio:.3f})"
+            )
         lines += [f"  problem: {problem}" for problem in self.problems]
         lines += [f"  orphan:  {name}" for name in self.orphan_files]
         if self.quarantined_runs:
@@ -87,7 +101,7 @@ def _verify_run(reader: SSTableReader, report: IntegrityReport, name: str) -> No
             tombstones += 1
         if not reader.might_contain(key):
             report.problems.append(
-                f"{name}: bloom filter false negative for {key!r}"
+                f"{name}: point filter false negative for {key!r}"
             )
             return
     report.entries_checked += count
@@ -175,6 +189,8 @@ def verify_store(directory: str, policy: str | None = None) -> IntegrityReport:
                 continue
             try:
                 _verify_run(reader, report, record.filename)
+                report.physical_data_bytes += reader.data_bytes
+                report.logical_data_bytes += reader.logical_bytes
                 if reader.entry_count:
                     by_level.setdefault(record.level, []).append(
                         (reader.min_key, reader.max_key, record.filename)

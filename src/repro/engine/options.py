@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError
+from . import blockcodec, filters
 
 #: Sentinel stored in memtables and sorted runs for deletions.
 TOMBSTONE = None
@@ -39,8 +40,16 @@ class StoreOptions:
         On-disk levels for leveling/tiering policies.
     block_bytes:
         Data block (page) size; paper: 4 KB.
+    block_codec:
+        Per-block compression codec for new sorted runs (``none`` /
+        ``zlib``; see :mod:`repro.engine.blockcodec`). Existing runs
+        keep their recorded codec; merges rewrite them under this one.
     bloom_bits_per_key:
         Bloom filter sizing; 10 bits/key gives the paper's ~1% FPR.
+    filter_kind:
+        Point-filter implementation for new runs (``bloom`` /
+        ``cuckoo``; see :mod:`repro.engine.filters`). Readers dispatch
+        on the serialized filter's magic, so mixed trees are fine.
     bytes_per_sync:
         Force data to disk every this many written bytes (paper: 16 MB).
     merge_chunk_bytes:
@@ -126,7 +135,9 @@ class StoreOptions:
     constraint_limit: int = 0
     levels: int = 4
     block_bytes: int = 4096
+    block_codec: str = "none"
     bloom_bits_per_key: int = 10
+    filter_kind: str = "bloom"
     bytes_per_sync: int = 16 * 2**20
     merge_chunk_bytes: int = 0
     maintenance_chunks_per_rotation: int = 0
@@ -172,8 +183,18 @@ class StoreOptions:
             raise ConfigurationError("need at least one level")
         if self.block_bytes < 128:
             raise ConfigurationError("block size too small")
+        if self.block_codec not in blockcodec.available_codecs():
+            raise ConfigurationError(
+                f"unknown block codec {self.block_codec!r}; available: "
+                f"{', '.join(blockcodec.available_codecs())}"
+            )
         if self.bloom_bits_per_key < 1:
             raise ConfigurationError("bloom filter needs at least 1 bit/key")
+        if self.filter_kind not in filters.available_filters():
+            raise ConfigurationError(
+                f"unknown filter kind {self.filter_kind!r}; available: "
+                f"{', '.join(filters.available_filters())}"
+            )
         if self.bytes_per_sync < self.block_bytes:
             raise ConfigurationError("bytes_per_sync must cover a block")
         if self.merge_chunk_bytes < 0:

@@ -119,6 +119,7 @@ class SyncPolicy:
             raise ConfigurationError("sync interval cannot be negative")
         self._interval = interval_bytes
         self._unsynced = 0
+        self._noted = 0
         self._forces = 0
 
     @property
@@ -126,8 +127,16 @@ class SyncPolicy:
         """Number of periodic forces signalled so far."""
         return self._forces
 
+    @property
+    def bytes_noted(self) -> int:
+        """Cumulative bytes reported via :meth:`note_write` — for a
+        well-behaved writer this equals the file's size, footer and
+        all."""
+        return self._noted
+
     def note_write(self, nbytes: int) -> bool:
         """Record written bytes; True when a force is due now."""
+        self._noted += nbytes
         if self._interval == 0:
             return False
         self._unsynced += nbytes

@@ -2,19 +2,31 @@
 
 File layout::
 
-    [data block]* [index block] [bloom block] [meta block] [footer]
+    [data block]* [index block] [filter block] [meta block] [footer]
 
 * **Data blocks** hold length-prefixed key/value entries in key order and
   close at the configured block size (paper: 4 KB, matching the SSD page).
-  Each block ends with a CRC32 of its payload.
+  Format version 2 frames each block as ``[codec id u8][logical length
+  u32][payload, possibly compressed]``; version 1 stores the raw entry
+  payload with no header. Either way the block ends with a CRC32 of
+  everything before it — for compressed blocks the CRC covers the
+  *compressed* bytes, so corruption is detected before any decompression
+  is attempted. Codecs are resolved through the pluggable registry in
+  :mod:`repro.engine.blockcodec`.
 * The **index block** maps each data block's first key to its (offset,
-  length), enabling a single-block read per point lookup.
-* The **bloom block** is a serialized :class:`~repro.engine.bloom.BloomFilter`
-  over every key in the run.
-* The **meta block** is JSON: entry/tombstone counts, key bounds, and the
-  data byte count (what merge accounting bills against the I/O budget).
+  stored length), enabling a single-block read per point lookup.
+* The **filter block** is a serialized point filter
+  (:mod:`repro.engine.filters`): Bloom by default, cuckoo optionally;
+  the blob's magic prefix says which, so version-1 files (always Bloom)
+  load through the same path.
+* The **meta block** is JSON: entry/tombstone counts, key bounds, the
+  physical data byte count (what merge accounting bills against the I/O
+  budget) and — version 2 — the format version, codec name, filter kind,
+  and pre-compression (logical) byte count for space-amp reporting.
 * The fixed-size **footer** locates the three auxiliary blocks and carries
-  the format magic.
+  the format magic (``LSMRUN01`` = version 1, ``LSMRUN02`` = version 2);
+  version-absent files keep reading unchanged, and merges naturally
+  rewrite them into the current format.
 
 Writers stream through the shared :class:`~repro.engine.ratelimiter.RateLimiter`
 and issue periodic forces per the :class:`~repro.engine.ratelimiter.SyncPolicy`,
@@ -31,7 +43,8 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import ConfigurationError, CorruptionError
-from .bloom import BloomFilter
+from .blockcodec import NONE_CODEC_ID, codec_by_id, get_codec
+from .filters import build_filter, load_filter
 from .options import TOMBSTONE
 from .ratelimiter import RateLimiter, SyncPolicy
 from .wal import fsync_file
@@ -39,14 +52,26 @@ from .wal import fsync_file
 _LEN = struct.Struct("<I")
 _INDEX_ENTRY = struct.Struct("<QI")
 _FOOTER = struct.Struct("<QIQIQI8s")
-_MAGIC = b"LSMRUN01"
+_MAGIC_V1 = b"LSMRUN01"
+_MAGIC_V2 = b"LSMRUN02"
 _TOMBSTONE_LEN = 0xFFFFFFFF
 _CRC_LEN = 4
+#: Version-2 per-block header: codec id, decompressed payload length.
+_BLOCK_HEADER = struct.Struct("<BI")
+
+#: What new runs are written as (readers accept every older version).
+CURRENT_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
 class RunStats:
-    """Summary of a finished sorted run."""
+    """Summary of a finished sorted run.
+
+    ``data_bytes`` is physical (post-codec, as stored on disk);
+    ``logical_bytes`` is the pre-compression entry payload size — the
+    two together are the run's space-amplification numerator and
+    denominator.
+    """
 
     path: str
     entry_count: int
@@ -55,6 +80,9 @@ class RunStats:
     file_bytes: int
     min_key: bytes
     max_key: bytes
+    logical_bytes: int = 0
+    codec: str = "none"
+    filter_kind: str = "bloom"
 
 
 def _crc(payload: bytes) -> bytes:
@@ -82,27 +110,50 @@ class SSTableWriter:
         rate_limiter: RateLimiter | None = None,
         sync_policy: SyncPolicy | None = None,
         fault_plan=None,
+        block_codec: str = "none",
+        filter_kind: str = "bloom",
+        format_version: int = CURRENT_FORMAT_VERSION,
     ) -> None:
         if block_bytes < 128:
             raise ConfigurationError("block size too small")
+        if format_version not in (1, CURRENT_FORMAT_VERSION):
+            raise ConfigurationError(
+                f"unknown run format version {format_version}"
+            )
+        if format_version == 1 and (
+            block_codec != "none" or filter_kind != "bloom"
+        ):
+            # Version 1 predates the block header and the filter magic
+            # dispatch; only the legacy configuration round-trips.
+            raise ConfigurationError(
+                "format version 1 supports only block_codec='none' "
+                "and filter_kind='bloom'"
+            )
         self._path = path
         self._block_bytes = block_bytes
+        self._format_version = format_version
+        self._codec = get_codec(block_codec)
+        self._filter_kind = filter_kind
         self._file = open(path, "wb")
         if fault_plan is not None:
             self._file = fault_plan.wrap(self._file, "sstable")
         self._rate = rate_limiter or RateLimiter(0)
         self._sync = sync_policy or SyncPolicy(0)
-        self._bloom = BloomFilter(max(expected_keys, 1024), bloom_bits_per_key)
+        self._filter = build_filter(
+            filter_kind, max(expected_keys, 1024), bloom_bits_per_key
+        )
         self._block = bytearray()
         self._block_first_key: bytes | None = None
         self._index: list[tuple[bytes, int, int]] = []
         self._offset = 0
         self._entries = 0
         self._tombstones = 0
+        self._logical_bytes = 0
         self._last_key: bytes | None = None
         self._min_key: bytes | None = None
         self._max_key: bytes | None = None
         self._finished = False
+        self._published = False
 
     def _write_raw(self, payload: bytes) -> None:
         self._rate.acquire(len(payload))
@@ -115,10 +166,23 @@ class SSTableWriter:
         if not self._block:
             return
         payload = bytes(self._block)
+        self._logical_bytes += len(payload)
+        if self._format_version == 1:
+            record = payload
+        else:
+            stored = self._codec.compress(payload)
+            codec_id = self._codec.codec_id
+            if len(stored) >= len(payload):
+                # Incompressible block: store raw under the none codec;
+                # the per-block header, not the run default, is
+                # authoritative on read.
+                stored = payload
+                codec_id = NONE_CODEC_ID
+            record = _BLOCK_HEADER.pack(codec_id, len(payload)) + stored
         start = self._offset
-        self._write_raw(payload + _crc(payload))
+        self._write_raw(record + _crc(record))
         self._index.append(
-            (self._block_first_key, start, len(payload) + _CRC_LEN)
+            (self._block_first_key, start, len(record) + _CRC_LEN)
         )
         self._block.clear()
         self._block_first_key = None
@@ -144,7 +208,7 @@ class SSTableWriter:
             self._block += (
                 _LEN.pack(len(key)) + _LEN.pack(len(value)) + key + value
             )
-        self._bloom.add(key)
+        self._filter.add(key)
         self._entries += 1
         if len(self._block) >= self._block_bytes:
             self._flush_block()
@@ -156,6 +220,10 @@ class SSTableWriter:
         self._finished = True
         self._flush_block()
         data_bytes = self._offset
+        if self._format_version == 1:
+            # Version-absent runs carry no logical-size record, so
+            # readers treat physical as logical; report the same here.
+            self._logical_bytes = data_bytes
 
         index_payload = bytearray()
         for first_key, offset, length in self._index:
@@ -165,32 +233,44 @@ class SSTableWriter:
         self._write_raw(bytes(index_payload) + _crc(bytes(index_payload)))
         index_len = self._offset - index_off
 
-        bloom_payload = self._bloom.to_bytes()
-        bloom_off = self._offset
-        self._write_raw(bloom_payload + _crc(bloom_payload))
-        bloom_len = self._offset - bloom_off
+        filter_payload = self._filter.to_bytes()
+        filter_off = self._offset
+        self._write_raw(filter_payload + _crc(filter_payload))
+        filter_len = self._offset - filter_off
 
-        meta_payload = json.dumps(
-            {
-                "entries": self._entries,
-                "tombstones": self._tombstones,
-                "data_bytes": data_bytes,
-                "min_key": (self._min_key or b"").hex(),
-                "max_key": (self._max_key or b"").hex(),
-            }
-        ).encode("utf-8")
+        meta = {
+            "entries": self._entries,
+            "tombstones": self._tombstones,
+            "data_bytes": data_bytes,
+            "min_key": (self._min_key or b"").hex(),
+            "max_key": (self._max_key or b"").hex(),
+        }
+        if self._format_version >= 2:
+            # Version-1 files are recognizable by the *absence* of these
+            # keys, so only current-format writers emit them.
+            meta["format_version"] = self._format_version
+            meta["codec"] = self._codec.name
+            meta["filter"] = self._filter_kind
+            meta["logical_bytes"] = self._logical_bytes
+        meta_payload = json.dumps(meta).encode("utf-8")
         meta_off = self._offset
         self._write_raw(meta_payload + _crc(meta_payload))
         meta_len = self._offset - meta_off
 
-        self._file.write(
+        # The footer goes through _write_raw like every other byte, so
+        # it is debited against the maintenance rate limiter and counted
+        # by the sync policy (it used to slip past both via a raw
+        # file.write).
+        self._write_raw(
             _FOOTER.pack(
-                index_off, index_len, bloom_off, bloom_len, meta_off, meta_len,
-                _MAGIC,
+                index_off, index_len, filter_off, filter_len,
+                meta_off, meta_len,
+                _MAGIC_V1 if self._format_version == 1 else _MAGIC_V2,
             )
         )
         fsync_file(self._file)
         self._file.close()
+        self._published = True
         return RunStats(
             path=self._path,
             entry_count=self._entries,
@@ -199,10 +279,20 @@ class SSTableWriter:
             file_bytes=os.path.getsize(self._path),
             min_key=self._min_key or b"",
             max_key=self._max_key or b"",
+            logical_bytes=self._logical_bytes,
+            codec=self._codec.name,
+            filter_kind=self._filter_kind,
         )
 
     def abandon(self) -> None:
-        """Close and delete a partially written run (merge aborted)."""
+        """Close and delete a partially written run (merge aborted).
+
+        A no-op once :meth:`finish` has completed: the file is a
+        published run by then, and deleting it out from under the
+        manifest would take live data with it.
+        """
+        if self._published:
+            return
         if not self._file.closed:
             self._file.close()
         if os.path.exists(self._path):
@@ -218,14 +308,53 @@ def _decode_block(payload: bytes) -> list[tuple[bytes, bytes | None]]:
         key_len = _LEN.unpack_from(payload, pos)[0]
         val_len = _LEN.unpack_from(payload, pos + 4)[0]
         pos += 8
+        # A declared length that overruns the payload is corruption;
+        # Python slicing would silently hand back the short remainder.
+        if pos + key_len > len(payload):
+            raise CorruptionError("data block entry key truncated")
         key = payload[pos : pos + key_len]
         pos += key_len
         if val_len == _TOMBSTONE_LEN:
             entries.append((key, TOMBSTONE))
         else:
+            if pos + val_len > len(payload):
+                raise CorruptionError("data block entry value truncated")
             entries.append((key, payload[pos : pos + val_len]))
             pos += val_len
     return entries
+
+
+def _decode_stored_block(
+    record: bytes, format_version: int, context: str
+) -> bytes:
+    """CRC-stripped stored block -> logical (decompressed) entry payload.
+
+    The caller has already verified the CRC, which covers the stored
+    (compressed) bytes — so a failure past this point means the header
+    or the codec stream itself is inconsistent, which is corruption the
+    CRC could not see only if it was written that way.
+    """
+    if format_version == 1:
+        return record
+    if len(record) < _BLOCK_HEADER.size:
+        raise CorruptionError(f"{context}: block header truncated")
+    codec_id, logical_len = _BLOCK_HEADER.unpack_from(record)
+    stored = record[_BLOCK_HEADER.size:]
+    try:
+        codec = codec_by_id(codec_id)
+        payload = codec.decompress(stored)
+    except CorruptionError as exc:
+        raise CorruptionError(f"{context}: {exc}") from None
+    except Exception as exc:
+        raise CorruptionError(
+            f"{context}: block decompression failed ({exc})"
+        ) from None
+    if len(payload) != logical_len:
+        raise CorruptionError(
+            f"{context}: decompressed length {len(payload)} != "
+            f"declared {logical_len}"
+        )
+    return payload
 
 
 class SSTableReader:
@@ -234,7 +363,7 @@ class SSTableReader:
     With a :class:`~repro.engine.blockcache.BlockCache` attached, data
     blocks are served from and populated into the shared cache (the
     engine's buffer-cache analogue of the paper's Section 3.1 setup);
-    index/bloom/meta blocks are always held in memory per reader.
+    index/filter/meta blocks are always held in memory per reader.
     """
 
     def __init__(self, path: str, block_cache=None) -> None:
@@ -252,13 +381,17 @@ class SSTableReader:
         (
             index_off,
             index_len,
-            bloom_off,
-            bloom_len,
+            filter_off,
+            filter_len,
             meta_off,
             meta_len,
             magic,
         ) = _FOOTER.unpack(footer)
-        if magic != _MAGIC:
+        if magic == _MAGIC_V1:
+            self._format_version = 1
+        elif magic == _MAGIC_V2:
+            self._format_version = 2
+        else:
             raise CorruptionError(f"{path}: bad magic {magic!r}")
         index_payload = _check_crc(
             self._read_at(index_off, index_len),
@@ -274,11 +407,11 @@ class SSTableReader:
             offset, length = _INDEX_ENTRY.unpack_from(index_payload, pos)
             pos += _INDEX_ENTRY.size
             self._index.append((first_key, offset, length))
-        self._bloom = BloomFilter.from_bytes(
+        self._filter = load_filter(
             _check_crc(
-                self._read_at(bloom_off, bloom_len),
-                f"{path}: bloom block at offset {bloom_off} "
-                f"({bloom_len} bytes)",
+                self._read_at(filter_off, filter_len),
+                f"{path}: filter block at offset {filter_off} "
+                f"({filter_len} bytes)",
             )
         )
         meta = json.loads(
@@ -293,6 +426,11 @@ class SSTableReader:
         self._data_bytes = int(meta["data_bytes"])
         self._min_key = bytes.fromhex(meta["min_key"])
         self._max_key = bytes.fromhex(meta["max_key"])
+        # Version-1 metas predate these keys: uncompressed data, Bloom
+        # filter, logical == physical.
+        self._codec_name = str(meta.get("codec", "none"))
+        self._filter_kind = str(meta.get("filter", "bloom"))
+        self._logical_bytes = int(meta.get("logical_bytes", self._data_bytes))
         self._closed = False
 
     # -- metadata ------------------------------------------------------
@@ -314,8 +452,30 @@ class SSTableReader:
 
     @property
     def data_bytes(self) -> int:
-        """Bytes of data blocks (the merge-costing size)."""
+        """Physical bytes of data blocks as stored (the merge-costing
+        size; post-codec)."""
         return self._data_bytes
+
+    @property
+    def logical_bytes(self) -> int:
+        """Pre-compression entry payload bytes (space-amp denominator;
+        equals :attr:`data_bytes` for version-1 runs)."""
+        return self._logical_bytes
+
+    @property
+    def format_version(self) -> int:
+        """On-disk format version (1 = legacy raw blocks, 2 = current)."""
+        return self._format_version
+
+    @property
+    def codec(self) -> str:
+        """The run-level default codec name recorded in the meta block."""
+        return self._codec_name
+
+    @property
+    def filter_kind(self) -> str:
+        """The point-filter kind recorded in the meta block."""
+        return self._filter_kind
 
     @property
     def min_key(self) -> bytes:
@@ -337,20 +497,24 @@ class SSTableReader:
         return blob
 
     def _read_block(self, offset: int, length: int) -> bytes:
-        """Read (and checksum-verify) one data block, cache-aware.
+        """Read, checksum-verify, and decode one data block, cache-aware.
 
         Only verified payloads enter the cache, so a cached block can
         never be corrupt — a :class:`CorruptionError` from here always
-        reflects what is on disk right now.
+        reflects what is on disk right now. The cache holds the
+        *decompressed* payload: repeat hits skip the codec entirely,
+        and the cache's byte budget charges what the block actually
+        occupies in memory, not its on-disk size.
         """
         if self._cache is not None:
             cached = self._cache.get(self._generation, offset)
             if cached is not None:
                 return cached
-        payload = _check_crc(
-            self._read_at(offset, length),
-            f"{self._path}: data block at offset {offset} ({length} bytes)",
+        context = (
+            f"{self._path}: data block at offset {offset} ({length} bytes)"
         )
+        record = _check_crc(self._read_at(offset, length), context)
+        payload = _decode_stored_block(record, self._format_version, context)
         if self._cache is not None:
             self._cache.put(self._generation, offset, payload)
         return payload
@@ -375,10 +539,11 @@ class SSTableReader:
         if self._closed:
             raise ConfigurationError("reader is closed")
         _, offset, length = self._index[block_idx]
-        payload = _check_crc(
-            self._read_at(offset, length),
-            f"{self._path}: data block at offset {offset} ({length} bytes)",
+        context = (
+            f"{self._path}: data block at offset {offset} ({length} bytes)"
         )
+        record = _check_crc(self._read_at(offset, length), context)
+        payload = _decode_stored_block(record, self._format_version, context)
         return [key for key, _value in _decode_block(payload)]
 
     def _block_for(self, key: bytes) -> int:
@@ -394,16 +559,16 @@ class SSTableReader:
         return result
 
     def might_contain(self, key: bytes) -> bool:
-        """Key-bounds then Bloom check (False = definitely absent).
+        """Key-bounds then point-filter check (False = definitely absent).
 
         The bounds comparison runs first because it is an order of
         magnitude cheaper than hashing the key for the filter — on a
         store whose runs partition the keyspace by age or range, most
-        runs are dismissed without touching the Bloom filter at all.
+        runs are dismissed without touching the filter at all.
         """
         if not self._index or key < self._min_key or key > self._max_key:
             return False
-        return self._bloom.might_contain(key)
+        return self._filter.might_contain(key)
 
     def get(self, key: bytes) -> tuple[bool, bytes | None]:
         """Point lookup: ``(found, value)``; found tombstone = (True, None)."""

@@ -32,6 +32,7 @@ from .crashsim import (
     CrashSimReport,
     apply_ops,
     build_workload,
+    compressed_block_scenarios,
     fault_scenarios,
     run_crash_harness,
     wal_prefix_sweep,
@@ -51,6 +52,7 @@ __all__ = [
     "FaultyProxy",
     "apply_ops",
     "build_workload",
+    "compressed_block_scenarios",
     "fault_scenarios",
     "run_chaos",
     "run_corruption_chaos",

@@ -45,7 +45,9 @@ from dataclasses import dataclass, field
 from ..engine.datastore import LSMStore
 from ..engine.integrity import verify_store
 from ..engine.options import StoreOptions
-from ..errors import FaultInjectedError
+from ..engine.quarantine import QuarantineSet
+from ..engine.sstable import SSTableReader
+from ..errors import DataCorruptError, FaultInjectedError
 from .plan import FaultPlan, FaultRule
 
 #: Operations in the default workload (the acceptance bar is 500).
@@ -316,12 +318,131 @@ def fault_scenarios(workdir: str, seed: int = 0) -> CrashSimReport:
     return report
 
 
+def compressed_block_scenarios(
+    workdir: str, seed: int = 0, positions: int = 8
+) -> CrashSimReport:
+    """At-rest corruption inside a *compressed* data block.
+
+    The version-2 block CRC covers the compressed bytes, so a flipped
+    bit must be detected *before* any decompression is attempted — a
+    corrupt DEFLATE stream fed to the codec could otherwise
+    "successfully" inflate to garbage. This sweep builds a zlib-coded
+    store over a compressible workload, flips one byte at ``positions``
+    seeded offsets strictly inside the first run's first compressed
+    block (header and CRC excluded — the payload is the hard case),
+    and for each image asserts the survival contract: every read
+    returns the model's value or refuses with
+    :class:`~repro.errors.DataCorruptError`; at least one read detects;
+    the quarantine registry records the run; never a wrong answer.
+    """
+    rng = random.Random(seed)
+    live = os.path.join(workdir, "live")
+    options = StoreOptions(
+        block_codec="zlib",
+        sync_writes=True,
+        memtable_bytes=1 << 30,
+        block_cache_bytes=0,
+    )
+    model: dict[bytes, bytes] = {}
+    with LSMStore.open(live, options) as store:
+        for index in range(256):
+            key = f"key-{index:05d}".encode()
+            value = (f"payload-{index:05d}:" * 8).encode()
+            store.put(key, value)
+            model[key] = value
+        store.flush()
+        store.maintenance()
+        runs = store.live_runs()
+    report = CrashSimReport()
+    if not runs:
+        report.crash_points += 1
+        report.failures.append(
+            "compressed-block: store produced no runs — miswired"
+        )
+        return report
+    run_file = runs[0].filename
+    reader = SSTableReader(os.path.join(live, run_file))
+    try:
+        if reader.codec != "zlib":
+            report.crash_points += 1
+            report.failures.append(
+                f"compressed-block: run codec is {reader.codec!r}, "
+                "not zlib — the workload was not compressible"
+            )
+            return report
+        block_off, block_len = reader.block_span(0)
+    finally:
+        reader.close()
+    # Flip bytes strictly inside the compressed payload: past the
+    # 5-byte block header, short of the 4-byte CRC suffix.
+    payload_lo = block_off + 5
+    payload_hi = block_off + block_len - 4
+    targets = sorted(
+        rng.sample(range(payload_lo, payload_hi),
+                   min(positions, payload_hi - payload_lo))
+    )
+    for position in targets:
+        label = f"compressed-block@{position}B"
+        report.crash_points += 1
+        image = os.path.join(workdir, "image")
+        if os.path.exists(image):
+            shutil.rmtree(image)
+        shutil.copytree(live, image)
+        with open(os.path.join(image, run_file), "r+b") as damaged:
+            damaged.seek(position)
+            original = damaged.read(1)
+            damaged.seek(position)
+            damaged.write(bytes([original[0] ^ 0xFF]))
+        detections = 0
+        wrong = 0
+        with LSMStore.open(image, options) as store:
+            for key, value in model.items():
+                try:
+                    got = store.get(key)
+                except DataCorruptError:
+                    detections += 1
+                    continue
+                if got != value:
+                    wrong += 1
+            quarantined = [e.run_id for e in store.quarantined_entries()]
+        if wrong:
+            report.failures.append(
+                f"{label}: {wrong} wrong answer(s) served from a "
+                "corrupt compressed block"
+            )
+        if not detections:
+            report.failures.append(
+                f"{label}: corruption never detected "
+                "(CRC did not fence the compressed payload)"
+            )
+        elif not quarantined:
+            report.failures.append(
+                f"{label}: detected but run never quarantined"
+            )
+        else:
+            report.fired.append(f"{label}:quarantined-run-{quarantined[0]}")
+        # The registry must survive a reopen, and the quarantine file
+        # itself must agree with what the store reported.
+        if detections and QuarantineSet(image).entries() == []:
+            report.failures.append(
+                f"{label}: quarantine registry empty after close"
+            )
+    image = os.path.join(workdir, "image")
+    if os.path.exists(image):
+        shutil.rmtree(image)
+    return report
+
+
 def run_crash_harness(
     workdir: str, num_ops: int = DEFAULT_NUM_OPS, seed: int = 0
 ) -> CrashSimReport:
-    """The full battery: byte-granular sweep + injected-fault scenarios."""
+    """The full battery: byte-granular sweep, injected-fault scenarios,
+    and the compressed-block at-rest corruption sweep."""
     report = wal_prefix_sweep(
         os.path.join(workdir, "sweep"), num_ops=num_ops, seed=seed
     )
     report.merge(fault_scenarios(os.path.join(workdir, "faults"), seed))
+    report.merge(
+        compressed_block_scenarios(os.path.join(workdir, "blocks"), seed)
+    )
     return report

@@ -1,0 +1,183 @@
+"""Tests for the pluggable point-filter protocol and the cuckoo filter."""
+
+import pytest
+
+from repro.engine import filters
+from repro.engine.bloom import BloomFilter
+from repro.engine.filters import (
+    CuckooFilter,
+    FilterSpec,
+    PointFilter,
+    available_filters,
+    build_filter,
+    filter_kind_of,
+    load_filter,
+    register_filter,
+)
+from repro.errors import ConfigurationError, CorruptionError
+
+
+def _keys(count, prefix=b"key"):
+    return [prefix + f"-{i:06d}".encode() for i in range(count)]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_filters() == ("bloom", "cuckoo")
+
+    def test_build_returns_protocol_instances(self):
+        for kind in available_filters():
+            filt = build_filter(kind, 1000, 10)
+            assert isinstance(filt, PointFilter)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_filter("xor", 1000, 10)
+
+    def test_load_dispatches_on_magic(self):
+        bloom = build_filter("bloom", 100, 10)
+        cuckoo = build_filter("cuckoo", 100, 10)
+        for filt in (bloom, cuckoo):
+            filt.add(b"present")
+        assert isinstance(load_filter(bloom.to_bytes()), BloomFilter)
+        assert isinstance(load_filter(cuckoo.to_bytes()), CuckooFilter)
+        assert load_filter(bloom.to_bytes()).might_contain(b"present")
+        assert load_filter(cuckoo.to_bytes()).might_contain(b"present")
+
+    def test_filter_kind_of(self):
+        assert filter_kind_of(build_filter("bloom", 10, 10)) == "bloom"
+        assert filter_kind_of(build_filter("cuckoo", 10, 10)) == "cuckoo"
+
+    def test_load_rejects_unknown_magic(self):
+        with pytest.raises(CorruptionError):
+            load_filter(b"XXXX" + b"\x00" * 32)
+
+    def test_load_rejects_truncated_blob(self):
+        with pytest.raises(CorruptionError):
+            load_filter(b"BL")
+
+    def test_duplicate_kind_rejected(self):
+        spec = FilterSpec(
+            "bloom", b"ZZZ1",
+            lambda keys, bits: BloomFilter(keys, bits),
+            BloomFilter.from_bytes,
+        )
+        with pytest.raises(ConfigurationError):
+            register_filter(spec)
+
+    def test_duplicate_magic_rejected(self):
+        spec = FilterSpec(
+            "bloom2", b"BLM1",
+            lambda keys, bits: BloomFilter(keys, bits),
+            BloomFilter.from_bytes,
+        )
+        with pytest.raises(ConfigurationError):
+            register_filter(spec)
+
+    def test_new_kind_registers_and_loads(self):
+        class AlwaysYes:
+            def add(self, key):
+                pass
+
+            def might_contain(self, key):
+                return True
+
+            def to_bytes(self):
+                return b"YES1"
+
+        spec = FilterSpec(
+            "always-yes", b"YES1",
+            lambda keys, bits: AlwaysYes(),
+            lambda data: AlwaysYes(),
+        )
+        register_filter(spec)
+        try:
+            filt = build_filter("always-yes", 0, 1)
+            assert filter_kind_of(filt) == "always-yes"
+            assert load_filter(filt.to_bytes()).might_contain(b"anything")
+        finally:
+            filters._REGISTRY.pop("always-yes")
+
+
+class TestCuckooFilter:
+    def test_no_false_negatives(self):
+        filt = CuckooFilter(2000)
+        keys = _keys(2000)
+        for key in keys:
+            filt.add(key)
+        assert all(filt.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        filt = CuckooFilter(2000)
+        for key in _keys(2000):
+            filt.add(key)
+        absent = _keys(4000, prefix=b"other")
+        hits = sum(filt.might_contain(key) for key in absent)
+        # 16-bit fingerprints put the analytic FPR far below 1%; allow
+        # generous slack to keep the test robust.
+        assert hits / len(absent) < 0.01
+
+    def test_serialization_roundtrip(self):
+        filt = CuckooFilter(500)
+        keys = _keys(500)
+        for key in keys:
+            filt.add(key)
+        restored = CuckooFilter.from_bytes(filt.to_bytes())
+        assert restored.bucket_count == filt.bucket_count
+        assert restored.added == filt.added
+        assert all(restored.might_contain(key) for key in keys)
+        assert restored.to_bytes() == filt.to_bytes()
+
+    def test_deterministic_construction(self):
+        builds = []
+        for _ in range(2):
+            filt = CuckooFilter(300)
+            for key in _keys(300):
+                filt.add(key)
+            builds.append(filt.to_bytes())
+        assert builds[0] == builds[1]
+
+    def test_remove_supports_deletion(self):
+        filt = CuckooFilter(100)
+        keys = _keys(50)
+        for key in keys:
+            filt.add(key)
+        assert filt.remove(keys[10])
+        assert filt.added == len(keys) - 1
+        # The other keys must survive the deletion untouched.
+        for index, key in enumerate(keys):
+            if index != 10:
+                assert filt.might_contain(key)
+
+    def test_remove_absent_key_reports_false(self):
+        filt = CuckooFilter(100)
+        filt.add(b"present")
+        assert not filt.remove(b"never-added")
+
+    def test_overflow_stash_preserves_membership(self):
+        # Far past the design load factor the filter must degrade to a
+        # stash, never to a false negative.
+        filt = CuckooFilter(0)
+        keys = _keys(600)
+        for key in keys:
+            filt.add(key)
+        assert filt.stash_size > 0
+        assert all(filt.might_contain(key) for key in keys)
+        restored = CuckooFilter.from_bytes(filt.to_bytes())
+        assert restored.stash_size == filt.stash_size
+        assert all(restored.might_contain(key) for key in keys)
+
+    def test_corrupt_blobs_rejected(self):
+        filt = CuckooFilter(100)
+        filt.add(b"k")
+        blob = filt.to_bytes()
+        with pytest.raises(CorruptionError):
+            CuckooFilter.from_bytes(blob[:10])
+        with pytest.raises(CorruptionError):
+            CuckooFilter.from_bytes(blob + b"extra")
+        with pytest.raises(CorruptionError):
+            CuckooFilter.from_bytes(b"NOPE" + blob[4:])
+
+    def test_negative_expected_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CuckooFilter(-1)

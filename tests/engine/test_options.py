@@ -11,6 +11,13 @@ class TestStoreOptionsValidation:
         options = StoreOptions()
         assert options.policy == "tiering"
         assert options.scheduler == "greedy"
+        assert options.block_codec == "none"
+        assert options.filter_kind == "bloom"
+
+    def test_block_format_knobs_accepted(self):
+        options = StoreOptions(block_codec="zlib", filter_kind="cuckoo")
+        assert options.block_codec == "zlib"
+        assert options.filter_kind == "cuckoo"
 
     @pytest.mark.parametrize(
         "overrides",
@@ -22,7 +29,9 @@ class TestStoreOptionsValidation:
             {"size_ratio": 1.0},
             {"levels": 0},
             {"block_bytes": 16},
+            {"block_codec": "lz4"},
             {"bloom_bits_per_key": 0},
+            {"filter_kind": "xor"},
             {"bytes_per_sync": 100, "block_bytes": 4096},
             {"rate_limit_bytes_per_s": -1},
             {"stall_mode": "panic"},

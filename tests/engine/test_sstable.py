@@ -1,16 +1,21 @@
 """Tests for the sorted-run file format."""
 
 import os
+import struct
+import zlib
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.engine import RateLimiter, SSTableReader, SSTableWriter, SyncPolicy, TOMBSTONE
+from repro.engine.sstable import _decode_block
 from repro.errors import ConfigurationError, CorruptionError
 
+_LEN = struct.Struct("<I")
 
-def write_run(path, entries, block_bytes=512):
-    writer = SSTableWriter(str(path), block_bytes=block_bytes)
+
+def write_run(path, entries, block_bytes=512, **writer_kwargs):
+    writer = SSTableWriter(str(path), block_bytes=block_bytes, **writer_kwargs)
     for key, value in entries:
         writer.add(key, value)
     return writer.finish()
@@ -88,7 +93,7 @@ class TestKeyBoundsPruning:
             def might_contain(self, key):
                 return True
 
-        reader._bloom = AlwaysYes()
+        reader._filter = AlwaysYes()
         assert not reader.might_contain(b"a-below-range")
         assert not reader.might_contain(b"z-above-range")
         assert reader.might_contain(b"m0025")
@@ -125,6 +130,56 @@ class TestWriterDiscipline:
         writer.add(b"a", b"1")
         writer.abandon()
         assert not path.exists()
+
+    def test_abandon_after_finish_keeps_published_run(self, tmp_path):
+        """Regression: abandon() on a finished writer used to delete
+        the published run file out from under the manifest."""
+        path = tmp_path / "j2.run"
+        writer = SSTableWriter(str(path))
+        writer.add(b"a", b"1")
+        writer.finish()
+        writer.abandon()
+        assert path.exists()
+        reader = SSTableReader(str(path))
+        assert reader.get(b"a") == (True, b"1")
+        reader.close()
+
+    def test_abandon_still_cleans_up_after_failed_finish(self, tmp_path):
+        """A finish() that dies mid-write has not published anything —
+        abandon() must still remove the partial file."""
+        path = tmp_path / "j3.run"
+        writer = SSTableWriter(str(path))
+        writer.add(b"a", b"1")
+        writer._file.close()  # force finish() to fail on the next write
+        with pytest.raises(Exception):
+            writer.finish()
+        writer.abandon()
+        assert not path.exists()
+
+    def test_rate_limiter_accounts_every_byte_including_footer(
+        self, tmp_path
+    ):
+        """Regression: the footer used to be written via a raw
+        file.write, slipping past the rate limiter's debit and the sync
+        policy's byte count — admitted bytes must equal the file size."""
+        sleeps = []
+        limiter = RateLimiter(
+            10**9, clock=lambda: sum(sleeps), sleep=sleeps.append
+        )
+        sync = SyncPolicy(interval_bytes=1 << 30)
+        path = tmp_path / "k2.run"
+        writer = SSTableWriter(
+            str(path),
+            block_bytes=512,
+            rate_limiter=limiter,
+            sync_policy=sync,
+        )
+        for i in range(200):
+            writer.add(f"k{i:05d}".encode(), b"x" * 64)
+        stats = writer.finish()
+        assert stats.file_bytes == os.path.getsize(str(path))
+        assert limiter.total_admitted_bytes == stats.file_bytes
+        assert sync.bytes_noted == stats.file_bytes
 
     def test_rate_limiter_and_sync_policy_exercised(self, tmp_path):
         sleeps = []
@@ -182,6 +237,182 @@ class TestCorruptionDetection:
         with pytest.raises(ConfigurationError):
             reader.get(b"a")
         reader.close()  # idempotent
+
+    def test_decode_block_rejects_truncated_key(self):
+        """Regression: a declared key length past the payload end used
+        to slice short bytes silently instead of raising."""
+        payload = _LEN.pack(100) + _LEN.pack(1) + b"short"
+        with pytest.raises(CorruptionError):
+            _decode_block(payload)
+
+    def test_decode_block_rejects_truncated_value(self):
+        payload = _LEN.pack(3) + _LEN.pack(100) + b"key" + b"tiny"
+        with pytest.raises(CorruptionError):
+            _decode_block(payload)
+
+    def _corrupt_first_entry_length(self, path, field_offset):
+        """Hand-truncate a block: overwrite a length field of the first
+        entry with an overrunning value and re-seal the block's CRC, so
+        only entry-level validation can catch it."""
+        reader = SSTableReader(str(path))
+        offset, length = reader.block_span(0)
+        reader.close()
+        data = bytearray(path.read_bytes())
+        # v2 block: 5-byte codec header, then the entry payload.
+        field_at = offset + 5 + field_offset
+        data[field_at : field_at + 4] = _LEN.pack(0x00FFFFFF)
+        record = bytes(data[offset : offset + length - 4])
+        data[offset + length - 4 : offset + length] = _LEN.pack(
+            zlib.crc32(record) & 0xFFFFFFFF
+        )
+        path.write_bytes(bytes(data))
+
+    def test_hand_truncated_block_entry_detected(self, tmp_path):
+        path = tmp_path / "trunc.run"
+        write_run(path, [(b"aaa", b"val-1"), (b"bbb", b"val-2")])
+        self._corrupt_first_entry_length(path, field_offset=0)  # key len
+        reader = SSTableReader(str(path))
+        with pytest.raises(CorruptionError):
+            reader.get(b"aaa")
+        reader.close()
+
+    def test_hand_truncated_block_value_detected(self, tmp_path):
+        path = tmp_path / "truncv.run"
+        write_run(path, [(b"aaa", b"val-1"), (b"bbb", b"val-2")])
+        self._corrupt_first_entry_length(path, field_offset=4)  # val len
+        reader = SSTableReader(str(path))
+        with pytest.raises(CorruptionError):
+            list(reader.items())
+        reader.close()
+
+
+class TestBlockFormat:
+    def test_zlib_run_compresses_and_roundtrips(self, tmp_path):
+        entries = [
+            (f"k{i:05d}".encode(), (f"payload-{i:05d}:" * 8).encode())
+            for i in range(500)
+        ]
+        stats = write_run(
+            tmp_path / "z.run", entries, block_bytes=4096,
+            block_codec="zlib",
+        )
+        assert stats.codec == "zlib"
+        assert stats.logical_bytes > stats.data_bytes > 0
+        reader = SSTableReader(stats.path)
+        assert reader.format_version == 2
+        assert reader.codec == "zlib"
+        assert reader.logical_bytes == stats.logical_bytes
+        assert reader.data_bytes == stats.data_bytes
+        assert list(reader.items()) == entries
+        for key, value in entries[::37]:
+            assert reader.get(key) == (True, value)
+        reader.close()
+
+    def test_incompressible_blocks_fall_back_to_raw(self, tmp_path):
+        import random
+
+        rng = random.Random(7)
+        entries = sorted(
+            (f"k{i:04d}".encode(), rng.randbytes(64)) for i in range(200)
+        )
+        stats = write_run(
+            tmp_path / "r.run", entries, block_codec="zlib"
+        )
+        # Random values do not compress: every block stores raw, so the
+        # physical size is the logical size plus the 5-byte headers.
+        assert stats.data_bytes < stats.logical_bytes * 1.1
+        reader = SSTableReader(stats.path)
+        assert list(reader.items()) == entries
+        reader.close()
+
+    def test_corrupt_compressed_block_detected(self, tmp_path):
+        entries = [
+            (f"k{i:05d}".encode(), (f"value-{i:05d}-" * 6).encode())
+            for i in range(300)
+        ]
+        stats = write_run(
+            tmp_path / "c.run", entries, block_bytes=2048,
+            block_codec="zlib",
+        )
+        reader = SSTableReader(stats.path)
+        offset, length = reader.block_span(0)
+        reader.close()
+        with open(stats.path, "r+b") as damaged:
+            # Flip a byte inside the compressed payload (past the
+            # 5-byte header, short of the CRC) — the CRC over the
+            # compressed bytes must fence it before decompression.
+            damaged.seek(offset + 5 + (length - 9) // 2)
+            original = damaged.read(1)
+            damaged.seek(offset + 5 + (length - 9) // 2)
+            damaged.write(bytes([original[0] ^ 0xFF]))
+        reader = SSTableReader(stats.path)
+        with pytest.raises(CorruptionError):
+            list(reader.items())
+        reader.close()
+
+    def test_v1_writer_roundtrips_as_version_absent(self, tmp_path):
+        entries = [(f"k{i:04d}".encode(), b"value") for i in range(100)]
+        stats = write_run(
+            tmp_path / "v1.run", entries, format_version=1
+        )
+        assert stats.logical_bytes == stats.data_bytes
+        reader = SSTableReader(stats.path)
+        assert reader.format_version == 1
+        assert reader.codec == "none"
+        assert reader.filter_kind == "bloom"
+        assert reader.logical_bytes == reader.data_bytes
+        assert list(reader.items()) == entries
+        reader.close()
+
+    def test_v1_writer_rejects_new_format_features(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SSTableWriter(
+                str(tmp_path / "bad.run"), format_version=1,
+                block_codec="zlib",
+            )
+        with pytest.raises(ConfigurationError):
+            SSTableWriter(
+                str(tmp_path / "bad2.run"), format_version=1,
+                filter_kind="cuckoo",
+            )
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SSTableWriter(str(tmp_path / "bad3.run"), format_version=3)
+
+    def test_cuckoo_filter_run_roundtrips(self, tmp_path):
+        entries = [(f"k{i:04d}".encode(), b"v") for i in range(400)]
+        stats = write_run(
+            tmp_path / "ck.run", entries, filter_kind="cuckoo"
+        )
+        assert stats.filter_kind == "cuckoo"
+        reader = SSTableReader(stats.path)
+        assert reader.filter_kind == "cuckoo"
+        for key, value in entries[::29]:
+            assert reader.get(key) == (True, value)
+        assert not reader.get(b"k9999")[0]
+        reader.close()
+
+    def test_unknown_codec_name_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SSTableWriter(str(tmp_path / "bad4.run"), block_codec="lz4")
+
+    def test_unknown_codec_id_on_disk_is_corruption(self, tmp_path):
+        stats = write_run(tmp_path / "cid.run", [(b"a", b"1")])
+        reader = SSTableReader(stats.path)
+        offset, length = reader.block_span(0)
+        reader.close()
+        data = bytearray((tmp_path / "cid.run").read_bytes())
+        data[offset] = 250  # unregistered codec id
+        record = bytes(data[offset : offset + length - 4])
+        data[offset + length - 4 : offset + length] = _LEN.pack(
+            zlib.crc32(record) & 0xFFFFFFFF
+        )
+        (tmp_path / "cid.run").write_bytes(bytes(data))
+        reader = SSTableReader(stats.path)
+        with pytest.raises(CorruptionError):
+            reader.get(b"a")
+        reader.close()
 
 
 class TestPropertyBased:
